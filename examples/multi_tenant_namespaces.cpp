@@ -1,0 +1,96 @@
+// Scenario: multi-tenancy on one hybrid SSD (paper §V-D).
+//
+// The disaggregated NAND space supports multiple NVMe namespaces, each with
+// its own block sub-region (file system + Main-LSM) and KV sub-region
+// (Dev-LSM). Two tenants run isolated KVACCEL stacks on ONE device and only
+// contend on the shared physical resources (channels, PCIe link, firmware
+// core) — never on each other's data or capacity.
+//
+//   $ build/examples/multi_tenant_namespaces
+#include <cstdio>
+#include <memory>
+
+#include "core/kvaccel_db.h"
+#include "fs/simfs.h"
+#include "harness/presets.h"
+#include "sim/cpu_pool.h"
+#include "sim/sim_env.h"
+#include "ssd/hybrid_ssd.h"
+
+using namespace kvaccel;
+
+namespace {
+
+struct Tenant {
+  int nsid;
+  std::unique_ptr<fs::SimFs> fs;
+  std::unique_ptr<core::KvaccelDB> db;
+  uint64_t writes = 0;
+  Nanos finished_at = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double kScale = 0.125;
+  sim::SimEnv env;
+  ssd::SsdConfig ssd_config = harness::PaperSsdConfig(kScale);
+  ssd_config.num_namespaces = 2;  // two isolated tenants
+  ssd::HybridSsd ssd(&env, ssd_config);
+  sim::CpuPool host_cpu(&env, "host", 8);
+
+  Tenant tenants[2];
+  for (int t = 0; t < 2; t++) {
+    tenants[t].nsid = t;
+    tenants[t].fs = std::make_unique<fs::SimFs>(&ssd, t);
+  }
+
+  // Each tenant ingests its own keyspace concurrently.
+  std::vector<sim::SimEnv::Thread*> threads;
+  for (int t = 0; t < 2; t++) {
+    threads.push_back(env.Spawn("tenant-" + std::to_string(t), [&, t] {
+      Tenant& me = tenants[t];
+      lsm::DbEnv denv{&env, &ssd, me.fs.get(), &host_cpu};
+      lsm::DbOptions db_opts = harness::PaperDbOptions(2, false, kScale);
+      core::KvaccelOptions kv_opts =
+          harness::PaperKvaccelOptions(core::RollbackScheme::kEager, kScale);
+      // NOTE: each tenant's Dev-LSM lives in its own namespace quota.
+      if (!core::KvaccelDB::Open(db_opts, kv_opts, denv, &me.db).ok()) return;
+
+      for (int i = 0; i < 60000; i++) {
+        char key[32];
+        snprintf(key, sizeof(key), "t%d-%010d", t, i);
+        if (!me.db->Put({}, key, Value::Synthetic(i, 4096)).ok()) break;
+        me.writes++;
+      }
+      me.finished_at = env.Now();
+    }));
+  }
+  env.Spawn("closer", [&] {
+    for (auto* th : threads) env.Join(th);
+    // Cross-tenant isolation check before closing: tenant 0 must not see
+    // tenant 1's keys and vice versa.
+    Value v;
+    bool isolated =
+        tenants[0].db->Get({}, "t1-0000000001", &v).IsNotFound() &&
+        tenants[1].db->Get({}, "t0-0000000001", &v).IsNotFound() &&
+        tenants[0].db->Get({}, "t0-0000000001", &v).ok() &&
+        tenants[1].db->Get({}, "t1-0000000001", &v).ok();
+    printf("tenant isolation: %s\n", isolated ? "OK" : "VIOLATED");
+    for (int t = 0; t < 2; t++) {
+      printf("tenant %d: %llu writes in %.1f s, redirected=%llu, "
+             "kv-region pages used=%llu\n",
+             t, static_cast<unsigned long long>(tenants[t].writes),
+             ToSecs(tenants[t].finished_at),
+             static_cast<unsigned long long>(
+                 tenants[t].db->kv_stats().redirected_writes),
+             static_cast<unsigned long long>(ssd.KvUsedPages(t)));
+      tenants[t].db->Close();
+    }
+    printf("shared device totals: NAND written %.1f MB, PCIe moved %.1f MB\n",
+           ssd.nand().bytes_written() / 1e6, ssd.pcie().total_bytes() / 1e6);
+  });
+
+  env.Run();
+  return 0;
+}

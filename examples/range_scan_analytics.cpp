@@ -1,0 +1,108 @@
+// Scenario: analytics range scans over a store that is simultaneously
+// absorbing a write burst (the paper's §V-F / Table V setting).
+//
+// Shows (1) the hybrid iterator returning a correct, ordered view spanning
+// Main-LSM and Dev-LSM mid-burst, and (2) how an eager rollback restores
+// scan performance by moving data back behind the host's caches.
+//
+//   $ build/examples/range_scan_analytics
+#include <cstdio>
+#include <memory>
+
+#include "core/kvaccel_db.h"
+#include "fs/simfs.h"
+#include "harness/presets.h"
+#include "harness/workload.h"
+#include "sim/cpu_pool.h"
+#include "sim/sim_env.h"
+#include "ssd/hybrid_ssd.h"
+
+using namespace kvaccel;
+
+namespace {
+
+// One "analytics query": scan `span` consecutive keys from `start`.
+double TimedScan(sim::SimEnv* env, core::KvaccelDB* db, uint64_t start,
+                 int span, int* rows_out) {
+  Nanos t0 = env->Now();
+  auto it = db->NewIterator({});
+  int rows = 0;
+  for (it->Seek(harness::MakeKey(start, 8)); it->Valid() && rows < span;
+       it->Next()) {
+    rows++;
+  }
+  *rows_out = rows;
+  return ToMicros(env->Now() - t0);
+}
+
+}  // namespace
+
+int main() {
+  const double kScale = 0.125;
+  sim::SimEnv env;
+  ssd::HybridSsd ssd(&env, harness::PaperSsdConfig(kScale));
+  fs::SimFs fs(&ssd, 0);
+  sim::CpuPool cpu(&env, "host", 8);
+  lsm::DbEnv denv{&env, &ssd, &fs, &cpu};
+
+  env.Spawn("analytics", [&] {
+    std::unique_ptr<core::KvaccelDB> db;
+    core::KvaccelOptions kv_opts =
+        harness::PaperKvaccelOptions(core::RollbackScheme::kDisabled, kScale);
+    if (!core::KvaccelDB::Open(harness::PaperDbOptions(2, false, kScale),
+                               kv_opts, denv, &db)
+             .ok()) {
+      return;
+    }
+
+    // Base dataset: 150k sequential rows.
+    for (uint64_t i = 0; i < 150000; i++) {
+      db->Put({}, harness::MakeKey(i, 8), Value::Synthetic(i, 4096));
+    }
+    db->WaitForCompactionIdle();
+
+    // A write burst drives the store into stalls; part of the new rows land
+    // in the Dev-LSM via redirection.
+    for (uint64_t i = 150000; i < 250000; i++) {
+      db->Put({}, harness::MakeKey(i, 8), Value::Synthetic(i, 4096));
+    }
+    printf("rows redirected to device during burst: %llu\n",
+           static_cast<unsigned long long>(
+               db->kv_stats().redirected_writes));
+
+    // Scan while data is split across the interfaces.
+    int rows = 0;
+    double us_split = TimedScan(&env, db.get(), 140000, 5000, &rows);
+    printf("scan mid-burst (hybrid view): %d rows in %.0f us (%.0f "
+           "rows/ms)\n",
+           rows, us_split, rows / (us_split / 1000.0));
+
+    // Correctness: the hybrid iterator must see every row exactly once.
+    auto it = db->NewIterator({});
+    uint64_t count = 0, expect = 0;
+    bool ordered = true;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      if (it->key() != Slice(harness::MakeKey(expect, 8))) ordered = false;
+      expect++;
+      count++;
+    }
+    printf("full scan: %llu rows (expected 250000), ordered=%s\n",
+           static_cast<unsigned long long>(count), ordered ? "yes" : "NO");
+
+    // Roll back, then rescan: now everything is served by Main-LSM with its
+    // block cache — the Table V bottleneck is gone.
+    db->WaitForCompactionIdle();
+    db->RollbackNow();
+    double us_merged = TimedScan(&env, db.get(), 140000, 5000, &rows);
+    printf("scan after rollback:          %d rows in %.0f us (%.0f "
+           "rows/ms)\n",
+           rows, us_merged, rows / (us_merged / 1000.0));
+    printf("%s\n", us_merged <= us_split
+                       ? "rollback restored scan performance."
+                       : "(scan was already main-resident)");
+    db->Close();
+  });
+
+  env.Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "adoc/adoc_tuner.h"
+
+#include <algorithm>
+
+namespace kvaccel::adoc {
+
+AdocTuner::AdocTuner(lsm::DB* db, sim::SimEnv* env,
+                     const lsm::DbOptions& db_options,
+                     const AdocOptions& options)
+    : db_(db), env_(env), db_options_(db_options), options_(options) {}
+
+void AdocTuner::Start() {
+  thread_ = env_->Spawn("adoc-tuner", [this] { TuningLoop(); });
+}
+
+void AdocTuner::Stop() {
+  if (thread_ == nullptr) return;
+  {
+    sim::SimLockGuard l(mu_);
+    stop_requested_ = true;
+    cv_.NotifyAll();
+  }
+  env_->Join(thread_);
+  thread_ = nullptr;
+}
+
+void AdocTuner::TuningLoop() {
+  sim::SimLockGuard l(mu_);
+  while (!stop_requested_) {
+    if (cv_.WaitFor(mu_, options_.tuning_period)) {
+      continue;  // notified: re-check stop flag
+    }
+    TuneOnce();
+  }
+}
+
+void AdocTuner::TuneOnce() {
+  stats_.tuning_rounds++;
+  lsm::StallSignals sig = db_->GetStallSignals();
+
+  // Overflow detection at the memtable->L0 boundary: L0 backlog or immutable
+  // memtables queueing up means compaction/flush cannot keep pace.
+  bool l0_pressure =
+      sig.l0_files >= static_cast<int>(
+                          static_cast<double>(db_options_.l0_slowdown_writes_trigger) *
+                          options_.l0_pressure_fraction);
+  bool imm_pressure = sig.immutable_memtables >= 1;
+  bool pending_pressure =
+      sig.pending_compaction_bytes >
+      db_options_.soft_pending_compaction_bytes_limit / 2;
+  bool overflow = l0_pressure || imm_pressure || pending_pressure;
+
+  int threads = db_->compaction_threads();
+  uint64_t buffer = db_->write_buffer_size();
+
+  if (overflow) {
+    calm_streak_ = 0;
+    if (threads < options_.max_compaction_threads) {
+      db_->SetCompactionThreads(threads + 1);
+      stats_.thread_increases++;
+    } else if (buffer < options_.max_write_buffer) {
+      // Threads saturated: absorb the burst with a bigger batch instead.
+      db_->SetWriteBufferSize(std::min(options_.max_write_buffer, buffer * 2));
+      stats_.buffer_increases++;
+    }
+  } else {
+    calm_streak_++;
+    if (calm_streak_ >= options_.calm_periods_to_decay) {
+      calm_streak_ = 0;
+      if (threads > options_.min_compaction_threads) {
+        db_->SetCompactionThreads(threads - 1);
+        stats_.thread_decreases++;
+      } else if (buffer > options_.min_write_buffer) {
+        db_->SetWriteBufferSize(
+            std::max(options_.min_write_buffer, buffer / 2));
+        stats_.buffer_decreases++;
+      }
+    }
+  }
+}
+
+}  // namespace kvaccel::adoc

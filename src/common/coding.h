@@ -1,0 +1,41 @@
+// Little-endian fixed-width and varint encoders/decoders used by the WAL,
+// SST, manifest and NVMe-KV payload formats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace kvaccel {
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+void EncodeFixed16(char* dst, uint16_t value);
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+
+uint16_t DecodeFixed16(const char* ptr);
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+// Each GetX parses from the front of *input, advancing it. Returns false on
+// malformed/short input (input is left in an unspecified advanced state).
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// Low-level varint parsing over [p, limit); returns nullptr on error.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v);
+
+int VarintLength(uint64_t v);
+
+}  // namespace kvaccel

@@ -1,0 +1,63 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace kvaccel {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w = DecodeFixed32(data);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<unsigned char>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  const uint64_t m = 0x9e3779b97f4a7c15ull;
+  uint64_t h = seed ^ (n * m);
+  while (n >= 8) {
+    uint64_t w = DecodeFixed64(data);
+    data += 8;
+    n -= 8;
+    w *= m;
+    w ^= w >> 29;
+    h ^= w;
+    h *= m;
+  }
+  uint64_t tail = 0;
+  for (size_t i = 0; i < n; i++) {
+    tail = (tail << 8) | static_cast<unsigned char>(data[i]);
+  }
+  h ^= tail;
+  h *= m;
+  h ^= h >> 32;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace kvaccel

@@ -1,0 +1,101 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kvaccel {
+
+const std::vector<uint64_t>& Histogram::BucketLimits() {
+  static const std::vector<uint64_t> limits = [] {
+    std::vector<uint64_t> v;
+    uint64_t limit = 1;
+    while (limit < 10'000'000'000'000ull) {
+      v.push_back(limit);
+      uint64_t next = limit + std::max<uint64_t>(1, limit / 10);
+      limit = next;
+    }
+    v.push_back(UINT64_MAX);
+    return v;
+  }();
+  return limits;
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  const auto& limits = BucketLimits();
+  // First bucket whose upper bound is >= value.
+  auto it = std::lower_bound(limits.begin(), limits.end(), value);
+  return static_cast<size_t>(it - limits.begin());
+}
+
+Histogram::Histogram()
+    : count_(0), sum_(0), min_(UINT64_MAX), max_(0),
+      buckets_(BucketLimits().size(), 0) {}
+
+void Histogram::Add(uint64_t value) {
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Average() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = BucketLimits();
+  double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += static_cast<double>(buckets_[b]);
+    if (cumulative >= threshold) {
+      uint64_t lo = (b == 0) ? 0 : limits[b - 1];
+      uint64_t hi = limits[b];
+      if (hi == UINT64_MAX) hi = max_;
+      // Interpolate within the bucket.
+      double left = cumulative - static_cast<double>(buckets_[b]);
+      double frac = buckets_[b] == 0
+                        ? 1.0
+                        : (threshold - left) / static_cast<double>(buckets_[b]);
+      double r = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      return std::min(r, static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.2f min=%llu max=%llu p50=%.1f p99=%.1f "
+           "p99.9=%.1f",
+           static_cast<unsigned long long>(count_), Average(),
+           static_cast<unsigned long long>(Min()),
+           static_cast<unsigned long long>(max_), Percentile(50),
+           Percentile(99), Percentile(99.9));
+  return buf;
+}
+
+}  // namespace kvaccel

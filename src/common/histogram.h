@@ -1,0 +1,39 @@
+// Latency histogram with exponentially spaced buckets; provides the P50/P99/
+// P99.9 percentiles the paper's Figures 3 and 12 report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kvaccel {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t Count() const { return count_; }
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+  double Average() const;
+  // p in (0, 100]; linear interpolation within the bucket.
+  double Percentile(double p) const;
+  std::string ToString() const;
+
+ private:
+  // Exponentially spaced bucket upper bounds (ratio ~1.1), 1 .. ~1e13.
+  static const std::vector<uint64_t>& BucketLimits();
+  static size_t BucketFor(uint64_t value);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace kvaccel

@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace kvaccel {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("KVX_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (strcmp(env, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kWarn);
+}()};
+
+const char* Name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level));
+}
+
+void Logger::Logv(LogLevel level, const char* fmt, va_list ap) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[2048];
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  fprintf(stderr, "[%s] %s\n", Name(level), buf);
+}
+
+#define KVX_DEFINE_LOG_FN(FnName, Level)         \
+  void FnName(const char* fmt, ...) {            \
+    va_list ap;                                  \
+    va_start(ap, fmt);                           \
+    Logger::Logv(Level, fmt, ap);                \
+    va_end(ap);                                  \
+  }
+
+KVX_DEFINE_LOG_FN(LogDebug, LogLevel::kDebug)
+KVX_DEFINE_LOG_FN(LogInfo, LogLevel::kInfo)
+KVX_DEFINE_LOG_FN(LogWarn, LogLevel::kWarn)
+KVX_DEFINE_LOG_FN(LogError, LogLevel::kError)
+
+#undef KVX_DEFINE_LOG_FN
+
+}  // namespace kvaccel

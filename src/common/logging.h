@@ -1,0 +1,24 @@
+// Minimal leveled logger. Quiet by default (benches print structured results,
+// not logs); enable via KVX_LOG_LEVEL env or SetLevel for debugging.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace kvaccel {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void SetLevel(LogLevel level);
+  static void Logv(LogLevel level, const char* fmt, va_list ap);
+};
+
+void LogDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void LogInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void LogWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void LogError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace kvaccel

@@ -1,0 +1,31 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace kvaccel {
+
+double ZipfianGenerator::Pow(double a, double b) { return std::pow(a, b); }
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // Exact sum is O(n); for large n use the standard truncation + integral
+  // approximation, accurate enough for workload shaping.
+  const uint64_t kExact = 10000;
+  double sum = 0;
+  uint64_t limit = n < kExact ? n : kExact;
+  for (uint64_t i = 1; i <= limit; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > kExact) {
+    // integral of x^-theta from kExact to n
+    if (theta == 1.0) {
+      sum += std::log(static_cast<double>(n) / static_cast<double>(kExact));
+    } else {
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(kExact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+  }
+  return sum;
+}
+
+}  // namespace kvaccel

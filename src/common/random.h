@@ -1,0 +1,91 @@
+// Deterministic PRNGs for workloads and tests. All randomness in the library
+// flows through these (never std::random_device) so simulation runs are
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace kvaccel {
+
+// xorshift128+ generator: fast, 64-bit output, decent statistical quality for
+// workload generation.
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Skewed: pick base uniformly in [0, max_log] and return uniform in
+  // [0, 2^base) — handy for size distributions.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(static_cast<uint64_t>(max_log + 1)));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian key-popularity generator (Gray et al. quick method) for skewed
+// read workloads beyond the paper's uniform db_bench defaults.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_items, double theta, uint64_t seed)
+      : items_(num_items), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(items_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - Pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + Pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(static_cast<double>(items_) *
+                                 Pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Pow(double a, double b);
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  Random64 rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace kvaccel

@@ -1,0 +1,67 @@
+#include "common/value.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace kvaccel {
+
+std::string Value::Materialize() const {
+  if (is_inline()) return bytes_;
+  std::string out;
+  out.resize(synthetic_size_);
+  Random64 rng(seed_);
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    EncodeFixed64(out.data() + i, rng.Next());
+    i += 8;
+  }
+  uint64_t tail = rng.Next();
+  while (i < out.size()) {
+    out[i++] = static_cast<char>(tail & 0xff);
+    tail >>= 8;
+  }
+  return out;
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kind_));
+  if (is_inline()) {
+    PutLengthPrefixedSlice(dst, bytes_);
+  } else {
+    PutFixed64(dst, seed_);
+    PutVarint32(dst, synthetic_size_);
+  }
+}
+
+bool Value::DecodeFrom(Slice* input, Value* out) {
+  if (input->empty()) return false;
+  auto kind = static_cast<Kind>((*input)[0]);
+  input->remove_prefix(1);
+  if (kind == Kind::kInline) {
+    Slice bytes;
+    if (!GetLengthPrefixedSlice(input, &bytes)) return false;
+    *out = InlineFrom(bytes);
+    return true;
+  }
+  if (kind == Kind::kSynthetic) {
+    uint64_t seed;
+    uint32_t size;
+    if (!GetFixed64(input, &seed)) return false;
+    if (!GetVarint32(input, &size)) return false;
+    *out = Synthetic(seed, size);
+    return true;
+  }
+  return false;
+}
+
+Value Value::DecodeOrDie(Slice encoded) {
+  Value v;
+  bool ok = DecodeFrom(&encoded, &v);
+  assert(ok);
+  (void)ok;
+  return v;
+}
+
+}  // namespace kvaccel

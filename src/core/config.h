@@ -1,0 +1,66 @@
+// KVACCEL configuration, calibrated to the paper's measurements:
+//  - Detector/Rollback polling every 0.1 s (§VI-A);
+//  - Detector check cost 1.37 µs; metadata insert/check/delete costs
+//    0.45/0.20/0.28 µs (Table VI);
+//  - rollback DMA chunk 512 KB (§V-E);
+//  - lazy vs eager rollback scheduling (§V-E).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "devlsm/dev_lsm.h"
+#include "ssd/hybrid_ssd.h"
+
+namespace kvaccel::core {
+
+enum class RollbackScheme {
+  kLazy,   // wait until the workload will not be disturbed (write-heavy)
+  kEager,  // roll back as soon as resources free up (read-heavy)
+  kDisabled,  // never roll back during the run (paper Fig. 12 setup)
+};
+
+struct KvaccelOptions {
+  // Detector (paper §V-C, §VI-A).
+  Nanos detector_period = FromMillis(100);
+  double detector_cpu_ns = 1370;  // 1.37 us per check (Table VI)
+
+  // Metadata Manager per-op host costs (Table VI).
+  double md_insert_ns = 450;
+  double md_check_ns = 200;
+  double md_delete_ns = 280;
+
+  // Rollback Manager.
+  RollbackScheme rollback = RollbackScheme::kLazy;
+  // Eager: start as soon as this many consecutive calm detector periods.
+  int eager_calm_periods = 1;
+  // Lazy: require a longer quiet streak before touching the device.
+  int lazy_calm_periods = 10;
+
+  // Device-side write buffer.
+  devlsm::DevLsmOptions dev;
+
+  // Redirect writes when the Detector reports an imminent stall.
+  bool redirection_enabled = true;
+
+  // Multi-device deployment (paper §V-D): host the key-value interface on a
+  // second SSD instead of the hybrid single-device split. nullptr (default)
+  // = single-device (Dev-LSM shares the Main-LSM's device).
+  ssd::HybridSsd* kv_device = nullptr;
+};
+
+struct KvaccelStats {
+  uint64_t detector_checks = 0;
+  uint64_t redirected_writes = 0;   // served by Dev-LSM during stalls
+  uint64_t direct_writes = 0;       // served by Main-LSM
+  uint64_t dev_reads = 0;           // Gets answered by Dev-LSM
+  uint64_t main_reads = 0;
+  uint64_t rollbacks = 0;
+  uint64_t rollback_entries = 0;
+  Nanos rollback_total_ns = 0;
+  uint64_t md_inserts = 0;
+  uint64_t md_checks = 0;
+  uint64_t md_deletes = 0;
+};
+
+}  // namespace kvaccel::core

@@ -1,0 +1,281 @@
+#include "core/kvaccel_db.h"
+
+#include <cassert>
+
+#include "core/hybrid_iterator.h"
+
+namespace kvaccel::core {
+
+// ---------------- Open / lifecycle ----------------
+
+KvaccelDB::KvaccelDB(const KvaccelOptions& kv_options, const lsm::DbEnv& env)
+    : options_(kv_options), denv_(env), env_(env.env) {}
+
+Status KvaccelDB::Open(const lsm::DbOptions& main_options,
+                       const KvaccelOptions& kv_options,
+                       const lsm::DbEnv& env,
+                       std::unique_ptr<KvaccelDB>* db) {
+  auto impl = std::unique_ptr<KvaccelDB>(new KvaccelDB(kv_options, env));
+
+  // KVACCEL runs its Main-LSM without the slowdown mechanism: redirection
+  // replaces throttling (paper §VI-B).
+  lsm::DbOptions opts = main_options;
+  opts.enable_slowdown = false;
+  Status s = lsm::DB::Open(opts, env, &impl->main_);
+  if (!s.ok()) return s;
+
+  // Single-device (hybrid split) by default; §V-D multi-device when a
+  // second SSD is supplied.
+  ssd::HybridSsd* kv_ssd =
+      kv_options.kv_device != nullptr ? kv_options.kv_device : env.ssd;
+  impl->dev_ = std::make_unique<devlsm::DevLsm>(kv_ssd, /*nsid=*/0,
+                                                kv_options.dev);
+  impl->md_ = std::make_unique<MetadataManager>(
+      env.env, env.host_cpu, impl->options_, &impl->kv_stats_);
+  impl->detector_ = std::make_unique<Detector>(
+      impl->main_.get(), env.env, env.host_cpu, impl->options_,
+      &impl->kv_stats_);
+  impl->rollback_ =
+      std::make_unique<RollbackManager>(impl.get(), impl->options_);
+
+  impl->detector_->Start();
+  if (impl->options_.rollback != RollbackScheme::kDisabled) {
+    impl->rollback_->Start(env.env);
+  }
+  *db = std::move(impl);
+  return Status::OK();
+}
+
+KvaccelDB::~KvaccelDB() { assert(closed_); }
+
+Status KvaccelDB::Close() {
+  if (closed_) return Status::OK();
+  if (rollback_ != nullptr) rollback_->Stop();
+  if (detector_ != nullptr) detector_->Stop();
+  Status s = main_->Close();
+  closed_ = true;
+  return s;
+}
+
+bool KvaccelDB::rollback_in_progress() const {
+  return rollback_ != nullptr && rollback_->in_progress();
+}
+
+// ---------------- Controller: write path (paper §V-C) ----------------
+
+bool KvaccelDB::ShouldRedirect() const {
+  // Redirection stays available during rollback: the snapshot-bounded reset
+  // (DevLsm::ResetUpTo) keeps concurrently redirected pairs safe.
+  return options_.redirection_enabled && detector_->stall_detected();
+}
+
+Status KvaccelDB::Put(const lsm::WriteOptions& wopts, const Slice& key,
+                      const Value& value) {
+  Nanos start = env_->Now();
+  Status s;
+  if (ShouldRedirect()) {
+    // Stall path: serve the write from the key-value interface. The pair
+    // lands on the device first; only then does the metadata record flip, so
+    // a concurrent reader never chases a record to a not-yet-written pair.
+    // The pair is versioned from the Main-LSM sequence space so crash
+    // recovery can order it against host-side data.
+    lsm::SequenceNumber seq = main_->AllocateSequence(1);
+    s = dev_->Put(key, value, seq);
+    if (s.ok()) {
+      md_->Insert(key, seq);
+      kv_stats_.redirected_writes++;
+    } else {
+      // Device full/unavailable: fall back to the normal (stalling) path.
+      s = main_->Put(wopts, key, value);
+      if (s.ok() && md_->Check(key)) md_->Delete(key);
+      kv_stats_.direct_writes++;
+    }
+  } else {
+    s = main_->Put(wopts, key, value);
+    kv_stats_.direct_writes++;
+    // Path (3-1): an overlapping pair in Dev-LSM is now stale.
+    if (s.ok() && !dev_->Empty() && md_->Check(key)) md_->Delete(key);
+  }
+  Nanos now = env_->Now();
+  agg_stats_.writes_total++;
+  agg_stats_.write_bytes_total += key.size() + 8 + value.logical_size();
+  agg_stats_.writes_completed.Add(now, 1);
+  agg_stats_.put_latency.Add(now - start);
+  return s;
+}
+
+Status KvaccelDB::Delete(const lsm::WriteOptions& wopts, const Slice& key) {
+  Nanos start = env_->Now();
+  Status s;
+  if (ShouldRedirect()) {
+    // Redirected delete: a device-side tombstone shadows Main-LSM data until
+    // rollback replays it as a real delete.
+    lsm::SequenceNumber seq = main_->AllocateSequence(1);
+    s = dev_->Delete(key, seq);
+    if (s.ok()) {
+      md_->Insert(key, seq);
+      kv_stats_.redirected_writes++;
+    } else {
+      s = main_->Delete(wopts, key);
+      if (s.ok() && md_->Check(key)) md_->Delete(key);
+      kv_stats_.direct_writes++;
+    }
+  } else {
+    s = main_->Delete(wopts, key);
+    kv_stats_.direct_writes++;
+    if (s.ok() && !dev_->Empty() && md_->Check(key)) md_->Delete(key);
+  }
+  Nanos now = env_->Now();
+  agg_stats_.writes_total++;
+  agg_stats_.writes_completed.Add(now, 1);
+  agg_stats_.put_latency.Add(now - start);
+  return s;
+}
+
+// ---------------- Controller: read path ----------------
+
+Status KvaccelDB::Get(const lsm::ReadOptions& ropts, const Slice& key,
+                      Value* value) {
+  Nanos start = env_->Now();
+  Status s;
+  // (1) Metadata Manager locates the key; (2) Main-LSM when the record is
+  // absent or the Dev-LSM is empty; (3) Dev-LSM otherwise.
+  if (!dev_->Empty() && md_->Check(key)) {
+    s = dev_->Get(key, value);
+    kv_stats_.dev_reads++;
+  } else {
+    s = main_->Get(ropts, key, value);
+    kv_stats_.main_reads++;
+  }
+  Nanos now = env_->Now();
+  agg_stats_.reads_total++;
+  agg_stats_.reads_completed.Add(now, 1);
+  agg_stats_.get_latency.Add(now - start);
+  return s;
+}
+
+std::unique_ptr<lsm::Iterator> KvaccelDB::NewIterator(
+    const lsm::ReadOptions& ropts) {
+  return std::make_unique<HybridIterator>(main_->NewIterator(ropts),
+                                          dev_->NewIterator(), md_.get());
+}
+
+// ---------------- Rollback / recovery ----------------
+
+Status KvaccelDB::RollbackNow() { return rollback_->Execute(true); }
+
+Status KvaccelDB::CrashMetadataAndRecover(Nanos* recovery_duration) {
+  md_->LoseAll();
+  Nanos t0 = env_->Now();
+  Status s = rollback_->Execute(/*trust_metadata=*/false);
+  if (recovery_duration != nullptr) *recovery_duration = env_->Now() - t0;
+  return s;
+}
+
+// ---------------- RollbackManager ----------------
+
+void RollbackManager::Start(sim::SimEnv* env) {
+  env_ = env;
+  thread_ = env->Spawn("kvaccel-rollback", [this] { Loop(); });
+}
+
+void RollbackManager::Stop() {
+  if (thread_ == nullptr) return;
+  {
+    sim::SimLockGuard l(mu_);
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  env_->Join(thread_);
+  thread_ = nullptr;
+}
+
+void RollbackManager::Loop() {
+  sim::SimLockGuard l(mu_);
+  while (!stop_) {
+    if (cv_.WaitFor(mu_, options_.detector_period)) continue;
+    if (owner_->dev()->Empty()) continue;
+    int needed = options_.rollback == RollbackScheme::kEager
+                     ? options_.eager_calm_periods
+                     : options_.lazy_calm_periods;
+    if (owner_->detector()->stall_detected()) continue;
+    if (owner_->detector()->calm_streak() < needed) continue;
+    // Release the scheduling lock across the (long) rollback itself.
+    mu_.Unlock();
+    Execute(true);
+    mu_.Lock();
+  }
+}
+
+Status RollbackManager::Execute(bool trust_metadata) {
+  if (in_progress_) return Status::Busy("rollback already running");
+  devlsm::DevLsm* dev = owner_->dev();
+  if (dev->Empty()) return Status::OK();
+  in_progress_ = true;
+  Nanos start = owner_->sim_env()->Now();
+  // Snapshot bound: only pairs written up to here are scanned and reset;
+  // anything redirected during the drain survives for the next rollback.
+  uint64_t snapshot_seq = dev->LastSeq();
+
+  MetadataManager* md = owner_->metadata();
+  lsm::DB* main = owner_->main();
+  uint64_t merged = 0;
+  Status ingest_error;
+
+  // The bulk scan streams in key order, so batches are already sorted —
+  // they bulk-load into Main-LSM as L0 SSTs at their original sequence
+  // numbers, skipping the WAL/memtable double-write (DB::IngestSortedBatch).
+  std::vector<lsm::IngestEntry> batch;
+  uint64_t batch_bytes = 0;
+  auto flush_batch = [&]() {
+    if (batch.empty() || !ingest_error.ok()) return;
+    Status s = main->IngestSortedBatch(batch);
+    if (!s.ok()) {
+      ingest_error = s;
+      return;
+    }
+    for (const auto& e : batch) {
+      // Clear each record unless a newer redirected version appeared
+      // during the drain.
+      uint64_t md_seq = md->GetSeq(e.key);
+      if (md_seq != 0 && md_seq <= e.seq) md->Delete(e.key);
+      merged++;
+    }
+    batch.clear();
+    batch_bytes = 0;
+  };
+
+  Status status = dev->BulkScan([&](const devlsm::DevLsm::ScanEntry& e) {
+    if (trust_metadata) {
+      // Skip pairs superseded either by a newer Main-LSM write (their
+      // metadata record was deleted on the 3-1 path) or by a re-redirection
+      // during this very rollback (record seq is newer than the scanned
+      // pair's).
+      uint64_t md_seq = md->GetSeq(e.key);
+      if (md_seq == 0 || md_seq > e.host_seq) return;
+    } else {
+      // Recovery after metadata loss (paper §VI-D): the hash table is gone,
+      // so order the device pair against Main-LSM by sequence number.
+      Value unused;
+      lsm::SequenceNumber main_seq = 0;
+      Status gs = main->GetWithSequence({}, e.key, &unused, &main_seq);
+      if (!gs.ok() && !gs.IsNotFound()) return;
+      if (main_seq >= e.host_seq) return;  // host already has a newer version
+    }
+    batch.push_back(
+        {e.key, e.value, e.tombstone, lsm::SequenceNumber{e.host_seq}});
+    batch_bytes += e.key.size() + 8 + e.value.logical_size();
+    if (batch_bytes >= (64ull << 20)) flush_batch();
+  });
+  flush_batch();
+  if (status.ok()) status = ingest_error;
+  if (status.ok()) status = dev->ResetUpTo(snapshot_seq);
+  KvaccelStats& ks = const_cast<KvaccelStats&>(owner_->kv_stats());
+  ks.rollbacks++;
+  ks.rollback_entries += merged;
+  ks.rollback_total_ns += owner_->sim_env()->Now() - start;
+  in_progress_ = false;
+  return status;
+}
+
+}  // namespace kvaccel::core

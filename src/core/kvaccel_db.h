@@ -1,0 +1,119 @@
+// KvaccelDB: the KVACCEL system facade (paper Fig. 7b) — RocksDB-equivalent
+// Main-LSM on the block interface + Dev-LSM write buffer on the key-value
+// interface of the same hybrid SSD, glued by the four software modules:
+//
+//   Detector          polls Main-LSM stall signals every 0.1 s
+//   Controller        per-op path decision (this class's Put/Get/Delete)
+//   Metadata Manager  hash table: which keys' newest version is device-side
+//   Rollback Manager  drains Dev-LSM back into Main-LSM when calm
+//
+// Unlike the baselines, KVACCEL's Main-LSM runs with the slowdown mechanism
+// OFF (paper §VI-B: "KVACCEL does not employ any slowdown mechanisms"):
+// imminent stalls redirect writes to the device instead of throttling them.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/detector.h"
+#include "core/metadata_manager.h"
+#include "devlsm/dev_lsm.h"
+#include "lsm/db.h"
+#include "lsm/db_impl.h"
+
+namespace kvaccel::core {
+
+class RollbackManager;
+
+class KvaccelDB {
+ public:
+  static Status Open(const lsm::DbOptions& main_options,
+                     const KvaccelOptions& kv_options, const lsm::DbEnv& env,
+                     std::unique_ptr<KvaccelDB>* db);
+  ~KvaccelDB();
+
+  // ---- Point operations (Controller write/read paths, paper §V-C) ----
+  Status Put(const lsm::WriteOptions& wopts, const Slice& key,
+             const Value& value);
+  Status Delete(const lsm::WriteOptions& wopts, const Slice& key);
+  Status Get(const lsm::ReadOptions& ropts, const Slice& key, Value* value);
+
+  // ---- Range queries (paper §V-F, Fig. 10) ----
+  std::unique_ptr<lsm::Iterator> NewIterator(const lsm::ReadOptions& ropts);
+
+  // ---- Maintenance ----
+  Status FlushAll() { return main_->FlushAll(); }
+  Status WaitForCompactionIdle() { return main_->WaitForCompactionIdle(); }
+  // Forces a full rollback immediately (lazy-after-workload runs, tests).
+  Status RollbackNow();
+  // §VI-D recovery: lose the volatile metadata table, then restore
+  // consistency by rolling every Dev-LSM pair back into Main-LSM.
+  // Reports the recovery duration.
+  Status CrashMetadataAndRecover(Nanos* recovery_duration);
+  Status Close();
+
+  // ---- Introspection ----
+  sim::SimEnv* sim_env() { return env_; }
+  lsm::DB* main() { return main_.get(); }
+  devlsm::DevLsm* dev() { return dev_.get(); }
+  Detector* detector() { return detector_.get(); }
+  MetadataManager* metadata() { return md_.get(); }
+  const KvaccelStats& kv_stats() const { return kv_stats_; }
+  // Unified foreground-op stats (both paths) for the figures.
+  const lsm::DbStats& stats() const { return agg_stats_; }
+  lsm::DbStats& mutable_stats() { return agg_stats_; }
+  bool rollback_in_progress() const;
+
+ private:
+  KvaccelDB(const KvaccelOptions& kv_options, const lsm::DbEnv& env);
+
+  bool ShouldRedirect() const;
+
+  KvaccelOptions options_;
+  lsm::DbEnv denv_;
+  sim::SimEnv* env_;
+
+  std::unique_ptr<lsm::DB> main_;
+  std::unique_ptr<devlsm::DevLsm> dev_;
+  std::unique_ptr<MetadataManager> md_;
+  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<RollbackManager> rollback_;
+
+  KvaccelStats kv_stats_;
+  lsm::DbStats agg_stats_;
+  bool closed_ = false;
+};
+
+// Rollback Manager (paper §V-E): returns cached Dev-LSM pairs to Main-LSM
+// when the Detector reports no write stall, using the iterator-based bulky
+// range scan, then resets the Dev-LSM.
+class RollbackManager {
+ public:
+  RollbackManager(KvaccelDB* owner, const KvaccelOptions& options)
+      : owner_(owner), options_(options) {}
+
+  void Start(sim::SimEnv* env);
+  void Stop();
+
+  // Drains the Dev-LSM into Main-LSM. When `trust_metadata` is true (normal
+  // rollback), entries whose metadata record was superseded by a newer
+  // Main-LSM write are skipped; recovery after metadata loss replays all.
+  Status Execute(bool trust_metadata);
+
+  bool in_progress() const { return in_progress_; }
+
+ private:
+  void Loop();
+
+  KvaccelDB* owner_;
+  KvaccelOptions options_;
+  sim::SimEnv* env_ = nullptr;
+
+  sim::SimMutex mu_;
+  sim::SimCondVar cv_;
+  bool stop_ = false;
+  bool in_progress_ = false;
+  sim::SimEnv::Thread* thread_ = nullptr;
+};
+
+}  // namespace kvaccel::core

@@ -1,0 +1,39 @@
+// Minimal --key=value flag parsing shared by the bench binaries.
+//   --seconds=N   virtual workload duration (default: per-bench)
+//   --scale=F     size scale; 1.0 = paper scale (default 0.125)
+//   --paper       shorthand for --scale=1.0 --seconds=600
+//   --threads=N   restrict to one compaction-thread count (default: sweep)
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace kvaccel::harness {
+
+struct BenchFlags {
+  double scale = 0.125;
+  double seconds = 60;
+  int threads = 0;  // 0 = bench default / sweep
+
+  static BenchFlags Parse(int argc, char** argv, double default_seconds) {
+    BenchFlags f;
+    f.seconds = default_seconds;
+    for (int i = 1; i < argc; i++) {
+      const char* arg = argv[i];
+      if (strncmp(arg, "--scale=", 8) == 0) {
+        f.scale = atof(arg + 8);
+      } else if (strncmp(arg, "--seconds=", 10) == 0) {
+        f.seconds = atof(arg + 10);
+      } else if (strncmp(arg, "--threads=", 10) == 0) {
+        f.threads = atoi(arg + 10);
+      } else if (strcmp(arg, "--paper") == 0) {
+        f.scale = 1.0;
+        f.seconds = 600;
+      }
+    }
+    return f;
+  }
+};
+
+}  // namespace kvaccel::harness

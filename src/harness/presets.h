@@ -1,0 +1,90 @@
+// Experiment presets mirroring the paper's setup tables:
+//   Table I  — Cosmos+ OpenSSD (630 MB/s NAND, PCIe Gen2 x8, 1 ARM core)
+//   Table II — host with 8 usable cores
+//   Table III— LSM configurations (MT 128 MB; 1/2/4 compaction threads)
+//   Table IV — workloads A-D (4 B keys, 4 KB values)
+//
+// `scale` shrinks all byte thresholds and the key space together so the full
+// suite runs in minutes while preserving stall periodicity and every relative
+// result. scale=1.0 reproduces paper-scale parameters.
+#pragma once
+
+#include "adoc/adoc_tuner.h"
+#include "core/config.h"
+#include "lsm/options.h"
+#include "ssd/config.h"
+
+namespace kvaccel::harness {
+
+inline ssd::SsdConfig PaperSsdConfig(double scale = 1.0) {
+  ssd::SsdConfig c;
+  // 1 TB device in the paper; the experiments touch tens of GB. Size the
+  // simulated capacity generously above the touched working set (scaled) so
+  // capacity never interferes with the stall dynamics under test.
+  c.capacity_bytes = static_cast<uint64_t>(256.0 * scale * (1ull << 30));
+  if (c.capacity_bytes < (1ull << 30)) c.capacity_bytes = 1ull << 30;
+  c.channels = 4;
+  c.ways_per_channel = 8;
+  c.nand_bytes_per_sec = 630.0 * 1e6;   // measured device peak
+  c.pcie_bytes_per_sec = 4.0 * 1e9;     // PCIe Gen2 x8 theoretical
+  c.firmware_cores = 1;                 // single Cortex-A9 for Dev-LSM
+  c.firmware_speed = 0.25;
+  c.block_region_fraction = 0.75;
+  return c;
+}
+
+inline lsm::DbOptions PaperDbOptions(int compaction_threads,
+                                     bool enable_slowdown,
+                                     double scale = 1.0) {
+  lsm::DbOptions o;
+  o.write_buffer_size =
+      static_cast<uint64_t>(128.0 * scale * (1ull << 20));  // Table III
+  o.max_write_buffer_number = 2;
+  o.l0_compaction_trigger = 4;
+  // RocksDB default trigger family [9].
+  o.l0_slowdown_writes_trigger = 8;
+  o.l0_stop_writes_trigger = 12;
+  o.max_bytes_for_level_base =
+      static_cast<uint64_t>(256.0 * scale * (1ull << 20));
+  o.target_file_size = static_cast<uint64_t>(64.0 * scale * (1ull << 20));
+  o.soft_pending_compaction_bytes_limit =
+      static_cast<uint64_t>(2.0 * scale * (1ull << 30));
+  o.hard_pending_compaction_bytes_limit =
+      static_cast<uint64_t>(8.0 * scale * (1ull << 30));
+  o.compaction_threads = compaction_threads;
+  // Merge phases span whole compactions, scaled with everything else.
+  o.compaction_io_chunk = static_cast<uint64_t>(1024.0 * scale * (1 << 20));
+  o.enable_slowdown = enable_slowdown;
+  o.delayed_write_rate = 8.0 * 1e6;  // ~2 Kops/s of 4 KB values (Fig. 2)
+  o.block_cache_capacity = static_cast<uint64_t>(64.0 * scale * (1ull << 20));
+  // Client-side per-op CPU: calibrated to db_bench's observed ~150-200 Kops/s
+  // burst rate with one write thread.
+  o.put_cpu_ns = 5000;
+  o.get_cpu_ns = 3000;
+  return o;
+}
+
+inline core::KvaccelOptions PaperKvaccelOptions(
+    core::RollbackScheme rollback, double scale = 1.0) {
+  core::KvaccelOptions o;
+  o.detector_period = FromMillis(100);  // §VI-A: refresh every 0.1 s
+  o.rollback = rollback;
+  o.dev.memtable_bytes = static_cast<uint64_t>(32.0 * scale * (1ull << 20));
+  o.dev.dma_chunk = 512 << 10;  // §V-E
+  o.dev.compaction_enabled = true;
+  return o;
+}
+
+inline adoc::AdocOptions PaperAdocOptions(int max_threads,
+                                          double scale = 1.0) {
+  adoc::AdocOptions o;
+  o.tuning_period = FromMillis(100);
+  o.min_compaction_threads = 1;
+  o.max_compaction_threads = max_threads;
+  // Batch-size range: 1x .. 4x of the (scaled) baseline memtable.
+  o.min_write_buffer = static_cast<uint64_t>(128.0 * scale * (1ull << 20));
+  o.max_write_buffer = o.min_write_buffer * 2;
+  return o;
+}
+
+}  // namespace kvaccel::harness

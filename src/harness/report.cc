@@ -1,0 +1,91 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace kvaccel::harness {
+
+namespace {
+int g_shape_failures = 0;
+}
+
+void PrintBanner(const std::string& title) {
+  printf("\n================================================================\n");
+  printf("%s\n", title.c_str());
+  printf("================================================================\n");
+}
+
+void PrintSeries(const std::string& label, const std::vector<double>& values,
+                 const std::string& unit) {
+  if (values.empty()) {
+    printf("%-24s (empty)\n", label.c_str());
+    return;
+  }
+  double max = *std::max_element(values.begin(), values.end());
+  static const char* kBars[] = {" ", ".", ":", "-", "=", "+", "*", "#", "@"};
+  std::string chart;
+  for (double v : values) {
+    int level = max <= 0 ? 0
+                         : static_cast<int>(std::round(v / max * 8.0));
+    level = std::clamp(level, 0, 8);
+    chart += kBars[level];
+  }
+  printf("%-24s max=%9.1f %s |%s|\n", label.c_str(), max, unit.c_str(),
+         chart.c_str());
+  printf("  csv,%s", label.c_str());
+  for (double v : values) printf(",%.1f", v);
+  printf("\n");
+}
+
+void PrintStallRegions(const RunResult& r) {
+  printf("  stall regions (s):");
+  if (r.stall_regions_sec.empty()) printf(" none");
+  for (const auto& [a, b] : r.stall_regions_sec) {
+    printf(" [%.1f,%.1f)", a, b);
+  }
+  printf("  total=%.1fs events=%llu\n", r.stalled_seconds,
+         static_cast<unsigned long long>(r.stall_events));
+}
+
+void PrintResultHeader() {
+  printf("%-14s %9s %9s %9s %9s %9s %7s %7s %10s %10s\n", "system",
+         "write", "read", "p99(us)", "p99.9", "MB/s", "cpu%", "eff",
+         "slowdowns", "stalls");
+  printf("%-14s %9s %9s %9s %9s %9s %7s %7s %10s %10s\n", "", "Kops/s",
+         "Kops/s", "", "(us)", "", "", "", "", "");
+}
+
+void PrintResultRow(const RunResult& r) {
+  printf("%-14s %9.1f %9.1f %9.1f %9.1f %9.1f %7.1f %7.2f %10llu %10llu\n",
+         r.name.c_str(), r.write_kops, r.read_kops, r.put_p99_us,
+         r.put_p999_us, r.write_mbps, r.cpu_pct, r.efficiency,
+         static_cast<unsigned long long>(r.slowdown_events),
+         static_cast<unsigned long long>(r.stall_events));
+}
+
+void PrintCdf(const std::string& label, std::vector<double> samples,
+              const std::vector<double>& probes) {
+  std::sort(samples.begin(), samples.end());
+  printf("%s (n=%zu):\n", label.c_str(), samples.size());
+  for (double p : probes) {
+    size_t below = static_cast<size_t>(
+        std::upper_bound(samples.begin(), samples.end(), p) -
+        samples.begin());
+    double frac =
+        samples.empty() ? 0.0
+                        : static_cast<double>(below) /
+                              static_cast<double>(samples.size());
+    printf("  P(util <= %4.0f%%) = %5.1f%%\n", p * 100.0, frac * 100.0);
+  }
+}
+
+bool CheckShape(bool ok, const std::string& description) {
+  printf("  [%s] %s\n", ok ? "SHAPE PASS" : "SHAPE FAIL", description.c_str());
+  if (!ok) g_shape_failures++;
+  return ok;
+}
+
+int ShapeFailures() { return g_shape_failures; }
+
+}  // namespace kvaccel::harness

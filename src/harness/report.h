@@ -1,0 +1,37 @@
+// Console reporting helpers shared by the bench binaries: aligned tables,
+// ASCII time-series plots, CDFs and shape checks (every bench prints the
+// paper's rows/series plus PASS/FAIL against the expected *shape*).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/workload.h"
+
+namespace kvaccel::harness {
+
+// "== Figure 11: ... ==" style banner.
+void PrintBanner(const std::string& title);
+
+// Compact ASCII chart of a per-second series (one row of braille-ish bars),
+// followed by a CSV line for exact values.
+void PrintSeries(const std::string& label, const std::vector<double>& values,
+                 const std::string& unit);
+
+// Prints stall regions as [start, end) second pairs.
+void PrintStallRegions(const RunResult& r);
+
+// Standard per-run summary row.
+void PrintResultRow(const RunResult& r);
+void PrintResultHeader();
+
+// Empirical CDF printout: P(value <= x) at the given probe points.
+void PrintCdf(const std::string& label, std::vector<double> samples,
+              const std::vector<double>& probes);
+
+// Shape assertion: prints "SHAPE PASS"/"SHAPE FAIL" and tracks a global
+// failure flag returned by ShapeFailures().
+bool CheckShape(bool ok, const std::string& description);
+int ShapeFailures();
+
+}  // namespace kvaccel::harness

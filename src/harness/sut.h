@@ -1,0 +1,137 @@
+// SystemUnderTest: a uniform facade over the three LSM-KVS the paper
+// compares — stock RocksDB-equivalent, ADOC (RocksDB + tuner), and KVACCEL —
+// so one workload driver exercises them all.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "adoc/adoc_tuner.h"
+#include "core/kvaccel_db.h"
+#include "harness/presets.h"
+#include "lsm/db.h"
+
+namespace kvaccel::harness {
+
+enum class SystemKind { kRocksDB, kAdoc, kKvaccel };
+
+inline const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kRocksDB: return "RocksDB";
+    case SystemKind::kAdoc: return "ADOC";
+    case SystemKind::kKvaccel: return "KVAccel";
+  }
+  return "?";
+}
+
+struct SutConfig {
+  SystemKind kind = SystemKind::kRocksDB;
+  int compaction_threads = 1;
+  bool enable_slowdown = true;  // RocksDB/ADOC variants (Figs 2-3)
+  core::RollbackScheme rollback = core::RollbackScheme::kLazy;
+  double scale = 1.0;
+  // Ablation hook: adjust the DbOptions after the preset is built.
+  std::function<void(lsm::DbOptions&)> db_tweak;
+};
+
+class SystemUnderTest {
+ public:
+  static Status Open(const SutConfig& config, const lsm::DbEnv& env,
+                     std::unique_ptr<SystemUnderTest>* sut) {
+    auto s = std::unique_ptr<SystemUnderTest>(new SystemUnderTest());
+    s->config_ = config;
+    lsm::DbOptions db_opts = PaperDbOptions(
+        config.compaction_threads, config.enable_slowdown, config.scale);
+    if (config.db_tweak) config.db_tweak(db_opts);
+    Status st;
+    switch (config.kind) {
+      case SystemKind::kRocksDB:
+        st = lsm::DB::Open(db_opts, env, &s->db_);
+        break;
+      case SystemKind::kAdoc: {
+        // ADOC(n): starts at 1 thread, may scale up to n (Table III budget).
+        lsm::DbOptions adoc_opts = db_opts;
+        adoc_opts.compaction_threads = 1;
+        st = lsm::DB::Open(adoc_opts, env, &s->db_);
+        if (st.ok()) {
+          s->tuner_ = std::make_unique<adoc::AdocTuner>(
+              s->db_.get(), env.env, adoc_opts,
+              PaperAdocOptions(config.compaction_threads, config.scale));
+          s->tuner_->Start();
+        }
+        break;
+      }
+      case SystemKind::kKvaccel: {
+        core::KvaccelOptions kv_opts =
+            PaperKvaccelOptions(config.rollback, config.scale);
+        // Paper §VI-C: for the write-only workload, rollback and Dev-LSM
+        // compaction are both disabled (lazy rollback after the workload).
+        if (config.rollback == core::RollbackScheme::kDisabled) {
+          kv_opts.dev.compaction_enabled = false;
+        }
+        st = core::KvaccelDB::Open(db_opts, kv_opts, env, &s->kvaccel_);
+        break;
+      }
+    }
+    if (!st.ok()) return st;
+    *sut = std::move(s);
+    return Status::OK();
+  }
+
+  Status Put(const Slice& key, const Value& value) {
+    return kvaccel_ ? kvaccel_->Put({}, key, value)
+                    : db_->Put({}, key, value);
+  }
+  Status Delete(const Slice& key) {
+    return kvaccel_ ? kvaccel_->Delete({}, key) : db_->Delete({}, key);
+  }
+  Status Get(const Slice& key, Value* value) {
+    return kvaccel_ ? kvaccel_->Get({}, key, value)
+                    : db_->Get({}, key, value);
+  }
+  std::unique_ptr<lsm::Iterator> NewIterator(
+      const lsm::ReadOptions& ropts = {}) {
+    return kvaccel_ ? kvaccel_->NewIterator(ropts) : db_->NewIterator(ropts);
+  }
+
+  Status FlushAll() {
+    return kvaccel_ ? kvaccel_->FlushAll() : db_->FlushAll();
+  }
+  Status WaitForCompactionIdle() {
+    return kvaccel_ ? kvaccel_->WaitForCompactionIdle()
+                    : db_->WaitForCompactionIdle();
+  }
+  Status Close() {
+    if (tuner_ != nullptr) tuner_->Stop();
+    return kvaccel_ ? kvaccel_->Close() : db_->Close();
+  }
+
+  // Foreground-op stats (unified view for KVACCEL; DB stats otherwise).
+  const lsm::DbStats& stats() const {
+    return kvaccel_ ? kvaccel_->stats() : db_->stats();
+  }
+  // The Main-LSM's internal stats (stall/slowdown regions, background work).
+  const lsm::DbStats& main_stats() const {
+    return kvaccel_ ? kvaccel_->main()->stats() : db_->stats();
+  }
+
+  SystemKind kind() const { return config_.kind; }
+  std::string name() const {
+    return std::string(SystemName(config_.kind)) + "(" +
+           std::to_string(config_.compaction_threads) + ")";
+  }
+  lsm::DB* db() { return kvaccel_ ? kvaccel_->main() : db_.get(); }
+  core::KvaccelDB* kvaccel() { return kvaccel_.get(); }
+  adoc::AdocTuner* tuner() { return tuner_.get(); }
+
+ private:
+  SystemUnderTest() = default;
+
+  SutConfig config_;
+  std::unique_ptr<lsm::DB> db_;
+  std::unique_ptr<core::KvaccelDB> kvaccel_;
+  std::unique_ptr<adoc::AdocTuner> tuner_;
+};
+
+}  // namespace kvaccel::harness

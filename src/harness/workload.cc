@@ -1,0 +1,269 @@
+#include "harness/workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/random.h"
+#include "fs/simfs.h"
+#include "sim/cpu_pool.h"
+#include "sim/sim_env.h"
+#include "ssd/hybrid_ssd.h"
+
+namespace kvaccel::harness {
+
+std::string MakeKey(uint64_t v, size_t key_size) {
+  std::string key(key_size, '\0');
+  for (size_t i = 0; i < key_size; i++) {
+    key[key_size - 1 - i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  return key;
+}
+
+namespace {
+
+// Reservoir of recently written keys so read threads hit live data.
+class KeyReservoir {
+ public:
+  explicit KeyReservoir(size_t capacity) : capacity_(capacity) {}
+
+  // Algorithm R: uniform sample over the whole write history, so reads hit
+  // keys at every depth of the tree (as db_bench's uniform key draw does).
+  void Offer(uint64_t key, Random64* rng) {
+    seen_++;
+    if (keys_.size() < capacity_) {
+      keys_.push_back(key);
+    } else if (rng->Uniform(seen_) < capacity_) {
+      keys_[rng->Uniform(keys_.size())] = key;
+    }
+  }
+
+  bool Sample(Random64* rng, uint64_t* key) const {
+    if (keys_.empty()) return false;
+    *key = keys_[rng->Uniform(keys_.size())];
+    return true;
+  }
+
+  bool empty() const { return keys_.empty(); }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<uint64_t> keys_;
+};
+
+struct Shared {
+  SystemUnderTest* sut = nullptr;
+  sim::SimEnv* env = nullptr;
+  Nanos window_start = 0;
+  Nanos window_end = 0;
+  uint64_t writes_done = 0;
+  uint64_t reads_done = 0;
+  uint64_t scan_ops_done = 0;
+  KeyReservoir reservoir{1 << 16};
+  bool stop = false;
+};
+
+void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
+  Random64 rng(thread_seed);
+  uint64_t value_seed = thread_seed << 32;
+  while (!sh->stop && sh->env->Now() < sh->window_end) {
+    uint64_t k = rng.Uniform(wl.key_space);
+    Status s = sh->sut->Put(MakeKey(k, wl.key_size),
+                            Value::Synthetic(value_seed++, wl.value_size));
+    if (!s.ok()) break;  // e.g. file system full: end of useful run
+    sh->writes_done++;
+    sh->reservoir.Offer(k, &rng);
+  }
+}
+
+void ReaderLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
+  Random64 rng(thread_seed);
+  while (!sh->stop && sh->env->Now() < sh->window_end) {
+    if (sh->reservoir.empty()) {
+      sh->env->SleepFor(FromMicros(100));
+      continue;
+    }
+    uint64_t k = 0;
+    sh->reservoir.Sample(&rng, &k);
+    Value v;
+    (void)sh->sut->Get(MakeKey(k, wl.key_size), &v);
+    sh->reads_done++;
+  }
+}
+
+void SeekLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
+  Random64 rng(thread_seed);
+  // Long range scans benefit from iterator readahead (RocksDB ramps
+  // auto-readahead up to 256 KB on sequential access).
+  lsm::ReadOptions scan_ropts;
+  scan_ropts.readahead_blocks = 16;
+  for (uint64_t i = 0; i < wl.seek_ops && !sh->stop; i++) {
+    uint64_t k = rng.Uniform(wl.key_space);
+    auto it = sh->sut->NewIterator(scan_ropts);
+    it->Seek(MakeKey(k, wl.key_size));
+    sh->scan_ops_done++;  // the Seek
+    for (int n = 0; n < wl.nexts_per_seek && it->Valid(); n++) {
+      it->Next();
+      sh->scan_ops_done++;
+    }
+  }
+}
+
+}  // namespace
+
+RunResult RunBenchmark(const BenchConfig& config) {
+  sim::SimEnv env;
+  ssd::SsdConfig ssd_config = PaperSsdConfig(config.scale);
+  if (config.nand_mbps > 0) ssd_config.nand_bytes_per_sec = config.nand_mbps * 1e6;
+  ssd::HybridSsd ssd(&env, ssd_config);
+  fs::SimFs fs(&ssd, 0);
+  sim::CpuPool host_cpu(&env, "host", 8);  // Table II: usage limited to 8
+  lsm::DbEnv denv{&env, &ssd, &fs, &host_cpu};
+
+  RunResult result;
+  Shared sh;
+  sh.env = &env;
+
+  env.Spawn("bench-main", [&] {
+    std::unique_ptr<SystemUnderTest> sut;
+    Status s = SystemUnderTest::Open(config.sut, denv, &sut);
+    if (!s.ok()) {
+      fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    sh.sut = sut.get();
+    result.name = sut->name();
+
+    const WorkloadConfig& wl = config.workload;
+
+    // Workload D: bulk preload, then settle compaction before measuring.
+    if (wl.type == WorkloadConfig::Type::kSeekRandom) {
+      uint64_t preload_bytes = static_cast<uint64_t>(
+          static_cast<double>(wl.preload_bytes) * config.scale);
+      uint64_t ops = preload_bytes / wl.value_size;
+      Random64 rng(wl.seed);
+      uint64_t value_seed = 1;
+      for (uint64_t i = 0; i < ops; i++) {
+        uint64_t k = rng.Uniform(wl.key_space);
+        Status ps = sut->Put(MakeKey(k, wl.key_size),
+                             Value::Synthetic(value_seed++, wl.value_size));
+        if (!ps.ok()) break;
+      }
+      sut->FlushAll();
+      sut->WaitForCompactionIdle();
+    }
+
+    sh.window_start = env.Now();
+    sh.window_end = sh.window_start + wl.duration;
+
+    std::vector<sim::SimEnv::Thread*> workers;
+    switch (wl.type) {
+      case WorkloadConfig::Type::kFillRandom:
+        workers.push_back(env.Spawn(
+            "writer", [&] { WriterLoop(wl, &sh, wl.seed + 1); }));
+        break;
+      case WorkloadConfig::Type::kReadWhileWriting:
+        workers.push_back(env.Spawn(
+            "writer", [&] { WriterLoop(wl, &sh, wl.seed + 1); }));
+        for (int t = 0; t < wl.read_threads; t++) {
+          workers.push_back(env.Spawn(
+              "reader" + std::to_string(t),
+              [&, t] { ReaderLoop(wl, &sh, wl.seed + 2 + t); }));
+        }
+        break;
+      case WorkloadConfig::Type::kSeekRandom:
+        sh.window_end = sh.window_start + FromSecs(100000);  // op-bounded
+        workers.push_back(env.Spawn(
+            "seeker", [&] { SeekLoop(wl, &sh, wl.seed + 1); }));
+        break;
+    }
+    for (auto* w : workers) env.Join(w);
+    Nanos window_end = std::min(env.Now(), sh.window_end);
+    if (wl.type == WorkloadConfig::Type::kSeekRandom) window_end = env.Now();
+
+    // ---- Harvest ----
+    const Nanos t0 = sh.window_start;
+    const Nanos t1 = std::max(window_end, t0 + 1);
+    result.seconds = ToSecs(t1 - t0);
+
+    const lsm::DbStats& fg = sut->stats();
+    const lsm::DbStats& ms = sut->main_stats();
+    result.write_kops =
+        static_cast<double>(sh.writes_done) / result.seconds / 1e3;
+    result.read_kops =
+        static_cast<double>(sh.reads_done) / result.seconds / 1e3;
+    result.scan_kops =
+        static_cast<double>(sh.scan_ops_done) / result.seconds / 1e3;
+    result.write_mbps = static_cast<double>(sh.writes_done) *
+                        (wl.value_size + wl.key_size + 8) / result.seconds /
+                        1e6;
+    result.put_avg_us = fg.put_latency.Average() / 1e3;
+    result.put_p99_us = fg.put_latency.Percentile(99) / 1e3;
+    result.put_p999_us = fg.put_latency.Percentile(99.9) / 1e3;
+    result.get_p99_us = fg.get_latency.Percentile(99) / 1e3;
+    result.cpu_pct = host_cpu.UtilizationBetween(t0, t1) * 100.0;
+    if (result.cpu_pct > 0) {
+      result.efficiency = result.write_mbps / result.cpu_pct;
+    }
+    result.stall_events = ms.stall_events;
+    result.slowdown_events = ms.slowdown_events;
+    result.slowdown_periods = ms.slowdown_regions.Count() +
+                              (ms.slowdown_regions.open() ? 1 : 0);
+
+    size_t first_sec = static_cast<size_t>(t0 / kNanosPerSec);
+    size_t last_sec = static_cast<size_t>((t1 - 1) / kNanosPerSec);
+    for (size_t sec = first_sec; sec <= last_sec; sec++) {
+      result.per_sec_write_kops.push_back(fg.writes_completed.Bucket(sec) /
+                                          1e3);
+      result.per_sec_read_kops.push_back(fg.reads_completed.Bucket(sec) /
+                                         1e3);
+      result.per_sec_pcie_mbps.push_back(
+          ssd.pcie().traffic().Bucket(sec) / 1e6);
+    }
+
+    // Stall regions and derived PCIe signals (Figs 4, 5, 14).
+    sim::IntervalRecorder regions = ms.stall_regions;  // copy
+    regions.CloseAt(t1);
+    const double nand_bps = ssd.nand().total_bytes_per_sec();
+    for (const auto& iv : regions.intervals()) {
+      if (iv.end <= t0 || iv.start >= t1) continue;
+      Nanos a = std::max(iv.start, t0);
+      Nanos b = std::min(iv.end, t1);
+      result.stall_regions_sec.emplace_back(ToSecs(a - t0), ToSecs(b - t0));
+      result.stalled_seconds += ToSecs(b - a);
+    }
+    // Sample PCIe utilisation during stalls at fine granularity (125 ms
+    // buckets — the scale-adjusted equivalent of the paper's 1 s Intel PCM
+    // sampling; see DESIGN.md §3).
+    const sim::TimeSeries& fine = ssd.pcie().traffic_fine();
+    const Nanos fine_width = fine.bucket_width();
+    const double fine_capacity =
+        nand_bps * (static_cast<double>(fine_width) / kNanosPerSec);
+    size_t first_fine = static_cast<size_t>(t0 / fine_width);
+    size_t last_fine = static_cast<size_t>((t1 - 1) / fine_width);
+    for (size_t b = first_fine; b <= last_fine; b++) {
+      Nanos mid = static_cast<Nanos>(b) * fine_width + fine_width / 2;
+      if (!regions.Contains(mid)) continue;
+      double bytes = fine.Bucket(b);
+      double util = std::min(1.0, bytes / fine_capacity);
+      result.stall_pcie_util.push_back(util);
+      if (util < 0.002) {
+        result.zero_traffic_stall_seconds +=
+            static_cast<double>(fine_width) / kNanosPerSec;
+      }
+    }
+
+    if (sut->kvaccel() != nullptr) {
+      const core::KvaccelStats& ks = sut->kvaccel()->kv_stats();
+      result.redirected_writes = ks.redirected_writes;
+      result.rollbacks = ks.rollbacks;
+      result.detector_checks = ks.detector_checks;
+    }
+    sut->Close();
+  });
+
+  env.Run();
+  return result;
+}
+
+}  // namespace kvaccel::harness

@@ -1,0 +1,92 @@
+// db_bench-equivalent workload driver (Table IV):
+//   A: fillrandom          — 1 unbounded write thread, 4 B keys, 4 KB values
+//   B: readwhilewriting    — 1 write + 1 read thread, 9:1 write/read
+//   C: readwhilewriting    — 8:2
+//   D: seekrandom          — Seek + 1024 Next after an initial bulk fill
+//
+// RunBenchmark assembles a fresh simulation world (SSD, file system, 8-core
+// host) per configuration, drives the workload for a virtual-time window and
+// extracts every signal the paper's figures need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "harness/sut.h"
+
+namespace kvaccel::harness {
+
+struct WorkloadConfig {
+  enum class Type { kFillRandom, kReadWhileWriting, kSeekRandom };
+
+  Type type = Type::kFillRandom;
+  Nanos duration = FromSecs(60);
+  uint64_t key_space = 1ull << 31;  // 4-byte key space (Table IV)
+  size_t key_size = 4;
+  uint32_t value_size = 4096;
+  // Reader threads run unthrottled (db_bench readwhilewriting): workload B
+  // approximates the paper's 9:1 mix with one reader, C's 8:2 with two.
+  int read_threads = 1;
+  // seekrandom (workload D): bulk-filled bytes, then seek_ops range queries.
+  uint64_t preload_bytes = 20ull << 30;  // paper: 20 GB (scaled by runner)
+  uint64_t seek_ops = 60000;
+  int nexts_per_seek = 1024;
+  uint64_t seed = 42;
+};
+
+struct BenchConfig {
+  SutConfig sut;
+  WorkloadConfig workload;
+  // Global scale knob: shrinks LSM thresholds, device capacity and preload
+  // together (DESIGN.md §3). 1.0 = paper scale.
+  double scale = 0.125;
+  // Ablation hook: override the device bandwidth (0 = preset 630 MB/s).
+  double nand_mbps = 0;
+};
+
+struct RunResult {
+  std::string name;
+  double seconds = 0;  // measurement window length
+
+  double write_kops = 0;
+  double read_kops = 0;
+  double scan_kops = 0;  // seeks+nexts per second (Table V)
+  double write_mbps = 0;
+
+  double put_avg_us = 0, put_p99_us = 0, put_p999_us = 0;
+  double get_p99_us = 0;
+
+  double cpu_pct = 0;      // mean host CPU utilisation over the window
+  double efficiency = 0;   // Eq. (1): MB/s / CPU%
+
+  std::vector<double> per_sec_write_kops;
+  std::vector<double> per_sec_read_kops;
+  std::vector<double> per_sec_pcie_mbps;
+  // Stall (writers fully blocked) regions, in window-relative seconds.
+  std::vector<std::pair<double, double>> stall_regions_sec;
+  uint64_t stall_events = 0;
+  // Delayed writes (every write RocksDB paced) and distinct slowdown periods
+  // (what the paper's "258 / 433 instances" count).
+  uint64_t slowdown_events = 0;
+  uint64_t slowdown_periods = 0;
+  double stalled_seconds = 0;
+
+  // Fig. 5: per-second PCIe utilisation (fraction of device bandwidth)
+  // sampled over seconds that intersect a write-stall region.
+  std::vector<double> stall_pcie_util;
+  // Fig. 14: seconds inside stall regions with ~zero PCIe traffic.
+  double zero_traffic_stall_seconds = 0;
+
+  // KVACCEL-specific.
+  uint64_t redirected_writes = 0;
+  uint64_t rollbacks = 0;
+  uint64_t detector_checks = 0;
+};
+
+// Encodes `v` as a fixed-width big-endian key (lexicographic == numeric).
+std::string MakeKey(uint64_t v, size_t key_size);
+
+RunResult RunBenchmark(const BenchConfig& config);
+
+}  // namespace kvaccel::harness

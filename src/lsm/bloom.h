@@ -1,0 +1,30 @@
+// Bloom filter policy (double-hashing variant) protecting SST point lookups,
+// built per table over user-key hashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace kvaccel::lsm {
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(int bits_per_key);
+
+  // Builds the filter bytes for the given key hashes (Hash32 of user keys).
+  void CreateFilter(const std::vector<uint32_t>& key_hashes,
+                    std::string* dst) const;
+
+  bool KeyMayMatch(uint32_t key_hash, const Slice& filter) const;
+
+  static uint32_t HashKey(const Slice& user_key);
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+}  // namespace kvaccel::lsm

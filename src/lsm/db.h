@@ -1,0 +1,114 @@
+// Public API of the host LSM-KVS — the RocksDB stand-in the paper builds on.
+// Open a DB against a DbEnv (simulation clock, hybrid SSD, file system, host
+// CPU pool); use it from simulated threads only.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "fs/simfs.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/stats.h"
+#include "lsm/write_batch.h"
+#include "sim/cpu_pool.h"
+#include "sim/sim_env.h"
+#include "ssd/hybrid_ssd.h"
+
+namespace kvaccel::lsm {
+
+// Bundle of simulated resources a DB instance runs against.
+struct DbEnv {
+  sim::SimEnv* env = nullptr;
+  ssd::HybridSsd* ssd = nullptr;
+  fs::SimFs* fs = nullptr;
+  sim::CpuPool* host_cpu = nullptr;
+};
+
+// Snapshot of the Main-LSM internals the KVACCEL Detector polls (paper §V-C:
+// "the number of SSTs in L0, MT size, and pending compaction size") plus the
+// stall state itself, which baselines and ADOC also consume.
+struct StallSignals {
+  int l0_files = 0;
+  int immutable_memtables = 0;
+  uint64_t active_memtable_bytes = 0;  // logical
+  uint64_t pending_compaction_bytes = 0;
+  bool stalled = false;            // writers fully blocked right now
+  bool slowdown_active = false;    // delayed-write throttling in effect
+  bool stall_imminent = false;     // any trigger at/over its slowdown bound
+  // Trigger configuration, so observers can judge proximity to a stop.
+  int l0_slowdown_trigger = 0;
+  int l0_stop_trigger = 0;
+  int max_write_buffer_number = 0;
+  uint64_t hard_pending_limit = 0;
+};
+
+// One entry of a sorted-batch ingestion (see DB::IngestSortedBatch).
+struct IngestEntry {
+  std::string key;
+  Value value;
+  bool tombstone = false;
+  // Sequence number the entry was originally written with; must come from
+  // this DB's sequence space (AllocateSequence) so global ordering holds.
+  SequenceNumber seq = 0;
+};
+
+class DB {
+ public:
+  // Opens (creating or recovering) the database stored in `env.fs`.
+  static Status Open(const DbOptions& options, const DbEnv& env,
+                     std::unique_ptr<DB>* db);
+
+  virtual ~DB() = default;
+
+  virtual Status Put(const WriteOptions& wopts, const Slice& key,
+                     const Value& value) = 0;
+  virtual Status Delete(const WriteOptions& wopts, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& wopts, WriteBatch* batch) = 0;
+  virtual Status Get(const ReadOptions& ropts, const Slice& key,
+                     Value* value) = 0;
+  // Get that also reports the sequence number of the deciding entry: the
+  // found value's sequence, a tombstone's sequence (status NotFound), or 0
+  // when the key never existed. KVACCEL's crash recovery compares these
+  // against redirected-write sequences (DESIGN.md §5).
+  virtual Status GetWithSequence(const ReadOptions& ropts, const Slice& key,
+                                 Value* value, SequenceNumber* seq) = 0;
+  // Reserves `count` consecutive sequence numbers from this DB's sequence
+  // space and returns the first; used to version writes that bypass the
+  // normal write path (KVACCEL redirection).
+  virtual SequenceNumber AllocateSequence(uint32_t count) = 0;
+  // Forward iterator over live user keys (tombstones/old versions hidden).
+  virtual std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) = 0;
+
+  // Bulk-loads already-sorted, already-versioned entries as one L0 SST,
+  // bypassing WAL and memtable (RocksDB external-file-ingestion style).
+  // KVACCEL's rollback uses this to merge the Dev-LSM scan stream without
+  // paying the write path twice. Keys must be strictly ascending.
+  virtual Status IngestSortedBatch(const std::vector<IngestEntry>& entries) = 0;
+
+  // Blocks until every buffered write reaches an SST.
+  virtual Status FlushAll() = 0;
+  // Blocks until no level wants compaction (test/bootstrap helper).
+  virtual Status WaitForCompactionIdle() = 0;
+  // Stops background work and joins the DB's simulated threads. Must be
+  // called before SimEnv::Run() can return.
+  virtual Status Close() = 0;
+
+  virtual const DbStats& stats() const = 0;
+  virtual DbStats& mutable_stats() = 0;
+  virtual StallSignals GetStallSignals() = 0;
+  virtual uint64_t TotalSstBytes() = 0;
+
+  // --- Dynamic tuning hooks (used by the ADOC baseline, paper §II-B) ---
+  virtual void SetCompactionThreads(int n) = 0;
+  virtual int compaction_threads() const = 0;
+  virtual void SetWriteBufferSize(uint64_t bytes) = 0;
+  virtual uint64_t write_buffer_size() const = 0;
+  virtual void SetSlowdownEnabled(bool enabled) = 0;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,127 @@
+// DbImpl: the concrete LSM engine. One writer path with RocksDB-style
+// slowdown/stop gating, one flush thread, a pool of compaction workers whose
+// active count can change at runtime (the ADOC hook), and snapshot-consistent
+// reads over {memtable, immutables, versioned SSTs}.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/cache.h"
+#include "lsm/db.h"
+#include "lsm/memtable.h"
+#include "lsm/sst.h"
+#include "lsm/version.h"
+#include "lsm/wal.h"
+#include "sim/sim_env.h"
+
+namespace kvaccel::lsm {
+
+class DbImpl : public DB {
+ public:
+  DbImpl(const DbOptions& options, const DbEnv& env);
+  ~DbImpl() override;
+
+  Status OpenImpl();
+
+  Status Put(const WriteOptions& wopts, const Slice& key,
+             const Value& value) override;
+  Status Delete(const WriteOptions& wopts, const Slice& key) override;
+  Status Write(const WriteOptions& wopts, WriteBatch* batch) override;
+  Status Get(const ReadOptions& ropts, const Slice& key,
+             Value* value) override;
+  Status GetWithSequence(const ReadOptions& ropts, const Slice& key,
+                         Value* value, SequenceNumber* seq) override;
+  SequenceNumber AllocateSequence(uint32_t count) override;
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) override;
+
+  Status IngestSortedBatch(const std::vector<IngestEntry>& entries) override;
+  Status FlushAll() override;
+  Status WaitForCompactionIdle() override;
+  Status Close() override;
+
+  const DbStats& stats() const override { return stats_; }
+  DbStats& mutable_stats() override { return stats_; }
+  StallSignals GetStallSignals() override;
+  uint64_t TotalSstBytes() override;
+
+  void SetCompactionThreads(int n) override;
+  int compaction_threads() const override { return active_compaction_threads_; }
+  void SetWriteBufferSize(uint64_t bytes) override;
+  uint64_t write_buffer_size() const override { return write_buffer_size_; }
+  void SetSlowdownEnabled(bool enabled) override { slowdown_enabled_ = enabled; }
+
+ private:
+  struct ImmEntry {
+    std::shared_ptr<MemTable> mem;
+    uint64_t log_number = 0;
+  };
+
+  // --- Write-path gating (mu_ held; may release while sleeping/waiting) ---
+  Status MakeRoomForWrite(uint64_t batch_logical);
+  bool StopConditionLocked(std::string* reason) const;
+  bool SlowdownConditionLocked() const;
+  Status SwitchMemtableLocked();
+
+  // --- Background work ---
+  void FlushThreadLoop();
+  void CompactionThreadLoop(int worker_id);
+  Status FlushImmToL0(const ImmEntry& imm);
+  Status RunCompaction(Compaction* c);
+  // Obsolete SSTs are deleted only once no live version (and hence no
+  // iterator/snapshot) can still lazily open them: files retire to a
+  // deferred list and are reaped when their metadata refcount drops to the
+  // list's own reference.
+  void DeferObsoleteFile(const FileMetaPtr& meta);
+  void ReapObsoleteFiles();
+
+  // --- Tables ---
+  Status GetTable(uint64_t number, std::shared_ptr<SstReader>* reader);
+  static std::string SstName(uint64_t number);
+  static std::string LogName(uint64_t number);
+
+  Status SearchSstsLocked(const ReadOptions& ropts, const LookupKey& lkey,
+                          std::shared_ptr<const Version> version,
+                          Value* value, SequenceNumber* seq);
+
+  DbOptions options_;
+  DbEnv denv_;
+  sim::SimEnv* env_;
+
+  sim::SimMutex mu_;
+  sim::SimCondVar bg_cv_;     // wakes flush/compaction workers
+  sim::SimCondVar stall_cv_;  // wakes stalled writers
+  sim::SimCondVar work_done_cv_;  // FlushAll / WaitForCompactionIdle
+
+  std::shared_ptr<MemTable> mem_;
+  std::deque<ImmEntry> imm_;
+  std::unique_ptr<LogWriter> wal_;
+  uint64_t wal_number_ = 0;
+
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<BlockCache> block_cache_;
+  std::map<uint64_t, std::shared_ptr<SstReader>> table_cache_;
+
+  std::vector<FileMetaPtr> deferred_deletions_;
+  std::vector<sim::SimEnv::Thread*> bg_threads_;
+  bool shutting_down_ = false;
+  bool closed_ = false;
+  Status bg_error_;
+
+  // Dynamically tunable copies (ADOC).
+  int active_compaction_threads_;
+  uint64_t write_buffer_size_;
+  bool slowdown_enabled_;
+  int max_compaction_workers_;
+
+  int running_compactions_ = 0;
+  bool flush_running_ = false;
+  bool in_slowdown_region_ = false;
+
+  DbStats stats_;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,93 @@
+// Internal key format: user_key ++ 8-byte trailer (sequence<<8 | type).
+// Internal ordering is (user_key ascending, sequence descending) so the
+// newest version of a key sorts first — the invariant every merge path
+// (memtable, SST, compaction, DB iterator) relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace kvaccel::lsm {
+
+using SequenceNumber = uint64_t;
+constexpr SequenceNumber kMaxSequenceNumber = (1ull << 56) - 1;
+
+enum class ValueType : uint8_t {
+  kDeletion = 0x0,
+  kValue = 0x1,
+};
+
+// kValue > kDeletion so that, at equal (user_key, seq), a Put sorts before a
+// Delete when scanning forward (matters only for artificial duplicates).
+constexpr ValueType kValueTypeForSeek = ValueType::kValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | static_cast<uint64_t>(t);
+}
+
+inline void UnpackSequenceAndType(uint64_t packed, SequenceNumber* seq,
+                                  ValueType* t) {
+  *seq = packed >> 8;
+  *t = static_cast<ValueType>(packed & 0xff);
+}
+
+// Appends the internal-key encoding of (user_key, seq, type) to *result.
+inline void AppendInternalKey(std::string* result, const Slice& user_key,
+                              SequenceNumber seq, ValueType t) {
+  result->append(user_key.data(), user_key.size());
+  PutFixed64(result, PackSequenceAndType(seq, t));
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline uint64_t ExtractTag(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  return static_cast<ValueType>(ExtractTag(internal_key) & 0xff);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  return ExtractTag(internal_key) >> 8;
+}
+
+// Orders internal keys by (user_key asc, tag desc).
+class InternalKeyComparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    uint64_t atag = ExtractTag(a);
+    uint64_t btag = ExtractTag(b);
+    if (atag > btag) return -1;
+    if (atag < btag) return +1;
+    return 0;
+  }
+  bool operator()(const Slice& a, const Slice& b) const {
+    return Compare(a, b) < 0;
+  }
+};
+
+// A key for memtable/SST lookups: user_key with a max-sequence trailer, so a
+// Seek lands on the newest visible entry.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber seq) {
+    key_.reserve(user_key.size() + 8);
+    AppendInternalKey(&key_, user_key, seq, kValueTypeForSeek);
+  }
+
+  Slice internal_key() const { return Slice(key_); }
+  Slice user_key() const { return ExtractUserKey(internal_key()); }
+
+ private:
+  std::string key_;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,85 @@
+// Iterator: the abstract cursor shared by memtables, SST blocks, merged
+// views and the public DB scan API (paper §V-F builds its hybrid range query
+// from two of these).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace kvaccel::lsm {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  // Key/value of the current position; only valid while Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+// K-way forward merge over child iterators, smallest key first (per `cmp`).
+// Ties are won by the earliest child, which callers exploit by ordering
+// children newest-first.
+template <typename Comparator>
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(Comparator cmp,
+                  std::vector<std::unique_ptr<Iterator>> children)
+      : cmp_(cmp), children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& c : children_) c->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& c : children_) c->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& c : children_) {
+      Status s = c->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& c : children_) {
+      if (!c->Valid()) continue;
+      if (current_ == nullptr || cmp_.Compare(c->key(), current_->key()) < 0) {
+        current_ = c.get();
+      }
+    }
+  }
+
+  Comparator cmp_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,126 @@
+#include "lsm/memtable.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace kvaccel::lsm {
+namespace {
+
+// Entry layout in arena memory:
+//   varint32 internal_key_len | internal_key | varint32 val_len | value_enc
+Slice GetLengthPrefixed(const char* p) {
+  uint32_t len;
+  const char* q = GetVarint32Ptr(p, p + 5, &len);
+  return Slice(q, len);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  return comparator.Compare(GetLengthPrefixed(a), GetLengthPrefixed(b));
+}
+
+MemTable::MemTable() : table_(comparator_, &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+                   const Value& value) {
+  std::string val_enc;
+  if (type == ValueType::kValue) value.EncodeTo(&val_enc);
+
+  size_t ikey_len = user_key.size() + 8;
+  size_t encoded_len = VarintLength(ikey_len) + ikey_len +
+                       VarintLength(val_enc.size()) + val_enc.size();
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = buf;
+
+  std::string header;
+  PutVarint32(&header, static_cast<uint32_t>(ikey_len));
+  memcpy(p, header.data(), header.size());
+  p += header.size();
+  memcpy(p, user_key.data(), user_key.size());
+  p += user_key.size();
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+  std::string vlen;
+  PutVarint32(&vlen, static_cast<uint32_t>(val_enc.size()));
+  memcpy(p, vlen.data(), vlen.size());
+  p += vlen.size();
+  memcpy(p, val_enc.data(), val_enc.size());
+  p += val_enc.size();
+  assert(static_cast<size_t>(p - buf) == encoded_len);
+
+  table_.Insert(buf);
+  num_entries_++;
+  // Logical accounting: key + full value + per-entry trailer.
+  logical_size_ += user_key.size() + 8 +
+                   (type == ValueType::kValue ? value.logical_size() : 0);
+}
+
+bool MemTable::Get(const LookupKey& key, Value* value, Status* status,
+                   SequenceNumber* seq) const {
+  // Build a probe entry: length-prefixed internal key (value part unused by
+  // the comparator).
+  std::string probe;
+  Slice ikey = key.internal_key();
+  PutVarint32(&probe, static_cast<uint32_t>(ikey.size()));
+  probe.append(ikey.data(), ikey.size());
+
+  Table::Iterator iter(&table_);
+  iter.Seek(probe.data());
+  if (!iter.Valid()) return false;
+
+  const char* entry = iter.key();
+  Slice found_ikey = GetLengthPrefixed(entry);
+  if (ExtractUserKey(found_ikey) != key.user_key()) return false;
+
+  if (seq != nullptr) *seq = ExtractSequence(found_ikey);
+  switch (ExtractValueType(found_ikey)) {
+    case ValueType::kValue: {
+      const char* val_ptr = found_ikey.data() + found_ikey.size();
+      Slice val = GetLengthPrefixed(val_ptr);
+      *value = Value::DecodeOrDie(val);
+      *status = Status::OK();
+      return true;
+    }
+    case ValueType::kDeletion:
+      *status = Status::NotFound("tombstone");
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+class MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(const MemTable::Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override {
+    probe_.clear();
+    PutVarint32(&probe_, static_cast<uint32_t>(target.size()));
+    probe_.append(target.data(), target.size());
+    iter_.Seek(probe_.data());
+  }
+  void Next() override { iter_.Next(); }
+  Slice key() const override { return GetLengthPrefixed(iter_.key()); }
+  Slice value() const override {
+    Slice k = GetLengthPrefixed(iter_.key());
+    return GetLengthPrefixed(k.data() + k.size());
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+  std::string probe_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(table());
+}
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,63 @@
+// MemTable: arena skiplist over length-prefixed internal-key entries.
+// Tracks two sizes: arena (host memory) and logical bytes (what the flush
+// will write to the device) — the write_buffer_size threshold and the
+// Detector's "MT size" signal (paper §V-C) use the logical size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/arena.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/skiplist.h"
+
+namespace kvaccel::lsm {
+
+class MemTable {
+ public:
+  MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Value& value);
+
+  // Returns true if this memtable decides the lookup: *status is OK with
+  // *value set for a live entry, NotFound for a tombstone. False: keep
+  // searching older structures. `seq` (optional) receives the deciding
+  // entry's sequence number.
+  bool Get(const LookupKey& key, Value* value, Status* status,
+           SequenceNumber* seq = nullptr) const;
+
+  // Logical bytes this memtable represents on the device.
+  uint64_t LogicalSize() const { return logical_size_; }
+  uint64_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  uint64_t NumEntries() const { return num_entries_; }
+  bool Empty() const { return num_entries_ == 0; }
+
+  // Iterator over internal keys (ascending internal-key order). Keys returned
+  // are internal keys; values are encoded Value payloads.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  struct KeyComparator {
+    InternalKeyComparator comparator;
+    // Entries are length-prefixed internal keys in arena memory.
+    int operator()(const char* a, const char* b) const;
+  };
+  using Table = SkipList<const char*, KeyComparator>;
+  const Table* table() const { return &table_; }
+
+ private:
+  KeyComparator comparator_;
+  Arena arena_;
+  Table table_;
+  uint64_t logical_size_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,86 @@
+// Tuning knobs of the host LSM-KVS, mirroring the RocksDB options the paper
+// exercises (Table III plus the write-stall trigger family of [9]).
+// Sizes are *logical* bytes (synthetic values count at full size).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace kvaccel::lsm {
+
+constexpr int kNumLevels = 7;
+
+struct DbOptions {
+  // --- Memtable / flush ---
+  uint64_t write_buffer_size = 128ull << 20;  // Table III: MT size 128 MB
+  int max_write_buffer_number = 2;            // active + 1 immutable
+
+  // --- Leveled compaction shape ---
+  int l0_compaction_trigger = 4;   // L0 file count that scores a compaction
+  uint64_t max_bytes_for_level_base = 256ull << 20;  // L1 target
+  double max_bytes_for_level_multiplier = 10.0;
+  uint64_t target_file_size = 64ull << 20;
+
+  // --- Write stall & slowdown triggers (paper §II-A events 1/2/3) ---
+  int l0_slowdown_writes_trigger = 8;
+  int l0_stop_writes_trigger = 12;
+  uint64_t soft_pending_compaction_bytes_limit = 4ull << 30;
+  uint64_t hard_pending_compaction_bytes_limit = 16ull << 30;
+  // RocksDB's delayed-write mechanism [9]: when true, writes are throttled to
+  // delayed_write_rate while any slowdown condition holds. The paper's
+  // "w/o slowdown" variants set this false (only hard stops remain).
+  bool enable_slowdown = true;
+  double delayed_write_rate = 8.0 * 1e6;  // bytes/sec (~2 Kops/s at 4 KB)
+
+  // --- Background work ---
+  int compaction_threads = 1;  // Table III: 1 / 2 / 4
+  // Host CPU cost of the compaction merge loop, nominal ns per logical byte.
+  // ~2 ns/B ≈ 500 MB/s per thread of merge throughput, in line with
+  // uncompressed RocksDB compaction; this is what leaves the device idle
+  // during the CPU phase (paper §III-B).
+  double compaction_cpu_ns_per_byte = 1.2;
+  // Logical bytes per read->merge->write cycle of a compaction job. The
+  // paper's implementation (§III-B) operates at file scale — inputs are
+  // loaded, merge-sorted in memory, then written back — which is what leaves
+  // the device idle for whole seconds during the merge phase. Smaller chunks
+  // pipeline the phases more finely (see bench_ablation_merge_overlap).
+  uint64_t compaction_io_chunk = 1ull << 30;
+
+  // --- Table / cache ---
+  uint64_t block_size = 16 << 10;          // logical bytes per data block
+  int bloom_bits_per_key = 10;
+  uint64_t block_cache_capacity = 64ull << 20;  // logical bytes
+
+  // --- WAL ---
+  bool wal_enabled = true;
+  bool wal_sync = false;  // db_bench default: buffered, unsynced WAL
+
+  // --- Per-operation host CPU costs (nominal ns) ---
+  // Put: key-gen/batch/WAL encode/skiplist insert on the client thread.
+  double put_cpu_ns = 2500;
+  // Get: hashing, memtable probe, per-level seek overhead.
+  double get_cpu_ns = 2000;
+  // Per-entry cost of iterator Next().
+  double next_cpu_ns = 350;
+
+  // Verify CRCs when reading blocks (costs host CPU in the model).
+  bool verify_checksums = true;
+};
+
+// Per-read options.
+struct ReadOptions {
+  bool fill_cache = true;
+  // Blocks fetched per device read by iterators (1 = none). Compaction uses
+  // a large value (RocksDB compaction_readahead_size) so sequential reads
+  // amortize the NAND access latency.
+  uint32_t readahead_blocks = 1;
+};
+
+// Per-write options.
+struct WriteOptions {
+  bool sync = false;
+  bool disable_wal = false;
+};
+
+}  // namespace kvaccel::lsm

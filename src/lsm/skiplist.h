@@ -1,0 +1,129 @@
+// Arena-backed skiplist, the memtable's core index (LevelDB lineage).
+// Keys are const char* into arena memory; the comparator defines order.
+// Inserts and reads are serialized by the caller (the DB writer mutex and the
+// cooperative scheduler), so no atomics are needed here.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/arena.h"
+#include "common/random.h"
+
+namespace kvaccel::lsm {
+
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(0, kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; i++) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // REQUIRES: no equal key already in the list.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || !Equal(key, x->key));
+    int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; i++) prev[i] = head_;
+      max_height_ = height;
+    }
+    x = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      x->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, x);
+    }
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    Key const key;
+
+    Node* Next(int n) { return next_[n]; }
+    void SetNext(int n, Node* x) { next_[n] = x; }
+
+   private:
+    Node* next_[1];  // length == node height; tail-allocated
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        sizeof(Node*) * (height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.OneIn(kBranching)) height++;
+    return height;
+  }
+
+  bool Equal(const Key& a, const Key& b) const {
+    return compare_(a, b) == 0;
+  }
+
+  // Returns the first node >= key; fills prev[] when non-null.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Comparator const compare_;  // returns <0, 0, >0
+  Arena* const arena_;
+  Node* const head_;
+  int max_height_;
+  Random64 rnd_;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,44 @@
+// DbStats: everything the evaluation figures read out of a run — per-second
+// op counts (Figs 2, 11, 13), latency histograms (Figs 3, 12), stall and
+// slowdown regions (Figs 2, 4), and background-work byte counters.
+// All times are virtual nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "sim/timeseries.h"
+
+namespace kvaccel::lsm {
+
+struct DbStats {
+  // Completed foreground operations, bucketed per virtual second.
+  sim::TimeSeries writes_completed{kNanosPerSec};
+  sim::TimeSeries reads_completed{kNanosPerSec};
+  sim::TimeSeries seeks_completed{kNanosPerSec};
+
+  // Latency distributions (ns).
+  Histogram put_latency;
+  Histogram get_latency;
+  Histogram seek_latency;
+
+  // Write-stall bookkeeping (paper §II-A / §III-A).
+  sim::IntervalRecorder stall_regions;     // writers fully blocked
+  sim::IntervalRecorder slowdown_regions;  // delayed-write throttling active
+  uint64_t stall_events = 0;
+  uint64_t slowdown_events = 0;  // paper: 258 (RocksDB) / 433 (ADOC) delays
+
+  // Background work.
+  uint64_t flush_count = 0;
+  uint64_t flush_bytes = 0;  // logical
+  uint64_t compaction_count = 0;
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+
+  uint64_t writes_total = 0;
+  uint64_t write_bytes_total = 0;  // logical
+  uint64_t reads_total = 0;
+  uint64_t seeks_total = 0;
+};
+
+}  // namespace kvaccel::lsm

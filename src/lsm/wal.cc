@@ -1,0 +1,45 @@
+#include "lsm/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace kvaccel::lsm {
+
+// Record framing: [masked crc32c: fixed32][payload len: fixed32][payload]
+static constexpr size_t kRecordHeader = 8;
+
+Status LogWriter::AddRecord(const Slice& payload, uint64_t logical_bytes) {
+  std::string rec;
+  rec.reserve(kRecordHeader + payload.size());
+  uint32_t crc = crc32c::Value(payload.data(), payload.size());
+  PutFixed32(&rec, crc32c::Mask(crc));
+  PutFixed32(&rec, static_cast<uint32_t>(payload.size()));
+  rec.append(payload.data(), payload.size());
+  return file_->Append(rec, logical_bytes + kRecordHeader);
+}
+
+LogReader::LogReader(std::unique_ptr<fs::RandomAccessFile> file) {
+  status_ = file->Read(0, file->physical_size(), &contents_);
+}
+
+bool LogReader::ReadRecord(std::string* payload, Status* status) {
+  *status = status_;
+  if (!status_.ok()) return false;
+  if (pos_ + kRecordHeader > contents_.size()) return false;  // clean/torn EOF
+  uint32_t masked_crc = DecodeFixed32(contents_.data() + pos_);
+  uint32_t len = DecodeFixed32(contents_.data() + pos_ + 4);
+  if (pos_ + kRecordHeader + len > contents_.size()) {
+    // Torn tail record: stop without error.
+    return false;
+  }
+  const char* data = contents_.data() + pos_ + kRecordHeader;
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(data, len)) {
+    // Corrupt (likely torn) record ends recovery.
+    return false;
+  }
+  payload->assign(data, len);
+  pos_ += kRecordHeader + len;
+  return true;
+}
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,46 @@
+// Write-ahead log: CRC-framed records over a SimFs file. One log per
+// memtable generation (RocksDB style); the log is deleted once its memtable
+// is flushed. Physical framing is compact; logical bytes ride along for
+// device accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "fs/simfs.h"
+
+namespace kvaccel::lsm {
+
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<fs::WritableFile> file)
+      : file_(std::move(file)) {}
+
+  // Appends one record whose payload represents `logical_bytes` on-device.
+  Status AddRecord(const Slice& payload, uint64_t logical_bytes);
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<fs::WritableFile> file_;
+};
+
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<fs::RandomAccessFile> file);
+
+  // Reads the next record payload; returns false at clean EOF. A torn tail
+  // (truncated or CRC-failing final record) ends iteration without error —
+  // the standard crash-recovery posture.
+  bool ReadRecord(std::string* payload, Status* status);
+
+ private:
+  std::string contents_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace kvaccel::lsm

@@ -1,0 +1,63 @@
+#include "lsm/write_batch.h"
+
+#include "common/coding.h"
+
+namespace kvaccel::lsm {
+
+WriteBatch::WriteBatch() { Clear(); }
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  rep_.resize(kHeaderSize, '\0');
+  logical_size_ = 0;
+}
+
+void WriteBatch::Put(const Slice& key, const Value& value) {
+  EncodeFixed32(&rep_[8], Count() + 1);
+  rep_.push_back(static_cast<char>(ValueType::kValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  value.EncodeTo(&rep_);
+  logical_size_ += key.size() + 8 + value.logical_size();
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  EncodeFixed32(&rep_[8], Count() + 1);
+  rep_.push_back(static_cast<char>(ValueType::kDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+  logical_size_ += key.size() + 8;
+}
+
+uint32_t WriteBatch::Count() const { return DecodeFixed32(&rep_[8]); }
+
+void WriteBatch::SetSequence(SequenceNumber seq) {
+  EncodeFixed64(&rep_[0], seq);
+}
+
+SequenceNumber WriteBatch::Sequence() const { return DecodeFixed64(&rep_[0]); }
+
+Status WriteBatch::InsertInto(MemTable* mem) const {
+  SequenceNumber seq = Sequence();
+  return ForEach([&](ValueType type, const Slice& key, const Value& value) {
+    mem->Add(seq++, type, key, value);
+  });
+}
+
+Status WriteBatch::ParseFrom(const Slice& payload, WriteBatch* batch) {
+  if (payload.size() < kHeaderSize) {
+    return Status::Corruption("write batch payload too short");
+  }
+  batch->rep_.assign(payload.data(), payload.size());
+  // Recompute logical size by walking entries (also validates structure).
+  batch->logical_size_ = 0;
+  uint64_t logical = 0;
+  Status s = batch->ForEach(
+      [&](ValueType type, const Slice& key, const Value& value) {
+        logical += key.size() + 8 +
+                   (type == ValueType::kValue ? value.logical_size() : 0);
+      });
+  if (!s.ok()) return s;
+  batch->logical_size_ = logical;
+  return Status::OK();
+}
+
+}  // namespace kvaccel::lsm

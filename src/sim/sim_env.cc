@@ -1,0 +1,348 @@
+#include "sim/sim_env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace kvaccel::sim {
+namespace {
+
+thread_local SimEnv* tls_env = nullptr;
+thread_local SimEnv::Thread* tls_current = nullptr;
+
+const std::string kEmptyName;
+
+}  // namespace
+
+SimEnv::SimEnv() = default;
+
+SimEnv::~SimEnv() {
+  // Normal lifecycle: Run() already drove every thread to kDone and joined.
+  // If Run() was never called (or threw), release any parked real threads so
+  // their std::threads can be joined; they skip/abandon their body via
+  // ShutdownSignal.
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutting_down_.store(true);
+    for (auto& t : threads_) {
+      if (t->state != State::kDone) {
+        t->state = State::kRunning;
+        t->cv.notify_one();
+      }
+    }
+  }
+  for (auto& t : threads_) {
+    if (t->real.joinable()) t->real.join();
+  }
+}
+
+SimEnv* SimEnv::Current() { return tls_env; }
+
+const std::string& SimEnv::CurrentThreadName() {
+  return tls_current != nullptr ? tls_current->name : kEmptyName;
+}
+
+void SimEnv::CheckInSimThread() const {
+  assert(tls_env == this && tls_current != nullptr &&
+         "Sim primitive called outside a simulated thread");
+}
+
+SimEnv::Thread* SimEnv::Spawn(std::string name, std::function<void()> fn,
+                              bool daemon) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto t = std::make_unique<Thread>();
+  t->name = std::move(name);
+  t->seq = next_seq_++;
+  t->daemon = daemon;
+  t->fn = std::move(fn);
+  t->state = State::kReady;
+  t->wake_time = Now();
+  Thread* raw = t.get();
+  threads_.push_back(std::move(t));
+  raw->real = std::thread([this, raw] { ThreadMain(raw); });
+  return raw;
+}
+
+void SimEnv::ThreadMain(Thread* t) {
+  tls_env = this;
+  tls_current = t;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    t->cv.wait(l, [&] { return t->state == State::kRunning; });
+  }
+  if (!shutting_down()) {
+    try {
+      t->fn();
+    } catch (const ShutdownSignal&) {
+      // Cooperative teardown of a daemon/abandoned thread.
+    }
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  t->state = State::kDone;
+  for (Thread* j : t->joiners) {
+    WakeLocked(j);
+  }
+  t->joiners.clear();
+  sched_cv_.notify_all();
+}
+
+bool SimEnv::MinCandidateLocked(const Thread* exclude, Nanos* time,
+                                uint64_t* seq) const {
+  bool found = false;
+  for (const auto& t : threads_) {
+    if (t.get() == exclude || t->state == State::kDone) continue;
+    Nanos key;
+    if (t->state == State::kReady) {
+      key = t->wake_time;
+    } else if (t->state == State::kBlocked && t->has_deadline) {
+      key = t->deadline;
+    } else {
+      continue;
+    }
+    if (!found || key < *time || (key == *time && t->seq < *seq)) {
+      found = true;
+      *time = key;
+      *seq = t->seq;
+    }
+  }
+  return found;
+}
+
+void SimEnv::SleepUntilLocked(std::unique_lock<std::mutex>& lock, Thread* self,
+                              Nanos t) {
+  if (shutting_down()) throw ShutdownSignal{};
+  Nanos wake = std::max(t, Now());
+  Nanos ct = 0;
+  uint64_t cseq = 0;
+  if (!MinCandidateLocked(self, &ct, &cseq) || wake < ct ||
+      (wake == ct && self->seq < cseq)) {
+    // Fast path: no other runnable thread would execute before `wake`, so
+    // advancing the clock in place is equivalent to a full reschedule.
+    now_.store(wake, std::memory_order_relaxed);
+    return;
+  }
+  self->state = State::kReady;
+  self->wake_time = wake;
+  sched_cv_.notify_all();
+  self->cv.wait(lock, [&] { return self->state == State::kRunning; });
+  if (shutting_down()) throw ShutdownSignal{};
+}
+
+void SimEnv::SleepUntil(Nanos t) {
+  CheckInSimThread();
+  std::unique_lock<std::mutex> l(mu_);
+  SleepUntilLocked(l, tls_current, t);
+}
+
+void SimEnv::SleepFor(Nanos d) { SleepUntil(Now() + d); }
+
+void SimEnv::BlockCurrentLocked(std::unique_lock<std::mutex>& lock,
+                                Thread* self, bool has_deadline,
+                                Nanos deadline) {
+  if (shutting_down()) throw ShutdownSignal{};
+  self->state = State::kBlocked;
+  self->has_deadline = has_deadline;
+  self->deadline = deadline;
+  self->timed_out = false;
+  sched_cv_.notify_all();
+  self->cv.wait(lock, [&] { return self->state == State::kRunning; });
+  if (shutting_down()) throw ShutdownSignal{};
+}
+
+void SimEnv::WakeLocked(Thread* t) {
+  if (t->state != State::kBlocked) return;
+  t->state = State::kReady;
+  t->wake_time = Now();
+  t->has_deadline = false;
+}
+
+void SimEnv::Join(Thread* t) {
+  CheckInSimThread();
+  std::unique_lock<std::mutex> l(mu_);
+  if (t->state == State::kDone) return;
+  t->joiners.push_back(tls_current);
+  BlockCurrentLocked(l, tls_current, false, 0);
+}
+
+void SimEnv::Run() {
+  std::unique_lock<std::mutex> l(mu_);
+  running_ = true;
+  for (;;) {
+    bool all_done = true;
+    bool non_daemon_alive = false;
+    for (const auto& t : threads_) {
+      if (t->state != State::kDone) {
+        all_done = false;
+        if (!t->daemon) non_daemon_alive = true;
+      }
+    }
+    if (all_done) break;
+    if (!non_daemon_alive) shutting_down_.store(true);
+
+    // Pick the next thread to dispatch: minimum (time, seq) over runnable
+    // candidates. During shutdown every live thread is dispatched so it can
+    // observe ShutdownSignal.
+    Thread* next = nullptr;
+    Nanos best_time = 0;
+    uint64_t best_seq = 0;
+    for (const auto& t : threads_) {
+      if (t->state == State::kDone) continue;
+      Nanos key;
+      if (shutting_down()) {
+        key = Now();
+      } else if (t->state == State::kReady) {
+        key = t->wake_time;
+      } else if (t->state == State::kBlocked && t->has_deadline) {
+        key = t->deadline;
+      } else {
+        continue;
+      }
+      if (next == nullptr || key < best_time ||
+          (key == best_time && t->seq < best_seq)) {
+        next = t.get();
+        best_time = key;
+        best_seq = t->seq;
+      }
+    }
+
+    if (next == nullptr) {
+      std::string who;
+      for (const auto& t : threads_) {
+        if (t->state != State::kDone) {
+          if (!who.empty()) who += ", ";
+          who += t->name;
+        }
+      }
+      running_ = false;
+      throw std::runtime_error("SimEnv deadlock: blocked threads [" + who +
+                               "] with no runnable candidate");
+    }
+
+    if (best_time > Now()) now_.store(best_time, std::memory_order_relaxed);
+    if (next->state == State::kBlocked) {
+      // Timed wait expired (or shutdown is flushing a blocked thread).
+      next->timed_out = next->has_deadline;
+      next->has_deadline = false;
+    }
+    next->state = State::kRunning;
+    next->cv.notify_one();
+    sched_cv_.wait(l, [&] { return next->state != State::kRunning; });
+  }
+  running_ = false;
+  l.unlock();
+  for (auto& t : threads_) {
+    if (t->real.joinable()) t->real.join();
+  }
+}
+
+// ---------------- SimMutex ----------------
+
+void SimMutex::LockLocked(std::unique_lock<std::mutex>& lock, SimEnv* env,
+                          SimEnv::Thread* self) {
+  if (env->shutting_down()) {
+    // Teardown: ownership discipline no longer matters; let unwinding guards
+    // pair up without blocking on threads that will never run again.
+    owner_ = self;
+    return;
+  }
+  assert(owner_ != self && "recursive SimMutex lock");
+  if (owner_ == nullptr) {
+    owner_ = self;
+    return;
+  }
+  waiters_.push_back(self);
+  env->BlockCurrentLocked(lock, self, false, 0);
+  assert(owner_ == self);
+}
+
+void SimMutex::UnlockLocked(SimEnv* env) {
+  if (owner_ != tls_current && env->shutting_down()) {
+    // A guard unwinding through ShutdownSignal may not actually hold the
+    // mutex (e.g. interrupted inside SimCondVar::Wait before re-acquiring).
+    return;
+  }
+  assert(owner_ == tls_current && "unlocking a SimMutex not held");
+  // FIFO handoff; skip any waiter flushed by shutdown.
+  while (!waiters_.empty()) {
+    SimEnv::Thread* next = waiters_.front();
+    waiters_.pop_front();
+    if (next->state == SimEnv::State::kBlocked) {
+      owner_ = next;
+      env->WakeLocked(next);
+      return;
+    }
+  }
+  owner_ = nullptr;
+}
+
+void SimMutex::Lock() {
+  SimEnv* env = SimEnv::Current();
+  assert(env != nullptr);
+  std::unique_lock<std::mutex> l(env->mu_);
+  LockLocked(l, env, tls_current);
+}
+
+void SimMutex::Unlock() {
+  SimEnv* env = SimEnv::Current();
+  assert(env != nullptr);
+  std::lock_guard<std::mutex> l(env->mu_);
+  UnlockLocked(env);
+}
+
+bool SimMutex::HeldByCurrent() const { return owner_ == tls_current; }
+
+// ---------------- SimCondVar ----------------
+
+void SimCondVar::Wait(SimMutex& m) {
+  SimEnv* env = SimEnv::Current();
+  assert(env != nullptr);
+  SimEnv::Thread* self = tls_current;
+  std::unique_lock<std::mutex> l(env->mu_);
+  waiters_.push_back(self);
+  m.UnlockLocked(env);
+  env->BlockCurrentLocked(l, self, false, 0);
+  m.LockLocked(l, env, self);
+}
+
+bool SimCondVar::WaitFor(SimMutex& m, Nanos timeout) {
+  SimEnv* env = SimEnv::Current();
+  assert(env != nullptr);
+  SimEnv::Thread* self = tls_current;
+  std::unique_lock<std::mutex> l(env->mu_);
+  waiters_.push_back(self);
+  m.UnlockLocked(env);
+  env->BlockCurrentLocked(l, self, true, env->Now() + timeout);
+  if (self->timed_out) {
+    auto it = std::find(waiters_.begin(), waiters_.end(), self);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+  m.LockLocked(l, env, self);
+  return !self->timed_out;
+}
+
+void SimCondVar::NotifyOne() {
+  SimEnv* env = SimEnv::Current();
+  assert(env != nullptr);
+  std::lock_guard<std::mutex> l(env->mu_);
+  while (!waiters_.empty()) {
+    SimEnv::Thread* t = waiters_.front();
+    waiters_.pop_front();
+    if (t->state == SimEnv::State::kBlocked) {
+      env->WakeLocked(t);
+      return;
+    }
+  }
+}
+
+void SimCondVar::NotifyAll() {
+  SimEnv* env = SimEnv::Current();
+  assert(env != nullptr);
+  std::lock_guard<std::mutex> l(env->mu_);
+  while (!waiters_.empty()) {
+    SimEnv::Thread* t = waiters_.front();
+    waiters_.pop_front();
+    if (t->state == SimEnv::State::kBlocked) env->WakeLocked(t);
+  }
+}
+
+}  // namespace kvaccel::sim

@@ -1,0 +1,179 @@
+// Deterministic cooperative discrete-event executor.
+//
+// Every actor in the reproduction — db_bench client threads, the LSM flush
+// and compaction workers, the KVACCEL detector/rollback threads, the SSD
+// firmware — is a *simulated thread*: a real std::thread whose execution is
+// serialized by this scheduler so that exactly one runs at any instant,
+// ordered by virtual wake-up time (ties broken by spawn order). Virtual time
+// is a uint64 nanosecond clock that only the scheduler advances.
+//
+// This gives three properties the evaluation needs:
+//  1. Determinism — identical runs produce bit-identical time series.
+//  2. Speed — 600 virtual seconds of a 150 Kops/s workload executes in
+//     seconds of wall-clock, because "sleeping" is just a clock jump.
+//  3. Natural blocking code — LSM/SSD code is written with ordinary
+//     mutex/condvar idioms (SimMutex/SimCondVar), not callbacks.
+//
+// Threads may interact only through the Sim* primitives; plain std::mutex
+// inside simulated code would deadlock the cooperative schedule.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+
+namespace kvaccel::sim {
+
+// Thrown out of blocked daemon threads when the environment shuts down; the
+// thread wrapper catches it. Structured shutdown (explicit stop flags) is the
+// primary mechanism — this is the backstop.
+struct ShutdownSignal {};
+
+class SimMutex;
+class SimCondVar;
+
+class SimEnv {
+ public:
+  struct Thread;
+
+  SimEnv();
+  ~SimEnv();
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  // Current virtual time in nanoseconds.
+  Nanos Now() const { return now_.load(std::memory_order_relaxed); }
+
+  // Spawns a simulated thread, ready to run at the current virtual time.
+  // Daemon threads do not keep Run() alive: once only daemons remain they
+  // receive ShutdownSignal at their next blocking call.
+  Thread* Spawn(std::string name, std::function<void()> fn,
+                bool daemon = false);
+
+  // Scheduler loop; call from the owning (non-simulated) thread. Returns when
+  // every non-daemon thread has finished. Throws std::runtime_error on
+  // deadlock (no runnable thread, non-daemon threads still blocked).
+  void Run();
+
+  // ---- Callable only from within simulated threads ----
+  void SleepFor(Nanos d);
+  void SleepUntil(Nanos t);
+  void Yield() { SleepFor(0); }
+  // Blocks until `t` finishes.
+  void Join(Thread* t);
+
+  // Environment of the simulated thread currently executing (nullptr outside).
+  static SimEnv* Current();
+  // Name of the currently executing simulated thread ("" outside).
+  static const std::string& CurrentThreadName();
+
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class SimMutex;
+  friend class SimCondVar;
+
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  void ThreadMain(Thread* t);
+  // Parks the current thread as kBlocked; if `deadline` is non-zero-optional
+  // the scheduler resumes it at that virtual time with timed_out set.
+  // Precondition: caller holds `lock` on mu_. Returns with the lock held and
+  // the thread kRunning again.
+  void BlockCurrentLocked(std::unique_lock<std::mutex>& lock, Thread* self,
+                          bool has_deadline, Nanos deadline);
+  void SleepUntilLocked(std::unique_lock<std::mutex>& lock, Thread* self,
+                        Nanos t);
+  // Moves a blocked thread to kReady at the current time. mu_ must be held.
+  void WakeLocked(Thread* t);
+  // Smallest (time, seq) over runnable candidates other than `exclude`.
+  bool MinCandidateLocked(const Thread* exclude, Nanos* time,
+                          uint64_t* seq) const;
+  void CheckInSimThread() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable sched_cv_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::atomic<Nanos> now_{0};
+  std::atomic<bool> shutting_down_{false};
+  bool running_ = false;
+  uint64_t next_seq_ = 0;
+};
+
+struct SimEnv::Thread {
+  std::string name;
+  uint64_t seq = 0;
+  bool daemon = false;
+  std::function<void()> fn;
+  std::thread real;
+  State state = State::kReady;
+  Nanos wake_time = 0;       // when kReady: earliest virtual run time
+  bool has_deadline = false;  // when kBlocked: timed wait in progress
+  Nanos deadline = 0;
+  bool timed_out = false;     // set by scheduler when a timed wait expires
+  std::condition_variable cv;
+  std::deque<Thread*> joiners;
+};
+
+// Cooperative mutex for simulated threads. FIFO handoff keeps scheduling
+// deterministic.
+class SimMutex {
+ public:
+  SimMutex() = default;
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  void Lock();
+  void Unlock();
+  // True iff held by the calling simulated thread.
+  bool HeldByCurrent() const;
+
+ private:
+  friend class SimCondVar;
+  void LockLocked(std::unique_lock<std::mutex>& lock, SimEnv* env,
+                  SimEnv::Thread* self);
+  void UnlockLocked(SimEnv* env);
+
+  SimEnv::Thread* owner_ = nullptr;
+  std::deque<SimEnv::Thread*> waiters_;
+};
+
+class SimLockGuard {
+ public:
+  explicit SimLockGuard(SimMutex& m) : m_(m) { m_.Lock(); }
+  ~SimLockGuard() { m_.Unlock(); }
+  SimLockGuard(const SimLockGuard&) = delete;
+  SimLockGuard& operator=(const SimLockGuard&) = delete;
+
+ private:
+  SimMutex& m_;
+};
+
+// Condition variable for simulated threads. Wakeups are FIFO.
+class SimCondVar {
+ public:
+  SimCondVar() = default;
+  SimCondVar(const SimCondVar&) = delete;
+  SimCondVar& operator=(const SimCondVar&) = delete;
+
+  void Wait(SimMutex& m);
+  // Returns false if the timeout elapsed before a notification.
+  bool WaitFor(SimMutex& m, Nanos timeout);
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::deque<SimEnv::Thread*> waiters_;
+};
+
+}  // namespace kvaccel::sim

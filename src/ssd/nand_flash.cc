@@ -1,0 +1,64 @@
+#include "ssd/nand_flash.h"
+
+#include <algorithm>
+
+namespace kvaccel::ssd {
+
+NandFlash::NandFlash(sim::SimEnv* env, const SsdConfig& config)
+    : env_(env), config_(config) {
+  double per_channel = config.nand_bytes_per_sec / config.channels;
+  for (int i = 0; i < config.channels; i++) {
+    channels_.push_back(std::make_unique<sim::RateResource>(
+        env, "nand-ch" + std::to_string(i), per_channel));
+  }
+}
+
+double NandFlash::total_bytes_per_sec() const {
+  return config_.nand_bytes_per_sec;
+}
+
+Nanos NandFlash::StripedTransfer(uint64_t bytes, Nanos fixed_latency) {
+  if (bytes == 0) return env_->Now();
+  // Stripe page-sized chunks round-robin over the channels. For transfers
+  // smaller than one page the single owning channel carries it all.
+  const uint64_t stripe = config_.page_size;
+  const size_t n = channels_.size();
+  std::vector<uint64_t> share(n, 0);
+  uint64_t remaining = bytes;
+  size_t ch = next_channel_;
+  while (remaining > 0) {
+    uint64_t chunk = std::min(remaining, stripe);
+    share[ch] += chunk;
+    remaining -= chunk;
+    ch = (ch + 1) % n;
+  }
+  next_channel_ = ch;
+  Nanos done = env_->Now();
+  for (size_t i = 0; i < n; i++) {
+    if (share[i] > 0) done = std::max(done, channels_[i]->TransferAsync(share[i]));
+  }
+  env_->SleepUntil(done + fixed_latency);
+  return env_->Now();
+}
+
+Nanos NandFlash::Read(uint64_t bytes) {
+  bytes_read_ += bytes;
+  return StripedTransfer(bytes, config_.read_latency);
+}
+
+Nanos NandFlash::Write(uint64_t bytes) {
+  bytes_written_ += bytes;
+  return StripedTransfer(bytes, config_.program_latency);
+}
+
+Nanos NandFlash::Erase(uint64_t blocks) {
+  if (blocks == 0) return env_->Now();
+  blocks_erased_ += blocks;
+  // Erases parallelize across channels; model the aggregate delay.
+  uint64_t per_channel =
+      (blocks + channels_.size() - 1) / channels_.size();
+  env_->SleepFor(config_.erase_latency * per_channel);
+  return env_->Now();
+}
+
+}  // namespace kvaccel::ssd

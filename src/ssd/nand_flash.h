@@ -1,0 +1,49 @@
+// NAND flash timing model: one RateResource per channel plus fixed per-op
+// access latencies. Multi-page transfers stripe across channels (round-robin
+// start) so a single stream reaches full device bandwidth when the channels
+// are idle, while concurrent streams queue per channel — exactly the
+// contention the paper's compaction-vs-redirected-writes analysis relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/sim_env.h"
+#include "ssd/config.h"
+
+namespace kvaccel::ssd {
+
+class NandFlash {
+ public:
+  NandFlash(sim::SimEnv* env, const SsdConfig& config);
+
+  // Blocking, striped transfers. Return completion time.
+  Nanos Read(uint64_t bytes);
+  Nanos Write(uint64_t bytes);
+  // Blocking erase of `blocks` erase blocks.
+  Nanos Erase(uint64_t blocks);
+
+  double total_bytes_per_sec() const;
+  int channels() const { return static_cast<int>(channels_.size()); }
+  const sim::RateResource& channel(int i) const { return *channels_[i]; }
+
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t blocks_erased() const { return blocks_erased_; }
+
+ private:
+  Nanos StripedTransfer(uint64_t bytes, Nanos fixed_latency);
+
+  sim::SimEnv* env_;
+  SsdConfig config_;
+  std::vector<std::unique_ptr<sim::RateResource>> channels_;
+  size_t next_channel_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t blocks_erased_ = 0;
+};
+
+}  // namespace kvaccel::ssd

@@ -1,0 +1,25 @@
+#include "ssd/nvme.h"
+
+namespace kvaccel::ssd::nvme {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kRead: return "READ";
+    case Opcode::kWrite: return "WRITE";
+    case Opcode::kFlush: return "FLUSH";
+    case Opcode::kDatasetMgmt: return "DSM";
+    case Opcode::kKvStore: return "KV_STORE";
+    case Opcode::kKvRetrieve: return "KV_RETRIEVE";
+    case Opcode::kKvDelete: return "KV_DELETE";
+    case Opcode::kKvExist: return "KV_EXIST";
+    case Opcode::kKvList: return "KV_LIST";
+    case Opcode::kKvIterOpen: return "KV_ITER_OPEN";
+    case Opcode::kKvIterNext: return "KV_ITER_NEXT";
+    case Opcode::kKvBulkScan: return "KV_BULK_SCAN";
+    case Opcode::kKvReset: return "KV_RESET";
+    case Opcode::kKvCompound: return "KV_COMPOUND";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace kvaccel::ssd::nvme

@@ -1,0 +1,84 @@
+// NVMe command-set vocabulary for the hybrid dual-interface SSD.
+//
+// The block region speaks the NVM command set (READ/WRITE/FLUSH/DSM) and the
+// key-value region speaks the NVMe Key-Value command set (STORE/RETRIEVE/
+// DELETE/EXIST/LIST), as in paper §IV. The iterator-based bulk range scan and
+// the Dev-LSM reset used by KVACCEL's rollback (paper §V-E) are modeled as
+// vendor-specific opcodes, mirroring how the authors extended the iLSM/
+// iterator KV-SSD firmware. Every executed command is appended to a trace
+// ring that tests and the overhead bench inspect.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/units.h"
+
+namespace kvaccel::ssd::nvme {
+
+enum class Opcode : uint8_t {
+  // NVM (block) command set
+  kRead = 0x02,
+  kWrite = 0x01,
+  kFlush = 0x00,
+  kDatasetMgmt = 0x09,  // TRIM
+  // Key-Value command set
+  kKvStore = 0x81,
+  kKvRetrieve = 0x02 | 0x80,
+  kKvDelete = 0x10 | 0x80,
+  kKvExist = 0x14 | 0x80,
+  kKvList = 0x06 | 0x80,
+  // Vendor-specific extensions (paper §V-E/§V-F)
+  kKvIterOpen = 0xc0,
+  kKvIterNext = 0xc1,
+  kKvBulkScan = 0xc2,
+  kKvReset = 0xc3,
+  // Compound command (paper §IV, [33]): several KV operations submitted and
+  // completed as one NVMe command.
+  kKvCompound = 0xc4,
+};
+
+const char* OpcodeName(Opcode op);
+
+// One executed command, as recorded by the device trace.
+struct CommandRecord {
+  Nanos time = 0;
+  Opcode opcode = Opcode::kFlush;
+  int nsid = 0;
+  uint64_t bytes = 0;  // payload moved over PCIe for this command
+};
+
+// Bounded trace of recently executed commands.
+class CommandTrace {
+ public:
+  explicit CommandTrace(size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void Record(Nanos time, Opcode opcode, int nsid, uint64_t bytes) {
+    if (!enabled_) return;
+    if (records_.size() == capacity_) records_.pop_front();
+    records_.push_back({time, opcode, nsid, bytes});
+    total_count_++;
+  }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  const std::deque<CommandRecord>& records() const { return records_; }
+  uint64_t total_count() const { return total_count_; }
+
+  uint64_t CountOf(Opcode op) const {
+    uint64_t n = 0;
+    for (const auto& r : records_) {
+      if (r.opcode == op) n++;
+    }
+    return n;
+  }
+
+ private:
+  size_t capacity_;
+  bool enabled_ = true;
+  std::deque<CommandRecord> records_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace kvaccel::ssd::nvme

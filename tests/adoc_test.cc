@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adoc/adoc_tuner.h"
+#include "tests/test_util.h"
+
+namespace kvaccel::adoc {
+namespace {
+
+using test::SimWorld;
+using test::TestKey;
+
+AdocOptions SmallAdocOptions() {
+  AdocOptions o;
+  o.tuning_period = FromMillis(10);
+  o.min_write_buffer = 256 << 10;
+  o.max_write_buffer = 1 << 20;
+  return o;
+}
+
+TEST(AdocTest, ScalesThreadsUpUnderPressure) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 1;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    AdocOptions aopts = SmallAdocOptions();
+    aopts.max_compaction_threads = 4;
+    AdocTuner tuner(db.get(), &world.env, opts, aopts);
+    tuner.Start();
+
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_GT(tuner.stats().tuning_rounds, 0u);
+    EXPECT_GT(tuner.stats().thread_increases, 0u);
+    EXPECT_GT(db->compaction_threads(), 1);
+    tuner.Stop();
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(AdocTest, DecaysWhenCalm) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 1;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    AdocOptions aopts = SmallAdocOptions();
+    aopts.calm_periods_to_decay = 3;
+    AdocTuner tuner(db.get(), &world.env, opts, aopts);
+    tuner.Start();
+
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    int peak = db->compaction_threads();
+    ASSERT_TRUE(db->FlushAll().ok());
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    world.env.SleepFor(FromSecs(2));  // calm: tuner should decay
+    EXPECT_LE(db->compaction_threads(), peak);
+    EXPECT_GT(tuner.stats().thread_decreases + tuner.stats().buffer_decreases,
+              0u);
+    tuner.Stop();
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(AdocTest, RespectsThreadBudget) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 1;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    AdocOptions aopts = SmallAdocOptions();
+    aopts.max_compaction_threads = 2;
+    AdocTuner tuner(db.get(), &world.env, opts, aopts);
+    tuner.Start();
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_LE(db->compaction_threads(), 2);
+    tuner.Stop();
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(AdocTest, GrowsBufferWhenThreadsSaturated) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 1;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    AdocOptions aopts = SmallAdocOptions();
+    aopts.max_compaction_threads = 1;  // thread knob pinned
+    AdocTuner tuner(db.get(), &world.env, opts, aopts);
+    tuner.Start();
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_GT(tuner.stats().buffer_increases, 0u);
+    EXPECT_GT(db->write_buffer_size(), 256u << 10);
+    tuner.Stop();
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace kvaccel::adoc

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/kvaccel_db.h"
+#include "tests/test_util.h"
+
+namespace kvaccel::core {
+namespace {
+
+using test::SimWorld;
+using test::TestKey;
+
+KvaccelOptions SmallKvOptions() {
+  KvaccelOptions o;
+  o.dev.memtable_bytes = 128 << 10;
+  o.dev.dma_chunk = 64 << 10;
+  o.rollback = RollbackScheme::kDisabled;  // tests trigger rollback manually
+  return o;
+}
+
+TEST(KvaccelDbTest, NormalPathPutGet) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(KvaccelDB::Open(test::SmallDbOptions(), SmallKvOptions(),
+                                world.MakeDbEnv(), &db)
+                    .ok());
+    ASSERT_TRUE(db->Put({}, "k", Value::Inline("v")).ok());
+    Value v;
+    ASSERT_TRUE(db->Get({}, "k", &v).ok());
+    EXPECT_EQ(v.Materialize(), "v");
+    EXPECT_EQ(db->kv_stats().direct_writes, 1u);
+    EXPECT_EQ(db->kv_stats().redirected_writes, 0u);
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+// Forces the redirection path by stuffing Main-LSM until the Detector sees
+// an imminent stall, then checks read-your-writes across both paths.
+TEST(KvaccelDbTest, RedirectionDuringStallPreservesReads) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);  // react fast at test scale
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i % 500),
+                          Value::Synthetic(static_cast<uint64_t>(i), 4096))
+                      .ok());
+    }
+    // Sustained pressure must have redirected part of the stream.
+    EXPECT_GT(db->kv_stats().redirected_writes, 0u);
+    EXPECT_GT(db->kv_stats().direct_writes, 0u);
+    EXPECT_GT(db->kv_stats().detector_checks, 0u);
+
+    // Read-your-writes: the newest version of every key, wherever it lives.
+    Value v;
+    for (int k = 0; k < 500; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      EXPECT_EQ(v.seed(), static_cast<uint64_t>(2500 + k)) << k;
+    }
+    EXPECT_GT(db->kv_stats().dev_reads + db->kv_stats().main_reads, 0u);
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, RollbackDrainsDeviceAndPreservesData) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE(
+          db->Put({}, TestKey(i % 500), Value::Synthetic(i, 4096)).ok());
+    }
+    ASSERT_GT(db->kv_stats().redirected_writes, 0u);
+    ASSERT_FALSE(db->dev()->Empty());
+
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    ASSERT_TRUE(db->RollbackNow().ok());
+    EXPECT_TRUE(db->dev()->Empty());
+    EXPECT_EQ(db->metadata()->Size(), 0u);
+    EXPECT_EQ(db->kv_stats().rollbacks, 1u);
+    EXPECT_GT(db->kv_stats().rollback_entries, 0u);
+
+    // All newest versions now come from Main-LSM.
+    Value v;
+    for (int k = 0; k < 500; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      EXPECT_EQ(v.seed(), static_cast<uint64_t>(2500 + k)) << k;
+    }
+    EXPECT_EQ(db->kv_stats().dev_reads, 0u);  // reads after rollback: main
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, DeleteRedirectedAsTombstone) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    // Seed some stable data.
+    for (int i = 0; i < 100; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    // Build stall pressure, then delete seeded keys mid-pressure.
+    for (int i = 0; i < 2000; i++) {
+      ASSERT_TRUE(
+          db->Put({}, TestKey(1000 + i), Value::Synthetic(i, 4096)).ok());
+      if (i % 40 == 0 && i / 40 < 100) {
+        ASSERT_TRUE(db->Delete({}, TestKey(i / 40)).ok());
+      }
+    }
+    // Deleted keys are gone regardless of which path served the delete.
+    Value v;
+    for (int k = 0; k < 50; k++) {
+      EXPECT_TRUE(db->Get({}, TestKey(k), &v).IsNotFound()) << k;
+    }
+    // And stay gone after rollback.
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    ASSERT_TRUE(db->RollbackNow().ok());
+    for (int k = 0; k < 50; k++) {
+      EXPECT_TRUE(db->Get({}, TestKey(k), &v).IsNotFound()) << k;
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, OverwriteOnMainPathInvalidatesDevCopy) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    // Build pressure so some "hot" keys get redirected.
+    for (int i = 0; i < 2500; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i % 300), Value::Synthetic(i, 4096)).ok());
+    }
+    ASSERT_GT(db->metadata()->Size(), 0u);
+    // Let pressure subside, then overwrite everything on the normal path.
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    db->detector()->PollNow();
+    for (int k = 0; k < 300; k++) {
+      ASSERT_TRUE(
+          db->Put({}, TestKey(k), Value::Synthetic(100000 + k, 64)).ok());
+    }
+    // Paper write path (3-1): records now point at Main-LSM.
+    Value v;
+    for (int k = 0; k < 300; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      EXPECT_EQ(v.seed(), static_cast<uint64_t>(100000 + k)) << k;
+    }
+    // Rollback must NOT resurrect the stale device copies.
+    ASSERT_TRUE(db->RollbackNow().ok());
+    for (int k = 0; k < 300; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      EXPECT_EQ(v.seed(), static_cast<uint64_t>(100000 + k)) << k;
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, HybridIteratorMergesBothSides) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    KvaccelOptions kv_opts = SmallKvOptions();
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    // Even keys via the normal path.
+    for (int i = 0; i < 100; i += 2) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 256)).ok());
+    }
+    // Odd keys planted directly in the Dev-LSM (as a redirection would).
+    for (int i = 1; i < 100; i += 2) {
+      ASSERT_TRUE(db->dev()->Put(TestKey(i), Value::Synthetic(i, 256)).ok());
+      db->metadata()->Insert(TestKey(i), 1000000 + i);
+    }
+    // Overlap: key 10 newest in dev, key 12 newest in main.
+    ASSERT_TRUE(db->dev()->Put(TestKey(10), Value::Synthetic(777, 256)).ok());
+    db->metadata()->Insert(TestKey(10), 2000000);
+    ASSERT_TRUE(db->dev()->Put(TestKey(12), Value::Synthetic(888, 256)).ok());
+    // (12 not in metadata: main is newest)
+    // Dev tombstone hides key 14 entirely.
+    ASSERT_TRUE(db->dev()->Delete(TestKey(14)).ok());
+    db->metadata()->Insert(TestKey(14), 2000001);
+
+    auto it = db->NewIterator({});
+    std::vector<std::string> keys;
+    uint64_t seed10 = 0, seed12 = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      keys.push_back(it->key().ToString());
+      Value v = Value::DecodeOrDie(it->value());
+      if (it->key().ToString() == TestKey(10)) seed10 = v.seed();
+      if (it->key().ToString() == TestKey(12)) seed12 = v.seed();
+    }
+    EXPECT_EQ(keys.size(), 99u);  // 100 keys minus tombstoned 14
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(seed10, 777u);  // metadata says dev is newest
+    EXPECT_EQ(seed12, 12u);   // metadata says main is newest
+    for (const auto& k : keys) EXPECT_NE(k, TestKey(14));
+
+    // Seek into the middle.
+    it->Seek(TestKey(50));
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key().ToString(), TestKey(50));
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, CrashRecoveryRebuildsConsistency) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    for (int i = 0; i < 2500; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i % 400), Value::Synthetic(i, 4096)).ok());
+    }
+    ASSERT_GT(db->metadata()->Size(), 0u);
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+
+    // Lose the volatile hash table; recover by full rollback (paper §VI-D).
+    Nanos recovery = 0;
+    ASSERT_TRUE(db->CrashMetadataAndRecover(&recovery).ok());
+    EXPECT_GT(recovery, 0u);
+    EXPECT_TRUE(db->dev()->Empty());
+    EXPECT_EQ(db->metadata()->Size(), 0u);
+    Value v;
+    for (int k = 0; k < 400; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      // Last write of key k among i = 0..2499 with i % 400 == k.
+      uint64_t expect = (k < 100) ? (2400 + k) : (2000 + k);
+      EXPECT_EQ(v.seed(), expect) << k;
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, EagerRollbackRunsAutomatically) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 2;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);
+    kv_opts.rollback = RollbackScheme::kEager;
+    kv_opts.eager_calm_periods = 2;
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i % 500), Value::Synthetic(i, 4096)).ok());
+    }
+    // Give the background managers idle time to drain the device.
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    world.env.SleepFor(FromSecs(2));
+    EXPECT_TRUE(db->dev()->Empty());
+    EXPECT_GT(db->kv_stats().rollbacks, 0u);
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(KvaccelDbTest, MetadataCostsMatchTableVI) {
+  SimWorld world;
+  world.Run([&] {
+    KvaccelOptions opts = SmallKvOptions();
+    KvaccelStats stats;
+    MetadataManager md(&world.env, world.host_cpu.get(), opts, &stats);
+    Nanos t0 = world.env.Now();
+    md.Insert("key1", 7);
+    EXPECT_EQ(world.env.Now() - t0, 450u);  // 0.45 us
+    t0 = world.env.Now();
+    EXPECT_TRUE(md.Check("key1"));
+    EXPECT_EQ(world.env.Now() - t0, 200u);  // 0.20 us
+    t0 = world.env.Now();
+    md.Delete("key1");
+    EXPECT_EQ(world.env.Now() - t0, 280u);  // 0.28 us
+    EXPECT_FALSE(md.Check("key1"));
+    EXPECT_EQ(stats.md_inserts, 1u);
+    EXPECT_EQ(stats.md_checks, 2u);
+    EXPECT_EQ(stats.md_deletes, 1u);
+  });
+}
+
+TEST(KvaccelDbTest, NoRedirectionWhenDisabled) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.redirection_enabled = false;
+    kv_opts.detector_period = FromMillis(1);
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+    for (int i = 0; i < 1500; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_EQ(db->kv_stats().redirected_writes, 0u);
+    EXPECT_TRUE(db->dev()->Empty());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace kvaccel::core

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "devlsm/dev_lsm.h"
+#include "tests/test_util.h"
+
+namespace kvaccel::devlsm {
+namespace {
+
+using test::SimWorld;
+using test::TestKey;
+
+DevLsmOptions SmallDevOptions() {
+  DevLsmOptions o;
+  o.memtable_bytes = 128 << 10;  // flush quickly in tests
+  o.dma_chunk = 64 << 10;
+  return o;
+}
+
+TEST(DevLsmTest, PutGetDelete) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    ASSERT_TRUE(dev.Put("k1", Value::Inline("v1")).ok());
+    ASSERT_TRUE(dev.Put("k2", Value::Synthetic(7, 4096)).ok());
+    Value v;
+    ASSERT_TRUE(dev.Get("k1", &v).ok());
+    EXPECT_EQ(v.Materialize(), "v1");
+    ASSERT_TRUE(dev.Get("k2", &v).ok());
+    EXPECT_EQ(v.logical_size(), 4096u);
+    EXPECT_TRUE(dev.Get("absent", &v).IsNotFound());
+    ASSERT_TRUE(dev.Delete("k1").ok());
+    EXPECT_TRUE(dev.Get("k1", &v).IsNotFound());
+    EXPECT_TRUE(dev.Exist("k2"));
+    EXPECT_FALSE(dev.Exist("k1"));
+  });
+}
+
+TEST(DevLsmTest, OverwriteKeepsNewest) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    for (int i = 0; i < 5; i++) {
+      ASSERT_TRUE(dev.Put("k", Value::Synthetic(i, 100)).ok());
+    }
+    Value v;
+    ASSERT_TRUE(dev.Get("k", &v).ok());
+    EXPECT_EQ(v.seed(), 4u);
+  });
+}
+
+TEST(DevLsmTest, FlushSpillsToNandAndSurvivesInRuns) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    uint64_t nand_before = world.ssd->nand().bytes_written();
+    // 128 KiB threshold: 40 x 4 KiB values forces at least one flush.
+    for (int i = 0; i < 40; i++) {
+      ASSERT_TRUE(dev.Put(TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_GE(dev.stats().flushes, 1u);
+    EXPECT_GT(world.ssd->nand().bytes_written(), nand_before);
+    EXPECT_GT(dev.used_pages(), 0u);
+    // Keys in flushed runs are still readable (with a device page read).
+    Value v;
+    ASSERT_TRUE(dev.Get(TestKey(0), &v).ok());
+    EXPECT_EQ(v.seed(), 0u);
+  });
+}
+
+TEST(DevLsmTest, RunCompactionMergesAndReclaims) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsmOptions opts = SmallDevOptions();
+    opts.compaction_enabled = true;
+    opts.l0_run_trigger = 3;
+    DevLsm dev(world.ssd.get(), 0, opts);
+    // Overwrite the same small key set across many flush generations.
+    for (int round = 0; round < 8; round++) {
+      for (int i = 0; i < 40; i++) {
+        ASSERT_TRUE(
+            dev.Put(TestKey(i), Value::Synthetic(round * 100 + i, 4096)).ok());
+      }
+    }
+    EXPECT_GT(dev.stats().compactions, 0u);
+    Value v;
+    ASSERT_TRUE(dev.Get(TestKey(5), &v).ok());
+    EXPECT_EQ(v.seed(), 705u);  // round 7
+  });
+}
+
+TEST(DevLsmTest, BulkScanStreamsSortedNewestOnly) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    for (int i = 50; i > 0; i--) {
+      ASSERT_TRUE(dev.Put(TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    ASSERT_TRUE(dev.Put(TestKey(25), Value::Synthetic(999, 4096)).ok());
+    ASSERT_TRUE(dev.Delete(TestKey(10)).ok());
+
+    std::vector<std::string> keys;
+    int tombstones = 0;
+    uint64_t seed25 = 0;
+    ASSERT_TRUE(dev.BulkScan([&](const DevLsm::ScanEntry& e) {
+                    keys.push_back(e.key);
+                    if (e.tombstone) tombstones++;
+                    if (e.key == TestKey(25)) seed25 = e.value.seed();
+                  })
+                    .ok());
+    EXPECT_EQ(keys.size(), 50u);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(tombstones, 1);  // the deleted key streams as a tombstone
+    EXPECT_EQ(seed25, 999u);   // newest version only
+    EXPECT_GT(dev.stats().scan_chunks, 1u);  // multiple 64 KiB DMA chunks
+  });
+}
+
+TEST(DevLsmTest, ResetFreesEverything) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    for (int i = 0; i < 60; i++) {
+      ASSERT_TRUE(dev.Put(TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_FALSE(dev.Empty());
+    EXPECT_GT(dev.used_pages(), 0u);
+    ASSERT_TRUE(dev.Reset().ok());
+    EXPECT_TRUE(dev.Empty());
+    EXPECT_EQ(dev.used_pages(), 0u);
+    Value v;
+    EXPECT_TRUE(dev.Get(TestKey(1), &v).IsNotFound());
+    // Usable again after reset.
+    ASSERT_TRUE(dev.Put("fresh", Value::Inline("x")).ok());
+    ASSERT_TRUE(dev.Get("fresh", &v).ok());
+  });
+}
+
+TEST(DevLsmTest, IteratorBatchedSeekNext) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    for (int i = 0; i < 100; i++) {
+      ASSERT_TRUE(dev.Put(TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    auto it = dev.NewIterator();
+    it->Seek(TestKey(30));
+    int count = 0;
+    for (; it->Valid(); it->Next()) {
+      EXPECT_EQ(it->key(), TestKey(30 + count));
+      count++;
+    }
+    EXPECT_EQ(count, 70);
+    it->SeekToFirst();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key(), TestKey(0));
+  });
+}
+
+TEST(DevLsmTest, IteratorPaysDevicePerBatch) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    for (int i = 0; i < 100; i++) {
+      ASSERT_TRUE(dev.Put(TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    uint64_t reads_before = world.ssd->nand().bytes_read();
+    auto it = dev.NewIterator();
+    it->SeekToFirst();
+    while (it->Valid()) it->Next();
+    // 100 * ~4 KiB entries at 64 KiB batches -> several uncached NAND reads.
+    EXPECT_GT(world.ssd->nand().bytes_read(), reads_before + 300'000);
+  });
+}
+
+TEST(DevLsmTest, QuotaExhaustionSurfacesNoSpace) {
+  ssd::SsdConfig cfg = SimWorld::DefaultSsdConfig();
+  cfg.capacity_bytes = 16ull << 20;  // tiny device: 4 MiB KV region
+  SimWorld world(cfg);
+  world.Run([&] {
+    DevLsmOptions opts = SmallDevOptions();
+    opts.compaction_enabled = false;
+    DevLsm dev(world.ssd.get(), 0, opts);
+    Status s;
+    for (int i = 0; i < 4000 && s.ok(); i++) {
+      s = dev.Put(TestKey(i), Value::Synthetic(i, 4096));
+    }
+    EXPECT_TRUE(s.IsNoSpace());
+  });
+}
+
+TEST(DevLsmTest, CommandsRideTheSharedPcieLink) {
+  SimWorld world;
+  world.Run([&] {
+    DevLsm dev(world.ssd.get(), 0, SmallDevOptions());
+    uint64_t pcie_before = world.ssd->pcie().total_bytes();
+    ASSERT_TRUE(dev.Put("k", Value::Synthetic(1, 4096)).ok());
+    // PUT moved ~4 KiB + command overhead over PCIe.
+    EXPECT_GE(world.ssd->pcie().total_bytes(), pcie_before + 4096);
+    EXPECT_EQ(world.ssd->trace().CountOf(ssd::nvme::Opcode::kKvStore), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace kvaccel::devlsm

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lsm/db.h"
+#include "tests/test_util.h"
+
+namespace kvaccel::lsm {
+namespace {
+
+using test::SimWorld;
+using test::TestKey;
+
+TEST(IngestTest, BatchVisibleAfterIngestion) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db).ok());
+    std::vector<IngestEntry> batch;
+    for (int i = 0; i < 100; i++) {
+      batch.push_back({TestKey(i), Value::Synthetic(i, 512), false,
+                       db->AllocateSequence(1)});
+    }
+    ASSERT_TRUE(db->IngestSortedBatch(batch).ok());
+    Value v;
+    for (int i = 0; i < 100; i += 9) {
+      ASSERT_TRUE(db->Get({}, TestKey(i), &v).ok()) << i;
+      EXPECT_EQ(v.seed(), static_cast<uint64_t>(i));
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(IngestTest, SequenceOrderingAgainstLiveWrites) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db).ok());
+    // Old version written normally, newer version ingested, then an even
+    // newer normal write: the global sequence order must decide.
+    ASSERT_TRUE(db->Put({}, "k", Value::Inline("v1")).ok());
+    SequenceNumber ingest_seq = db->AllocateSequence(1);
+    ASSERT_TRUE(db->Put({}, "k2", Value::Inline("x")).ok());  // later seq
+    std::vector<IngestEntry> batch{{"k", Value::Inline("v2"), false,
+                                    ingest_seq}};
+    ASSERT_TRUE(db->IngestSortedBatch(batch).ok());
+    Value v;
+    ASSERT_TRUE(db->Get({}, "k", &v).ok());
+    EXPECT_EQ(v.Materialize(), "v2");  // ingested seq > v1's seq
+    // A normal write after ingestion wins over the ingested version.
+    ASSERT_TRUE(db->Put({}, "k", Value::Inline("v3")).ok());
+    ASSERT_TRUE(db->Get({}, "k", &v).ok());
+    EXPECT_EQ(v.Materialize(), "v3");
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(IngestTest, StaleIngestDoesNotClobberNewerData) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db).ok());
+    SequenceNumber old_seq = db->AllocateSequence(1);
+    ASSERT_TRUE(db->Put({}, "k", Value::Inline("new")).ok());
+    std::vector<IngestEntry> batch{{"k", Value::Inline("old"), false,
+                                    old_seq}};
+    ASSERT_TRUE(db->IngestSortedBatch(batch).ok());
+    Value v;
+    ASSERT_TRUE(db->Get({}, "k", &v).ok());
+    EXPECT_EQ(v.Materialize(), "new");  // ingested version is older
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(IngestTest, TombstonesIngest) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db).ok());
+    ASSERT_TRUE(db->Put({}, TestKey(1), Value::Inline("x")).ok());
+    ASSERT_TRUE(db->Put({}, TestKey(2), Value::Inline("y")).ok());
+    std::vector<IngestEntry> batch{
+        {TestKey(1), Value(), true, db->AllocateSequence(1)}};
+    ASSERT_TRUE(db->IngestSortedBatch(batch).ok());
+    Value v;
+    EXPECT_TRUE(db->Get({}, TestKey(1), &v).IsNotFound());
+    EXPECT_TRUE(db->Get({}, TestKey(2), &v).ok());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(IngestTest, RejectsUnsortedBatch) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db).ok());
+    std::vector<IngestEntry> batch{
+        {"b", Value::Inline("1"), false, db->AllocateSequence(1)},
+        {"a", Value::Inline("2"), false, db->AllocateSequence(1)}};
+    EXPECT_TRUE(db->IngestSortedBatch(batch).IsInvalidArgument());
+    std::vector<IngestEntry> dup{
+        {"a", Value::Inline("1"), false, db->AllocateSequence(1)},
+        {"a", Value::Inline("2"), false, db->AllocateSequence(1)}};
+    EXPECT_TRUE(db->IngestSortedBatch(dup).IsInvalidArgument());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(IngestTest, EmptyBatchIsNoop) {
+  SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db).ok());
+    EXPECT_TRUE(db->IngestSortedBatch({}).ok());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(IngestTest, IngestedDataSurvivesCompactionAndRestart) {
+  SimWorld world;
+  world.Run([&] {
+    DbOptions opts = test::SmallDbOptions();
+    {
+      std::unique_ptr<DB> db;
+      ASSERT_TRUE(DB::Open(opts, world.MakeDbEnv(), &db).ok());
+      std::vector<IngestEntry> batch;
+      for (int i = 0; i < 200; i++) {
+        batch.push_back({TestKey(i), Value::Synthetic(i, 4096), false,
+                         db->AllocateSequence(1)});
+      }
+      ASSERT_TRUE(db->IngestSortedBatch(batch).ok());
+      // More churn to force compaction over the ingested file.
+      for (int i = 0; i < 500; i++) {
+        ASSERT_TRUE(db->Put({}, TestKey(i % 200),
+                            Value::Synthetic(1000 + i, 4096)).ok());
+      }
+      ASSERT_TRUE(db->FlushAll().ok());
+      ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+      ASSERT_TRUE(db->Close().ok());
+    }
+    {
+      std::unique_ptr<DB> db;
+      ASSERT_TRUE(DB::Open(opts, world.MakeDbEnv(), &db).ok());
+      Value v;
+      // Last churn write of key k (k in 150..199) was i = 300 + k,
+      // seed 1000 + i.
+      for (int k = 150; k < 200; k++) {
+        ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+        EXPECT_EQ(v.seed(), static_cast<uint64_t>(1300 + k - 100)) << k;
+      }
+      ASSERT_TRUE(db->Close().ok());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace kvaccel::lsm

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/random.h"
+#include "lsm/bloom.h"
+#include "lsm/cache.h"
+#include "lsm/dbformat.h"
+#include "lsm/memtable.h"
+#include "lsm/skiplist.h"
+#include "lsm/write_batch.h"
+
+namespace kvaccel::lsm {
+namespace {
+
+TEST(DbFormatTest, PackUnpack) {
+  uint64_t packed = PackSequenceAndType(12345, ValueType::kValue);
+  SequenceNumber seq;
+  ValueType t;
+  UnpackSequenceAndType(packed, &seq, &t);
+  EXPECT_EQ(seq, 12345u);
+  EXPECT_EQ(t, ValueType::kValue);
+}
+
+TEST(DbFormatTest, InternalKeyExtraction) {
+  std::string ikey;
+  AppendInternalKey(&ikey, "mykey", 42, ValueType::kDeletion);
+  EXPECT_EQ(ikey.size(), 5u + 8u);
+  EXPECT_EQ(ExtractUserKey(ikey).ToString(), "mykey");
+  EXPECT_EQ(ExtractSequence(ikey), 42u);
+  EXPECT_EQ(ExtractValueType(ikey), ValueType::kDeletion);
+}
+
+TEST(DbFormatTest, ComparatorOrdersUserKeyAscSeqDesc) {
+  InternalKeyComparator cmp;
+  std::string a, b, c;
+  AppendInternalKey(&a, "aaa", 100, ValueType::kValue);
+  AppendInternalKey(&b, "aaa", 50, ValueType::kValue);
+  AppendInternalKey(&c, "bbb", 1, ValueType::kValue);
+  EXPECT_LT(cmp.Compare(a, b), 0);  // newer sorts first for same user key
+  EXPECT_LT(cmp.Compare(b, c), 0);  // user key dominates
+  EXPECT_EQ(cmp.Compare(a, a), 0);
+}
+
+TEST(DbFormatTest, LookupKeySeeksNewest) {
+  InternalKeyComparator cmp;
+  LookupKey lk("k", 100);
+  std::string newer, exact, older;
+  AppendInternalKey(&newer, "k", 150, ValueType::kValue);
+  AppendInternalKey(&exact, "k", 100, ValueType::kValue);
+  AppendInternalKey(&older, "k", 50, ValueType::kValue);
+  // Seek key must land after entries newer than the snapshot but at/before
+  // the snapshot version.
+  EXPECT_GT(cmp.Compare(lk.internal_key(), newer), 0);
+  EXPECT_LE(cmp.Compare(lk.internal_key(), exact), 0);
+  EXPECT_LT(cmp.Compare(lk.internal_key(), older), 0);
+}
+
+struct IntComparator {
+  int operator()(const uint64_t& a, const uint64_t& b) const {
+    if (a < b) return -1;
+    if (a > b) return +1;
+    return 0;
+  }
+};
+
+TEST(SkipListTest, InsertAndIterateSorted) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  Random64 rng(301);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 2000; i++) {
+    uint64_t k = rng.Uniform(100000);
+    if (keys.insert(k).second) list.Insert(k);
+  }
+  for (uint64_t k : keys) EXPECT_TRUE(list.Contains(k));
+  EXPECT_FALSE(list.Contains(1000001));
+
+  SkipList<uint64_t, IntComparator>::Iterator it(&list);
+  it.SeekToFirst();
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, Seek) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  for (uint64_t k : {10u, 20u, 30u}) list.Insert(k);
+  SkipList<uint64_t, IntComparator>::Iterator it(&list);
+  it.Seek(15);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 20u);
+  it.Seek(30);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30u);
+  it.Seek(31);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(MemTableTest, AddGet) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "apple", Value::Inline("red"));
+  mem.Add(2, ValueType::kValue, "banana", Value::Inline("yellow"));
+  Value v;
+  Status s;
+  EXPECT_TRUE(mem.Get(LookupKey("apple", 10), &v, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(v.Materialize(), "red");
+  EXPECT_FALSE(mem.Get(LookupKey("cherry", 10), &v, &s));
+  EXPECT_EQ(mem.NumEntries(), 2u);
+}
+
+TEST(MemTableTest, NewerVersionWins) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", Value::Inline("v1"));
+  mem.Add(5, ValueType::kValue, "k", Value::Inline("v2"));
+  Value v;
+  Status s;
+  ASSERT_TRUE(mem.Get(LookupKey("k", 100), &v, &s));
+  EXPECT_EQ(v.Materialize(), "v2");
+  // Snapshot below the second version sees the first.
+  ASSERT_TRUE(mem.Get(LookupKey("k", 3), &v, &s));
+  EXPECT_EQ(v.Materialize(), "v1");
+}
+
+TEST(MemTableTest, TombstoneDecides) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", Value::Inline("v"));
+  mem.Add(2, ValueType::kDeletion, "k", Value());
+  Value v;
+  Status s;
+  ASSERT_TRUE(mem.Get(LookupKey("k", 100), &v, &s));
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(MemTableTest, LogicalSizeCountsSyntheticValues) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "abcd", Value::Synthetic(7, 4096));
+  EXPECT_EQ(mem.LogicalSize(), 4u + 8u + 4096u);
+  // Host memory stays compact.
+  EXPECT_LT(mem.ApproximateMemoryUsage(), 2u << 20);
+}
+
+TEST(MemTableTest, IteratorSortedByInternalKey) {
+  MemTable mem;
+  mem.Add(3, ValueType::kValue, "b", Value::Inline("b3"));
+  mem.Add(1, ValueType::kValue, "a", Value::Inline("a1"));
+  mem.Add(2, ValueType::kValue, "c", Value::Inline("c2"));
+  auto it = mem.NewIterator();
+  std::vector<std::string> keys;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    keys.push_back(ExtractUserKey(it->key()).ToString());
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(WriteBatchTest, PutDeleteRoundTrip) {
+  WriteBatch batch;
+  batch.Put("k1", Value::Inline("v1"));
+  batch.Delete("k2");
+  batch.Put("k3", Value::Synthetic(9, 100));
+  batch.SetSequence(50);
+  EXPECT_EQ(batch.Count(), 3u);
+  EXPECT_EQ(batch.LogicalSize(), (2 + 8 + 2) + (2 + 8) + (2 + 8 + 100));
+
+  WriteBatch parsed;
+  ASSERT_TRUE(WriteBatch::ParseFrom(batch.Contents(), &parsed).ok());
+  EXPECT_EQ(parsed.Count(), 3u);
+  EXPECT_EQ(parsed.Sequence(), 50u);
+  EXPECT_EQ(parsed.LogicalSize(), batch.LogicalSize());
+
+  MemTable mem;
+  ASSERT_TRUE(parsed.InsertInto(&mem).ok());
+  Value v;
+  Status s;
+  ASSERT_TRUE(mem.Get(LookupKey("k1", 100), &v, &s));
+  EXPECT_EQ(v.Materialize(), "v1");
+  ASSERT_TRUE(mem.Get(LookupKey("k2", 100), &v, &s));
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(WriteBatchTest, SequencesAreConsecutive) {
+  WriteBatch batch;
+  batch.Put("a", Value::Inline("1"));
+  batch.Put("a", Value::Inline("2"));
+  batch.SetSequence(10);
+  MemTable mem;
+  ASSERT_TRUE(batch.InsertInto(&mem).ok());
+  Value v;
+  Status s;
+  ASSERT_TRUE(mem.Get(LookupKey("a", 100), &v, &s));
+  EXPECT_EQ(v.Materialize(), "2");  // seq 11 wins
+  ASSERT_TRUE(mem.Get(LookupKey("a", 10), &v, &s));
+  EXPECT_EQ(v.Materialize(), "1");
+}
+
+TEST(WriteBatchTest, ParseRejectsGarbage) {
+  WriteBatch batch;
+  EXPECT_TRUE(WriteBatch::ParseFrom(Slice("xy"), &batch).IsCorruption());
+  std::string bad(12, '\0');
+  bad[8] = 2;  // claims 2 entries, provides none
+  EXPECT_TRUE(WriteBatch::ParseFrom(bad, &batch).IsCorruption());
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(10);
+  std::vector<uint32_t> hashes;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; i++) {
+    keys.push_back("key" + std::to_string(i));
+    hashes.push_back(BloomFilter::HashKey(keys.back()));
+  }
+  std::string filter;
+  bloom.CreateFilter(hashes, &filter);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(bloom.KeyMayMatch(BloomFilter::HashKey(k), filter));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilter bloom(10);
+  std::vector<uint32_t> hashes;
+  for (int i = 0; i < 1000; i++) {
+    hashes.push_back(BloomFilter::HashKey("in" + std::to_string(i)));
+  }
+  std::string filter;
+  bloom.CreateFilter(hashes, &filter);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (bloom.KeyMayMatch(BloomFilter::HashKey("out" + std::to_string(i)),
+                          filter)) {
+      false_positives++;
+    }
+  }
+  // ~1% expected at 10 bits/key; allow generous slack.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BlockCacheTest, HitMissAndLru) {
+  BlockCache cache(100);
+  auto block = [](uint64_t logical) {
+    auto b = std::make_shared<BlockCache::Block>();
+    b->logical = logical;
+    return b;
+  };
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 0, block(40));
+  cache.Insert(1, 100, block(40));
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);   // refresh: (1,0) is MRU
+  cache.Insert(2, 0, block(40));            // evicts LRU (1,100)
+  EXPECT_EQ(cache.Lookup(1, 100), nullptr);
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(2, 0), nullptr);
+  EXPECT_LE(cache.usage(), 100u);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(BlockCacheTest, ZeroCapacityCachesNothing) {
+  BlockCache cache(0);
+  auto b = std::make_shared<BlockCache::Block>();
+  b->logical = 10;
+  cache.Insert(1, 0, b);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+}
+
+TEST(BlockCacheTest, Erase) {
+  BlockCache cache(1000);
+  auto b = std::make_shared<BlockCache::Block>();
+  b->logical = 10;
+  cache.Insert(3, 7, b);
+  EXPECT_NE(cache.Lookup(3, 7), nullptr);
+  cache.Erase(3, 7);
+  EXPECT_EQ(cache.Lookup(3, 7), nullptr);
+  EXPECT_EQ(cache.usage(), 0u);
+}
+
+}  // namespace
+}  // namespace kvaccel::lsm

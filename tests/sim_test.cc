@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/cpu_pool.h"
+#include "sim/resource.h"
+#include "sim/sim_env.h"
+#include "sim/timeseries.h"
+
+namespace kvaccel::sim {
+namespace {
+
+TEST(SimEnvTest, ClockAdvancesOnSleep) {
+  SimEnv env;
+  Nanos observed = 0;
+  env.Spawn("t", [&] {
+    env.SleepFor(FromMicros(10));
+    observed = env.Now();
+  });
+  env.Run();
+  EXPECT_EQ(observed, FromMicros(10));
+}
+
+TEST(SimEnvTest, ThreadsInterleaveByTime) {
+  SimEnv env;
+  std::vector<std::string> order;
+  env.Spawn("a", [&] {
+    env.SleepFor(100);
+    order.push_back("a@100");
+    env.SleepFor(200);  // wakes at 300
+    order.push_back("a@300");
+  });
+  env.Spawn("b", [&] {
+    env.SleepFor(200);
+    order.push_back("b@200");
+    env.SleepFor(200);  // wakes at 400
+    order.push_back("b@400");
+  });
+  env.Run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "a@100");
+  EXPECT_EQ(order[1], "b@200");
+  EXPECT_EQ(order[2], "a@300");
+  EXPECT_EQ(order[3], "b@400");
+}
+
+TEST(SimEnvTest, TiesBrokenBySpawnOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  env.Spawn("first", [&] {
+    env.SleepFor(100);
+    order.push_back(1);
+  });
+  env.Spawn("second", [&] {
+    env.SleepFor(100);
+    order.push_back(2);
+  });
+  env.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(SimEnvTest, SpawnFromWithinSimThread) {
+  SimEnv env;
+  bool child_ran = false;
+  env.Spawn("parent", [&] {
+    env.SleepFor(50);
+    SimEnv::Thread* child = env.Spawn("child", [&] {
+      env.SleepFor(10);
+      child_ran = true;
+    });
+    env.Join(child);
+    EXPECT_TRUE(child_ran);
+    EXPECT_EQ(env.Now(), 60u);
+  });
+  env.Run();
+  EXPECT_TRUE(child_ran);
+}
+
+TEST(SimEnvTest, JoinFinishedThreadReturnsImmediately) {
+  SimEnv env;
+  env.Spawn("parent", [&] {
+    SimEnv::Thread* child = env.Spawn("child", [] {});
+    env.SleepFor(1000);  // child certainly done
+    env.Join(child);
+    EXPECT_EQ(env.Now(), 1000u);
+  });
+  env.Run();
+}
+
+TEST(SimEnvTest, MutexProvidesExclusion) {
+  SimEnv env;
+  SimMutex mu;
+  int counter = 0;
+  int max_in_section = 0;
+  int in_section = 0;
+  for (int i = 0; i < 4; i++) {
+    env.Spawn("w" + std::to_string(i), [&] {
+      for (int j = 0; j < 10; j++) {
+        SimLockGuard g(mu);
+        in_section++;
+        max_in_section = std::max(max_in_section, in_section);
+        env.SleepFor(7);  // hold across a yield
+        counter++;
+        in_section--;
+      }
+    });
+  }
+  env.Run();
+  EXPECT_EQ(counter, 40);
+  EXPECT_EQ(max_in_section, 1);
+}
+
+TEST(SimEnvTest, CondVarNotifyOne) {
+  SimEnv env;
+  SimMutex mu;
+  SimCondVar cv;
+  bool ready = false;
+  int woken = 0;
+  env.Spawn("waiter", [&] {
+    SimLockGuard g(mu);
+    while (!ready) cv.Wait(mu);
+    woken++;
+  });
+  env.Spawn("signaler", [&] {
+    env.SleepFor(500);
+    SimLockGuard g(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  env.Run();
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(SimEnvTest, CondVarWaitForTimesOut) {
+  SimEnv env;
+  SimMutex mu;
+  SimCondVar cv;
+  bool notified = true;
+  Nanos end = 0;
+  env.Spawn("waiter", [&] {
+    SimLockGuard g(mu);
+    notified = cv.WaitFor(mu, FromMicros(100));
+    end = env.Now();
+  });
+  env.Run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(end, FromMicros(100));
+}
+
+TEST(SimEnvTest, CondVarWaitForNotifiedEarly) {
+  SimEnv env;
+  SimMutex mu;
+  SimCondVar cv;
+  bool notified = false;
+  Nanos end = 0;
+  env.Spawn("waiter", [&] {
+    SimLockGuard g(mu);
+    notified = cv.WaitFor(mu, FromMicros(1000));
+    end = env.Now();
+  });
+  env.Spawn("signaler", [&] {
+    env.SleepFor(FromMicros(10));
+    SimLockGuard g(mu);
+    cv.NotifyOne();
+  });
+  env.Run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(end, FromMicros(10));
+}
+
+TEST(SimEnvTest, NotifyAllWakesEveryWaiter) {
+  SimEnv env;
+  SimMutex mu;
+  SimCondVar cv;
+  bool go = false;
+  int woken = 0;
+  for (int i = 0; i < 5; i++) {
+    env.Spawn("w" + std::to_string(i), [&] {
+      SimLockGuard g(mu);
+      while (!go) cv.Wait(mu);
+      woken++;
+    });
+  }
+  env.Spawn("signaler", [&] {
+    env.SleepFor(100);
+    SimLockGuard g(mu);
+    go = true;
+    cv.NotifyAll();
+  });
+  env.Run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(SimEnvTest, DaemonDoesNotBlockShutdown) {
+  SimEnv env;
+  int ticks = 0;
+  env.Spawn(
+      "daemon",
+      [&] {
+        for (;;) {
+          env.SleepFor(FromMicros(100));
+          ticks++;
+        }
+      },
+      /*daemon=*/true);
+  env.Spawn("main", [&] { env.SleepFor(FromMicros(1000)); });
+  env.Run();  // must return despite the infinite daemon
+  EXPECT_GE(ticks, 9);
+}
+
+TEST(SimEnvTest, DeadlockDetected) {
+  SimEnv env;
+  SimMutex mu;
+  SimCondVar cv;
+  env.Spawn("stuck", [&] {
+    SimLockGuard g(mu);
+    cv.Wait(mu);  // nobody will ever notify
+  });
+  EXPECT_THROW(env.Run(), std::runtime_error);
+}
+
+TEST(SimEnvTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimEnv env;
+    std::vector<Nanos> log;
+    SimMutex mu;
+    for (int i = 0; i < 3; i++) {
+      env.Spawn("t" + std::to_string(i), [&, i] {
+        for (int j = 0; j < 5; j++) {
+          SimLockGuard g(mu);
+          env.SleepFor(static_cast<Nanos>(10 + i * 3));
+          log.push_back(env.Now());
+        }
+      });
+    }
+    env.Run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RateResourceTest, SerializesTransfers) {
+  SimEnv env;
+  RateResource link(&env, "link", MBps(100));  // 100 MB/s = 100 B/us
+  Nanos t1 = 0, t2 = 0;
+  env.Spawn("a", [&] { t1 = link.Transfer(100'000); });   // 1 ms
+  env.Spawn("b", [&] { t2 = link.Transfer(100'000); });   // queued behind a
+  env.Run();
+  EXPECT_NEAR(static_cast<double>(t1), 1e6, 1e3);
+  EXPECT_NEAR(static_cast<double>(t2), 2e6, 1e3);
+  EXPECT_EQ(link.total_bytes(), 200'000u);
+}
+
+TEST(RateResourceTest, TrafficSeriesAccounting) {
+  SimEnv env;
+  RateResource link(&env, "link", MBps(1));  // 1 MB/s
+  env.Spawn("a", [&] {
+    link.Transfer(500'000);             // 0.0..0.5 s
+    env.SleepUntil(FromSecs(2));
+    link.Transfer(1'000'000);           // 2.0..3.0 s
+  });
+  env.Run();
+  const TimeSeries& ts = link.traffic();
+  EXPECT_NEAR(ts.Bucket(0), 500'000, 1000);  // second 0
+  EXPECT_NEAR(ts.Bucket(1), 0, 1);           // second 1 idle
+  EXPECT_NEAR(ts.Bucket(2), 1'000'000, 1000);
+  EXPECT_NEAR(ts.total(), 1'500'000, 1);
+}
+
+TEST(CpuPoolTest, QueueingWhenAllCoresBusy) {
+  SimEnv env;
+  CpuPool cpu(&env, "host", 2);
+  std::vector<Nanos> done(3);
+  for (int i = 0; i < 3; i++) {
+    env.Spawn("w" + std::to_string(i),
+              [&, i] { cpu.Consume(1e6); done[i] = env.Now(); });
+  }
+  env.Run();
+  // Two run immediately, the third queues behind the first finisher.
+  EXPECT_NEAR(static_cast<double>(done[0]), 1e6, 10);
+  EXPECT_NEAR(static_cast<double>(done[1]), 1e6, 10);
+  EXPECT_NEAR(static_cast<double>(done[2]), 2e6, 10);
+  EXPECT_NEAR(cpu.busy_seconds(), 3e-3, 1e-5);
+}
+
+TEST(CpuPoolTest, SpeedFactorScalesWork) {
+  SimEnv env;
+  CpuPool slow(&env, "arm", 1, 0.25);  // quarter-speed core
+  Nanos done = 0;
+  env.Spawn("w", [&] {
+    slow.Consume(1e6);
+    done = env.Now();
+  });
+  env.Run();
+  EXPECT_NEAR(static_cast<double>(done), 4e6, 10);
+}
+
+TEST(CpuPoolTest, UtilizationBetween) {
+  SimEnv env;
+  CpuPool cpu(&env, "host", 4);
+  env.Spawn("w", [&] {
+    cpu.Consume(2e9);  // one core busy 2 s of the 4-core pool
+  });
+  env.Run();
+  double util = cpu.UtilizationBetween(0, FromSecs(2));
+  EXPECT_NEAR(util, 0.25, 0.01);
+}
+
+TEST(TimeSeriesTest, AddAndRange) {
+  TimeSeries ts(kNanosPerSec);
+  ts.Add(FromSecs(0.5), 10);
+  ts.AddRange(FromSecs(1), FromSecs(3), 20);  // 10 per bucket
+  EXPECT_DOUBLE_EQ(ts.Bucket(0), 10);
+  EXPECT_NEAR(ts.Bucket(1), 10, 1e-6);
+  EXPECT_NEAR(ts.Bucket(2), 10, 1e-6);
+  EXPECT_DOUBLE_EQ(ts.total(), 30);
+  EXPECT_NEAR(ts.SumBetween(FromSecs(1), FromSecs(3)), 20, 1e-6);
+}
+
+TEST(TimeSeriesTest, RangeWithinOneBucket) {
+  TimeSeries ts(kNanosPerSec);
+  ts.AddRange(100, 200, 5);
+  EXPECT_DOUBLE_EQ(ts.Bucket(0), 5);
+}
+
+TEST(IntervalRecorderTest, RecordsStallRegions) {
+  IntervalRecorder rec;
+  rec.Begin(100);
+  rec.Begin(150);  // merged into the open interval
+  rec.End(200);
+  rec.Begin(300);
+  rec.End(450);
+  EXPECT_EQ(rec.Count(), 2u);
+  EXPECT_EQ(rec.TotalDuration(), 250u);
+  EXPECT_TRUE(rec.Contains(120));
+  EXPECT_FALSE(rec.Contains(250));
+  EXPECT_TRUE(rec.Contains(449));
+  EXPECT_FALSE(rec.Contains(450));
+}
+
+TEST(IntervalRecorderTest, CloseAtClosesOpenInterval) {
+  IntervalRecorder rec;
+  rec.Begin(10);
+  EXPECT_TRUE(rec.open());
+  EXPECT_TRUE(rec.Contains(50));
+  rec.CloseAt(60);
+  EXPECT_FALSE(rec.open());
+  EXPECT_EQ(rec.TotalDuration(), 50u);
+}
+
+}  // namespace
+}  // namespace kvaccel::sim

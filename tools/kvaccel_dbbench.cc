@@ -1,0 +1,167 @@
+// kvaccel_dbbench: db_bench-style command-line driver over the simulation.
+//
+//   build/tools/kvaccel_dbbench --system=kvaccel --workload=fillrandom \
+//       --seconds=60 --threads=1 --scale=0.125 --value_size=4096
+//
+// Flags:
+//   --system=rocksdb|adoc|kvaccel     system under test (default rocksdb)
+//   --workload=fillrandom|readwhilewriting|seekrandom   (default fillrandom)
+//   --seconds=N        measurement window, virtual seconds (default 60)
+//   --scale=F          size scale; 1.0 = paper scale (default 0.125)
+//   --threads=N        compaction threads (default 1)
+//   --value_size=N     value bytes (default 4096)
+//   --key_space=N      key draw range (default 2^31)
+//   --read_threads=N   readers for readwhilewriting (default 1)
+//   --rollback=lazy|eager|disabled    KVACCEL rollback scheme (default lazy)
+//   --no_slowdown      disable the baselines' delayed-write mechanism
+//   --seed=N           workload seed (default 42)
+//   --series           print per-second throughput / PCIe series
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/report.h"
+#include "harness/workload.h"
+
+using namespace kvaccel;
+using namespace kvaccel::harness;
+
+namespace {
+
+bool FlagEq(const char* arg, const char* name, const char** value) {
+  size_t n = strlen(name);
+  if (strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+void Usage() {
+  fprintf(stderr,
+          "usage: kvaccel_dbbench [--system=rocksdb|adoc|kvaccel]\n"
+          "  [--workload=fillrandom|readwhilewriting|seekrandom]\n"
+          "  [--seconds=N] [--scale=F] [--threads=N] [--value_size=N]\n"
+          "  [--key_space=N] [--read_threads=N]\n"
+          "  [--rollback=lazy|eager|disabled] [--no_slowdown] [--seed=N]\n"
+          "  [--series]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.scale = 0.125;
+  config.sut.kind = SystemKind::kRocksDB;
+  config.sut.compaction_threads = 1;
+  config.workload.duration = FromSecs(60);
+  bool print_series = false;
+
+  for (int i = 1; i < argc; i++) {
+    const char* v = nullptr;
+    if (FlagEq(argv[i], "--system", &v)) {
+      if (strcmp(v, "rocksdb") == 0) {
+        config.sut.kind = SystemKind::kRocksDB;
+      } else if (strcmp(v, "adoc") == 0) {
+        config.sut.kind = SystemKind::kAdoc;
+      } else if (strcmp(v, "kvaccel") == 0) {
+        config.sut.kind = SystemKind::kKvaccel;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--workload", &v)) {
+      if (strcmp(v, "fillrandom") == 0) {
+        config.workload.type = WorkloadConfig::Type::kFillRandom;
+      } else if (strcmp(v, "readwhilewriting") == 0) {
+        config.workload.type = WorkloadConfig::Type::kReadWhileWriting;
+      } else if (strcmp(v, "seekrandom") == 0) {
+        config.workload.type = WorkloadConfig::Type::kSeekRandom;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--seconds", &v)) {
+      config.workload.duration = FromSecs(atof(v));
+    } else if (FlagEq(argv[i], "--scale", &v)) {
+      config.scale = atof(v);
+    } else if (FlagEq(argv[i], "--threads", &v)) {
+      config.sut.compaction_threads = atoi(v);
+    } else if (FlagEq(argv[i], "--value_size", &v)) {
+      config.workload.value_size = static_cast<uint32_t>(atoi(v));
+    } else if (FlagEq(argv[i], "--key_space", &v)) {
+      config.workload.key_space = strtoull(v, nullptr, 10);
+    } else if (FlagEq(argv[i], "--read_threads", &v)) {
+      config.workload.read_threads = atoi(v);
+    } else if (FlagEq(argv[i], "--rollback", &v)) {
+      if (strcmp(v, "lazy") == 0) {
+        config.sut.rollback = core::RollbackScheme::kLazy;
+      } else if (strcmp(v, "eager") == 0) {
+        config.sut.rollback = core::RollbackScheme::kEager;
+      } else if (strcmp(v, "disabled") == 0) {
+        config.sut.rollback = core::RollbackScheme::kDisabled;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--no_slowdown", &v)) {
+      config.sut.enable_slowdown = false;
+    } else if (FlagEq(argv[i], "--seed", &v)) {
+      config.workload.seed = strtoull(v, nullptr, 10);
+    } else if (FlagEq(argv[i], "--series", &v)) {
+      print_series = true;
+    } else if (strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+
+  RunResult r = RunBenchmark(config);
+
+  printf("system            : %s\n", r.name.c_str());
+  printf("window            : %.1f virtual seconds (scale %.3g)\n",
+         r.seconds, config.scale);
+  printf("write throughput  : %.1f Kops/s (%.1f MB/s)\n", r.write_kops,
+         r.write_mbps);
+  if (r.read_kops > 0) {
+    printf("read throughput   : %.1f Kops/s\n", r.read_kops);
+  }
+  if (r.scan_kops > 0) {
+    printf("scan throughput   : %.1f Kops/s (seek+next)\n", r.scan_kops);
+  }
+  printf("put latency       : avg %.1f us, P99 %.1f us, P99.9 %.1f us\n",
+         r.put_avg_us, r.put_p99_us, r.put_p999_us);
+  printf("host CPU          : %.1f%%   efficiency (MB/s / CPU%%): %.2f\n",
+         r.cpu_pct, r.efficiency);
+  printf("stalls            : %llu events, %.1f s total; slowdown periods: "
+         "%llu (%llu delayed writes)\n",
+         static_cast<unsigned long long>(r.stall_events), r.stalled_seconds,
+         static_cast<unsigned long long>(r.slowdown_periods),
+         static_cast<unsigned long long>(r.slowdown_events));
+  if (config.sut.kind == SystemKind::kKvaccel) {
+    printf("kvaccel           : %llu redirected writes, %llu rollbacks, "
+           "%llu detector checks\n",
+           static_cast<unsigned long long>(r.redirected_writes),
+           static_cast<unsigned long long>(r.rollbacks),
+           static_cast<unsigned long long>(r.detector_checks));
+  }
+  if (print_series) {
+    PrintSeries("write Kops/s", r.per_sec_write_kops, "Kops/s");
+    if (r.read_kops > 0) {
+      PrintSeries("read Kops/s", r.per_sec_read_kops, "Kops/s");
+    }
+    PrintSeries("PCIe MB/s", r.per_sec_pcie_mbps, "MB/s");
+    PrintStallRegions(r);
+  }
+  return 0;
+}
