@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bandwidth_share.dir/bench_ablation_bandwidth_share.cc.o"
+  "CMakeFiles/bench_ablation_bandwidth_share.dir/bench_ablation_bandwidth_share.cc.o.d"
+  "bench_ablation_bandwidth_share"
+  "bench_ablation_bandwidth_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bandwidth_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

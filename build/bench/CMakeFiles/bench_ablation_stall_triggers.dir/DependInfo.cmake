@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_stall_triggers.cc" "bench/CMakeFiles/bench_ablation_stall_triggers.dir/bench_ablation_stall_triggers.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_stall_triggers.dir/bench_ablation_stall_triggers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/kvx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kvx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devlsm/CMakeFiles/kvx_devlsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/adoc/CMakeFiles/kvx_adoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/kvx_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/kvx_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/kvx_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kvx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stall_triggers.dir/bench_ablation_stall_triggers.cc.o"
+  "CMakeFiles/bench_ablation_stall_triggers.dir/bench_ablation_stall_triggers.cc.o.d"
+  "bench_ablation_stall_triggers"
+  "bench_ablation_stall_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stall_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

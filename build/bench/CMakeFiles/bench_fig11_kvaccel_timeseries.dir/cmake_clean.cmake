@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_kvaccel_timeseries.dir/bench_fig11_kvaccel_timeseries.cc.o"
+  "CMakeFiles/bench_fig11_kvaccel_timeseries.dir/bench_fig11_kvaccel_timeseries.cc.o.d"
+  "bench_fig11_kvaccel_timeseries"
+  "bench_fig11_kvaccel_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_kvaccel_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_pcie_kvaccel.dir/bench_fig14_pcie_kvaccel.cc.o"
+  "CMakeFiles/bench_fig14_pcie_kvaccel.dir/bench_fig14_pcie_kvaccel.cc.o.d"
+  "bench_fig14_pcie_kvaccel"
+  "bench_fig14_pcie_kvaccel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pcie_kvaccel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

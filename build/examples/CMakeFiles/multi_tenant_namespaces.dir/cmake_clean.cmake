@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_namespaces.dir/multi_tenant_namespaces.cpp.o"
+  "CMakeFiles/multi_tenant_namespaces.dir/multi_tenant_namespaces.cpp.o.d"
+  "multi_tenant_namespaces"
+  "multi_tenant_namespaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_namespaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_burst_ingest.dir/write_burst_ingest.cpp.o"
+  "CMakeFiles/write_burst_ingest.dir/write_burst_ingest.cpp.o.d"
+  "write_burst_ingest"
+  "write_burst_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_burst_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_adoc.dir/adoc_tuner.cc.o"
+  "CMakeFiles/kvx_adoc.dir/adoc_tuner.cc.o.d"
+  "libkvx_adoc.a"
+  "libkvx_adoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_adoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

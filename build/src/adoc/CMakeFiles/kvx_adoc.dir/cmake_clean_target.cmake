@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvx_adoc.a"
+)

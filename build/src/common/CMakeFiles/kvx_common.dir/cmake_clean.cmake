@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_common.dir/coding.cc.o"
+  "CMakeFiles/kvx_common.dir/coding.cc.o.d"
+  "CMakeFiles/kvx_common.dir/crc32c.cc.o"
+  "CMakeFiles/kvx_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/kvx_common.dir/hash.cc.o"
+  "CMakeFiles/kvx_common.dir/hash.cc.o.d"
+  "CMakeFiles/kvx_common.dir/histogram.cc.o"
+  "CMakeFiles/kvx_common.dir/histogram.cc.o.d"
+  "CMakeFiles/kvx_common.dir/logging.cc.o"
+  "CMakeFiles/kvx_common.dir/logging.cc.o.d"
+  "CMakeFiles/kvx_common.dir/random.cc.o"
+  "CMakeFiles/kvx_common.dir/random.cc.o.d"
+  "CMakeFiles/kvx_common.dir/value.cc.o"
+  "CMakeFiles/kvx_common.dir/value.cc.o.d"
+  "libkvx_common.a"
+  "libkvx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

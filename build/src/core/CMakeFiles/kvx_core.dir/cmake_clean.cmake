@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_core.dir/hybrid_iterator.cc.o"
+  "CMakeFiles/kvx_core.dir/hybrid_iterator.cc.o.d"
+  "CMakeFiles/kvx_core.dir/kvaccel_db.cc.o"
+  "CMakeFiles/kvx_core.dir/kvaccel_db.cc.o.d"
+  "libkvx_core.a"
+  "libkvx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

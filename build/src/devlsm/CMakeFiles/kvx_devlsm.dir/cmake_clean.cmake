@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_devlsm.dir/dev_lsm.cc.o"
+  "CMakeFiles/kvx_devlsm.dir/dev_lsm.cc.o.d"
+  "libkvx_devlsm.a"
+  "libkvx_devlsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_devlsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

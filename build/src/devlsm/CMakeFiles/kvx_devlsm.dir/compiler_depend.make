@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kvx_devlsm.
+# This may be replaced when dependencies are built.

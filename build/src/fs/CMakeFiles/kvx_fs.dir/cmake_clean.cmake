@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_fs.dir/simfs.cc.o"
+  "CMakeFiles/kvx_fs.dir/simfs.cc.o.d"
+  "libkvx_fs.a"
+  "libkvx_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

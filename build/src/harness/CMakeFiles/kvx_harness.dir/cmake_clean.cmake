@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_harness.dir/report.cc.o"
+  "CMakeFiles/kvx_harness.dir/report.cc.o.d"
+  "CMakeFiles/kvx_harness.dir/workload.cc.o"
+  "CMakeFiles/kvx_harness.dir/workload.cc.o.d"
+  "libkvx_harness.a"
+  "libkvx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

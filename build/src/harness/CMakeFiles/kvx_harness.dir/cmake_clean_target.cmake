@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvx_harness.a"
+)

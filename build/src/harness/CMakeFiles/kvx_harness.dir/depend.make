@@ -1,0 +1,2 @@
+# Empty dependencies file for kvx_harness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_lsm.dir/bloom.cc.o"
+  "CMakeFiles/kvx_lsm.dir/bloom.cc.o.d"
+  "CMakeFiles/kvx_lsm.dir/db_impl.cc.o"
+  "CMakeFiles/kvx_lsm.dir/db_impl.cc.o.d"
+  "CMakeFiles/kvx_lsm.dir/memtable.cc.o"
+  "CMakeFiles/kvx_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/kvx_lsm.dir/sst.cc.o"
+  "CMakeFiles/kvx_lsm.dir/sst.cc.o.d"
+  "CMakeFiles/kvx_lsm.dir/version.cc.o"
+  "CMakeFiles/kvx_lsm.dir/version.cc.o.d"
+  "CMakeFiles/kvx_lsm.dir/wal.cc.o"
+  "CMakeFiles/kvx_lsm.dir/wal.cc.o.d"
+  "CMakeFiles/kvx_lsm.dir/write_batch.cc.o"
+  "CMakeFiles/kvx_lsm.dir/write_batch.cc.o.d"
+  "libkvx_lsm.a"
+  "libkvx_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_sim.dir/sim_env.cc.o"
+  "CMakeFiles/kvx_sim.dir/sim_env.cc.o.d"
+  "libkvx_sim.a"
+  "libkvx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvx_sim.a"
+)

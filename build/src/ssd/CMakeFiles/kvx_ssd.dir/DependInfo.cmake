@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/ftl.cc" "src/ssd/CMakeFiles/kvx_ssd.dir/ftl.cc.o" "gcc" "src/ssd/CMakeFiles/kvx_ssd.dir/ftl.cc.o.d"
+  "/root/repo/src/ssd/hybrid_ssd.cc" "src/ssd/CMakeFiles/kvx_ssd.dir/hybrid_ssd.cc.o" "gcc" "src/ssd/CMakeFiles/kvx_ssd.dir/hybrid_ssd.cc.o.d"
+  "/root/repo/src/ssd/nand_flash.cc" "src/ssd/CMakeFiles/kvx_ssd.dir/nand_flash.cc.o" "gcc" "src/ssd/CMakeFiles/kvx_ssd.dir/nand_flash.cc.o.d"
+  "/root/repo/src/ssd/nvme.cc" "src/ssd/CMakeFiles/kvx_ssd.dir/nvme.cc.o" "gcc" "src/ssd/CMakeFiles/kvx_ssd.dir/nvme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

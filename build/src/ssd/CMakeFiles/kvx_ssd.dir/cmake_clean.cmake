@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvx_ssd.dir/ftl.cc.o"
+  "CMakeFiles/kvx_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/kvx_ssd.dir/hybrid_ssd.cc.o"
+  "CMakeFiles/kvx_ssd.dir/hybrid_ssd.cc.o.d"
+  "CMakeFiles/kvx_ssd.dir/nand_flash.cc.o"
+  "CMakeFiles/kvx_ssd.dir/nand_flash.cc.o.d"
+  "CMakeFiles/kvx_ssd.dir/nvme.cc.o"
+  "CMakeFiles/kvx_ssd.dir/nvme.cc.o.d"
+  "libkvx_ssd.a"
+  "libkvx_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvx_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

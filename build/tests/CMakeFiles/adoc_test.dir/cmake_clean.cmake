@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adoc_test.dir/adoc_test.cc.o"
+  "CMakeFiles/adoc_test.dir/adoc_test.cc.o.d"
+  "adoc_test"
+  "adoc_test.pdb"
+  "adoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

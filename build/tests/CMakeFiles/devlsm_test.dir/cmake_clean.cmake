@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devlsm_test.dir/devlsm_test.cc.o"
+  "CMakeFiles/devlsm_test.dir/devlsm_test.cc.o.d"
+  "devlsm_test"
+  "devlsm_test.pdb"
+  "devlsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devlsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvaccel_dbbench.dir/kvaccel_dbbench.cc.o"
+  "CMakeFiles/kvaccel_dbbench.dir/kvaccel_dbbench.cc.o.d"
+  "kvaccel_dbbench"
+  "kvaccel_dbbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvaccel_dbbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kvaccel_dbbench.
+# This may be replaced when dependencies are built.
