@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/histogram.h"
 #include "common/units.h"
 #include "devlsm/dev_lsm.h"
 #include "ssd/hybrid_ssd.h"
@@ -53,6 +54,9 @@ struct KvaccelStats {
   uint64_t detector_checks = 0;
   uint64_t redirected_writes = 0;   // served by Dev-LSM during stalls
   uint64_t direct_writes = 0;       // served by Main-LSM
+  // Redirected groups: one PutCompound command per batch (tentpole path).
+  uint64_t redirected_batches = 0;
+  Histogram redirect_batch_latency;  // ns per redirected batch (device RTT)
   uint64_t dev_reads = 0;           // Gets answered by Dev-LSM
   uint64_t main_reads = 0;
   uint64_t rollbacks = 0;

@@ -1,6 +1,9 @@
 #include "core/kvaccel_db.h"
 
 #include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/hybrid_iterator.h"
 
@@ -69,67 +72,84 @@ bool KvaccelDB::ShouldRedirect() const {
   return options_.redirection_enabled && detector_->stall_detected();
 }
 
-Status KvaccelDB::Put(const lsm::WriteOptions& wopts, const Slice& key,
-                      const Value& value) {
+Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
+                        lsm::WriteBatch* batch) {
+  const uint32_t count = batch->Count();
+  if (count == 0) return Status::OK();
   Nanos start = env_->Now();
   Status s;
   if (ShouldRedirect()) {
-    // Stall path: serve the write from the key-value interface. The pair
-    // lands on the device first; only then does the metadata record flip, so
-    // a concurrent reader never chases a record to a not-yet-written pair.
-    // The pair is versioned from the Main-LSM sequence space so crash
-    // recovery can order it against host-side data.
-    lsm::SequenceNumber seq = main_->AllocateSequence(1);
-    s = dev_->Put(key, value, seq);
+    // Stall path: serve the whole batch from the key-value interface as one
+    // compound command. Pairs land on the device first; only then do the
+    // metadata records flip, so a concurrent reader never chases a record to
+    // a not-yet-written pair. The batch is versioned from the Main-LSM
+    // sequence space so crash recovery can order it against host-side data.
+    lsm::SequenceNumber seq = main_->AllocateSequence(count);
+    std::vector<devlsm::DevLsm::BatchPut> entries;
+    entries.reserve(count);
+    lsm::SequenceNumber next = seq;
+    s = batch->ForEach(
+        [&](lsm::ValueType type, const Slice& key, const Value& value) {
+          devlsm::DevLsm::BatchPut bp;
+          bp.key = key.ToString();
+          bp.value = value;
+          bp.host_seq = next++;
+          bp.tombstone = (type == lsm::ValueType::kDeletion);
+          entries.push_back(std::move(bp));
+        });
     if (s.ok()) {
-      md_->Insert(key, seq);
-      kv_stats_.redirected_writes++;
-    } else {
+      Nanos dev_start = env_->Now();
+      s = dev_->PutCompound(entries);
+      if (s.ok()) {
+        kv_stats_.redirect_batch_latency.Add(env_->Now() - dev_start);
+        std::vector<std::pair<std::string, uint64_t>> recs;
+        recs.reserve(entries.size());
+        for (auto& e : entries) recs.emplace_back(std::move(e.key), e.host_seq);
+        md_->InsertBatch(recs);
+        kv_stats_.redirected_writes += count;
+        kv_stats_.redirected_batches++;
+      }
+    }
+    if (!s.ok()) {
       // Device full/unavailable: fall back to the normal (stalling) path.
-      s = main_->Put(wopts, key, value);
-      if (s.ok() && md_->Check(key)) md_->Delete(key);
-      kv_stats_.direct_writes++;
+      s = main_->Write(wopts, batch);
+      if (s.ok()) {
+        (void)batch->ForEach(
+            [&](lsm::ValueType, const Slice& key, const Value&) {
+              if (md_->Check(key)) md_->Delete(key);
+            });
+      }
+      kv_stats_.direct_writes += count;
     }
   } else {
-    s = main_->Put(wopts, key, value);
-    kv_stats_.direct_writes++;
-    // Path (3-1): an overlapping pair in Dev-LSM is now stale.
-    if (s.ok() && !dev_->Empty() && md_->Check(key)) md_->Delete(key);
+    s = main_->Write(wopts, batch);
+    kv_stats_.direct_writes += count;
+    // Path (3-1): overlapping pairs in Dev-LSM are now stale.
+    if (s.ok() && !dev_->Empty()) {
+      (void)batch->ForEach([&](lsm::ValueType, const Slice& key, const Value&) {
+        if (md_->Check(key)) md_->Delete(key);
+      });
+    }
   }
   Nanos now = env_->Now();
-  agg_stats_.writes_total++;
-  agg_stats_.write_bytes_total += key.size() + 8 + value.logical_size();
-  agg_stats_.writes_completed.Add(now, 1);
+  agg_stats_.writes_total += count;
+  agg_stats_.write_bytes_total += batch->LogicalSize();
+  agg_stats_.writes_completed.Add(now, count);
   agg_stats_.put_latency.Add(now - start);
   return s;
 }
 
+Status KvaccelDB::Put(const lsm::WriteOptions& wopts, const Slice& key,
+                      const Value& value) {
+  lsm::WriteBatch batch;
+  batch.Put(key, value);
+  return Write(wopts, &batch);
+}
+
 Status KvaccelDB::Delete(const lsm::WriteOptions& wopts, const Slice& key) {
-  Nanos start = env_->Now();
-  Status s;
-  if (ShouldRedirect()) {
-    // Redirected delete: a device-side tombstone shadows Main-LSM data until
-    // rollback replays it as a real delete.
-    lsm::SequenceNumber seq = main_->AllocateSequence(1);
-    s = dev_->Delete(key, seq);
-    if (s.ok()) {
-      md_->Insert(key, seq);
-      kv_stats_.redirected_writes++;
-    } else {
-      s = main_->Delete(wopts, key);
-      if (s.ok() && md_->Check(key)) md_->Delete(key);
-      kv_stats_.direct_writes++;
-    }
-  } else {
-    s = main_->Delete(wopts, key);
-    kv_stats_.direct_writes++;
-    if (s.ok() && !dev_->Empty() && md_->Check(key)) md_->Delete(key);
-  }
-  Nanos now = env_->Now();
-  agg_stats_.writes_total++;
-  agg_stats_.writes_completed.Add(now, 1);
-  agg_stats_.put_latency.Add(now - start);
-  return s;
+  lsm::WriteBatch batch;
+  batch.Delete(key);
+  return Write(wopts, &batch);
 }
 
 // ---------------- Controller: read path ----------------

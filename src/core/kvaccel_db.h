@@ -33,6 +33,11 @@ class KvaccelDB {
   ~KvaccelDB();
 
   // ---- Point operations (Controller write/read paths, paper §V-C) ----
+  // All foreground writes funnel through Write: the Controller makes its
+  // path decision once per batch, so a redirected group costs one compound
+  // device command instead of N point commands. Put/Delete are one-entry
+  // batches.
+  Status Write(const lsm::WriteOptions& wopts, lsm::WriteBatch* batch);
   Status Put(const lsm::WriteOptions& wopts, const Slice& key,
              const Value& value);
   Status Delete(const lsm::WriteOptions& wopts, const Slice& key);

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/units.h"
@@ -33,6 +35,16 @@ class MetadataManager {
     Charge(options_.md_insert_ns);
     stats_->md_inserts++;
     keys_[key.ToString()] = seq;
+  }
+
+  // Bulk insert for one redirected batch: same per-record hash-table cost as
+  // Insert, but charged as a single CPU burst (one bookkeeping sleep instead
+  // of N), mirroring how the batch rode a single device command.
+  void InsertBatch(const std::vector<std::pair<std::string, uint64_t>>& recs) {
+    if (recs.empty()) return;
+    Charge(options_.md_insert_ns * static_cast<double>(recs.size()));
+    stats_->md_inserts += recs.size();
+    for (const auto& [key, seq] : recs) keys_[key] = seq;
   }
 
   // Membership test ("key check").

@@ -77,7 +77,7 @@ Status DevLsm::PutCompound(const std::vector<BatchPut>& entries) {
   sim::SimLockGuard l(cmd_mu_);
   uint64_t payload = 0;
   for (const BatchPut& e : entries) {
-    payload += e.key.size() + e.value.logical_size();
+    payload += e.key.size() + (e.tombstone ? 0 : e.value.logical_size());
   }
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvCompound, nsid_,
                        payload);
@@ -87,11 +87,17 @@ Status DevLsm::PutCompound(const std::vector<BatchPut>& entries) {
   ssd_->firmware()->Consume(options_.put_fw_ns +
                             options_.put_fw_ns / 3.0 *
                                 static_cast<double>(entries.size() - 1));
+  stats_.compound_cmds++;
+  stats_.compound_entries += entries.size();
   for (const BatchPut& bp : entries) {
-    stats_.puts++;
     Entry e;
-    e.value = bp.value;
-    e.tombstone = false;
+    if (bp.tombstone) {
+      stats_.deletes++;
+    } else {
+      stats_.puts++;
+      e.value = bp.value;
+    }
+    e.tombstone = bp.tombstone;
     e.seq = next_seq_++;
     e.host_seq = bp.host_seq;
     auto old = memtable_.find(bp.key);

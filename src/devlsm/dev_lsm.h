@@ -67,6 +67,8 @@ struct DevLsmStats {
   uint64_t puts = 0;
   uint64_t gets = 0;
   uint64_t deletes = 0;
+  uint64_t compound_cmds = 0;     // PutCompound commands issued
+  uint64_t compound_entries = 0;  // entries carried by those commands
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t bulk_scans = 0;
@@ -96,14 +98,16 @@ class DevLsm {
   // uses a device counter either way.
   Status Put(const Slice& key, const Value& value, uint64_t host_seq = 0);
   Status Delete(const Slice& key, uint64_t host_seq = 0);  // tombstone
-  // Compound command (paper §IV, [33]): N puts ride one NVMe command — one
-  // command/completion overhead and one DMA for the whole payload, with the
-  // per-pair firmware cost amortized. Entries are applied atomically with
-  // respect to other commands (single firmware queue).
+  // Compound command (paper §IV, [33]): N puts/deletes ride one NVMe
+  // command — one command/completion overhead and one DMA for the whole
+  // payload, with the per-pair firmware cost amortized (NAND cost stays
+  // per-entry, paid when the device memtable flushes). Entries are applied
+  // atomically with respect to other commands (single firmware queue).
   struct BatchPut {
     std::string key;
     Value value;
     uint64_t host_seq = 0;
+    bool tombstone = false;  // redirected Delete riding the compound command
   };
   Status PutCompound(const std::vector<BatchPut>& entries);
   // NotFound for absent keys and tombstones.

@@ -1,20 +1,86 @@
 // Minimal --key=value flag parsing shared by the bench binaries.
-//   --seconds=N   virtual workload duration (default: per-bench)
-//   --scale=F     size scale; 1.0 = paper scale (default 0.125)
-//   --paper       shorthand for --scale=1.0 --seconds=600
-//   --threads=N   restrict to one compaction-thread count (default: sweep)
+//   --seconds=N        virtual workload duration (default: per-bench)
+//   --scale=F          size scale; 1.0 = paper scale (default 0.125)
+//   --paper            shorthand for --scale=1.0 --seconds=600
+//   --threads=N        restrict to one compaction-thread count (default: sweep)
+//   --writer_threads=N concurrent writer actors (default 1)
+//   --batch_size=N     entries per WriteBatch a writer submits (default 1)
+//
+// Values are validated: a non-numeric, negative, or trailing-garbage value
+// aborts with a clear message instead of silently parsing to 0.
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 namespace kvaccel::harness {
 
+// strtod with full validation; exits(2) with a clear diagnostic on a value
+// that is not a finite non-negative number (min_value tightens the bound).
+inline double ParseFlagDouble(const char* text, const char* flag,
+                              double min_value = 0.0) {
+  char* end = nullptr;
+  errno = 0;
+  double v = strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    fprintf(stderr, "invalid value for %s: '%s' (expected a number)\n", flag,
+            text);
+    exit(2);
+  }
+  if (v < min_value) {
+    fprintf(stderr, "invalid value for %s: %s (must be >= %g)\n", flag, text,
+            min_value);
+    exit(2);
+  }
+  return v;
+}
+
+// strtol with full validation; exits(2) on non-numeric, out-of-range, or
+// below-minimum values.
+inline long ParseFlagInt(const char* text, const char* flag,
+                         long min_value = 0) {
+  char* end = nullptr;
+  errno = 0;
+  long v = strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    fprintf(stderr, "invalid value for %s: '%s' (expected an integer)\n",
+            flag, text);
+    exit(2);
+  }
+  if (v < min_value) {
+    fprintf(stderr, "invalid value for %s: %s (must be >= %ld)\n", flag, text,
+            min_value);
+    exit(2);
+  }
+  return v;
+}
+
+// strtoull with full validation (rejects a leading '-', which strtoull would
+// silently wrap); exits(2) on bad input.
+inline unsigned long long ParseFlagUint64(const char* text, const char* flag) {
+  const char* p = text;
+  while (*p == ' ') p++;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || *p == '-') {
+    fprintf(stderr,
+            "invalid value for %s: '%s' (expected a non-negative integer)\n",
+            flag, text);
+    exit(2);
+  }
+  return v;
+}
+
 struct BenchFlags {
   double scale = 0.125;
   double seconds = 60;
   int threads = 0;  // 0 = bench default / sweep
+  int writer_threads = 1;
+  int batch_size = 1;
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -22,11 +88,17 @@ struct BenchFlags {
     for (int i = 1; i < argc; i++) {
       const char* arg = argv[i];
       if (strncmp(arg, "--scale=", 8) == 0) {
-        f.scale = atof(arg + 8);
+        f.scale = ParseFlagDouble(arg + 8, "--scale");
       } else if (strncmp(arg, "--seconds=", 10) == 0) {
-        f.seconds = atof(arg + 10);
+        f.seconds = ParseFlagDouble(arg + 10, "--seconds");
       } else if (strncmp(arg, "--threads=", 10) == 0) {
-        f.threads = atoi(arg + 10);
+        f.threads = static_cast<int>(ParseFlagInt(arg + 10, "--threads"));
+      } else if (strncmp(arg, "--writer_threads=", 17) == 0) {
+        f.writer_threads = static_cast<int>(
+            ParseFlagInt(arg + 17, "--writer_threads", /*min_value=*/1));
+      } else if (strncmp(arg, "--batch_size=", 13) == 0) {
+        f.batch_size = static_cast<int>(
+            ParseFlagInt(arg + 13, "--batch_size", /*min_value=*/1));
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

@@ -83,6 +83,11 @@ class SystemUnderTest {
     return kvaccel_ ? kvaccel_->Put({}, key, value)
                     : db_->Put({}, key, value);
   }
+  // Batched write: the whole batch takes one trip down the write pipeline
+  // (one Controller decision for KVACCEL, one group-commit slot otherwise).
+  Status Write(lsm::WriteBatch* batch) {
+    return kvaccel_ ? kvaccel_->Write({}, batch) : db_->Write({}, batch);
+  }
   Status Delete(const Slice& key) {
     return kvaccel_ ? kvaccel_->Delete({}, key) : db_->Delete({}, key);
   }

@@ -66,13 +66,23 @@ struct Shared {
 void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
   Random64 rng(thread_seed);
   uint64_t value_seed = thread_seed << 32;
+  const int batch_size = std::max(1, wl.batch_size);
+  lsm::WriteBatch batch;
+  std::vector<uint64_t> drawn;
+  drawn.reserve(batch_size);
   while (!sh->stop && sh->env->Now() < sh->window_end) {
-    uint64_t k = rng.Uniform(wl.key_space);
-    Status s = sh->sut->Put(MakeKey(k, wl.key_size),
-                            Value::Synthetic(value_seed++, wl.value_size));
+    batch.Clear();
+    drawn.clear();
+    for (int i = 0; i < batch_size; i++) {
+      uint64_t k = rng.Uniform(wl.key_space);
+      batch.Put(MakeKey(k, wl.key_size),
+                Value::Synthetic(value_seed++, wl.value_size));
+      drawn.push_back(k);
+    }
+    Status s = sh->sut->Write(&batch);
     if (!s.ok()) break;  // e.g. file system full: end of useful run
-    sh->writes_done++;
-    sh->reservoir.Offer(k, &rng);
+    sh->writes_done += static_cast<uint64_t>(batch_size);
+    for (uint64_t k : drawn) sh->reservoir.Offer(k, &rng);
   }
 }
 
@@ -156,15 +166,27 @@ RunResult RunBenchmark(const BenchConfig& config) {
     sh.window_start = env.Now();
     sh.window_end = sh.window_start + wl.duration;
 
+    // Writer t=0 keeps the historical seed (wl.seed + 1) so a
+    // --writer_threads=1 run is bit-identical to the single-writer driver;
+    // extra writers get well-separated streams clear of the reader seeds.
+    auto writer_seed = [&wl](int t) {
+      return t == 0 ? wl.seed + 1 : wl.seed + 1 + 7919ull * t;
+    };
+    auto spawn_writers = [&](std::vector<sim::SimEnv::Thread*>* out) {
+      for (int t = 0; t < std::max(1, wl.writer_threads); t++) {
+        out->push_back(env.Spawn(
+            "writer" + std::to_string(t),
+            [&, t] { WriterLoop(wl, &sh, writer_seed(t)); }));
+      }
+    };
+
     std::vector<sim::SimEnv::Thread*> workers;
     switch (wl.type) {
       case WorkloadConfig::Type::kFillRandom:
-        workers.push_back(env.Spawn(
-            "writer", [&] { WriterLoop(wl, &sh, wl.seed + 1); }));
+        spawn_writers(&workers);
         break;
       case WorkloadConfig::Type::kReadWhileWriting:
-        workers.push_back(env.Spawn(
-            "writer", [&] { WriterLoop(wl, &sh, wl.seed + 1); }));
+        spawn_writers(&workers);
         for (int t = 0; t < wl.read_threads; t++) {
           workers.push_back(env.Spawn(
               "reader" + std::to_string(t),
@@ -207,6 +229,9 @@ RunResult RunBenchmark(const BenchConfig& config) {
     }
     result.stall_events = ms.stall_events;
     result.slowdown_events = ms.slowdown_events;
+    result.write_groups = ms.write_groups;
+    result.group_commit_mean = ms.group_commit_size.Average();
+    result.group_commit_max = ms.group_commit_size.Max();
     result.slowdown_periods = ms.slowdown_regions.Count() +
                               (ms.slowdown_regions.open() ? 1 : 0);
 
@@ -258,6 +283,7 @@ RunResult RunBenchmark(const BenchConfig& config) {
       result.redirected_writes = ks.redirected_writes;
       result.rollbacks = ks.rollbacks;
       result.detector_checks = ks.detector_checks;
+      result.redirected_batches = ks.redirected_batches;
     }
     sut->Close();
   });

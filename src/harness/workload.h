@@ -28,6 +28,11 @@ struct WorkloadConfig {
   // Reader threads run unthrottled (db_bench readwhilewriting): workload B
   // approximates the paper's 9:1 mix with one reader, C's 8:2 with two.
   int read_threads = 1;
+  // Concurrent writer actors; >1 exercises the group-commit queue. Writer 0
+  // keeps the historical seed so N=1 reproduces the single-writer runs.
+  int writer_threads = 1;
+  // Entries per WriteBatch each writer submits per operation.
+  int batch_size = 1;
   // seekrandom (workload D): bulk-filled bytes, then seek_ops range queries.
   uint64_t preload_bytes = 20ull << 30;  // paper: 20 GB (scaled by runner)
   uint64_t seek_ops = 60000;
@@ -78,10 +83,16 @@ struct RunResult {
   // Fig. 14: seconds inside stall regions with ~zero PCIe traffic.
   double zero_traffic_stall_seconds = 0;
 
+  // Group commit observability (Main-LSM writer queue).
+  uint64_t write_groups = 0;
+  double group_commit_mean = 0;  // entries per group
+  uint64_t group_commit_max = 0;
+
   // KVACCEL-specific.
   uint64_t redirected_writes = 0;
   uint64_t rollbacks = 0;
   uint64_t detector_checks = 0;
+  uint64_t redirected_batches = 0;
 };
 
 // Encodes `v` as a fixed-width big-endian key (lexicographic == numeric).

@@ -147,32 +147,105 @@ Status DbImpl::Write(const WriteOptions& wopts, WriteBatch* batch) {
   // Client-side CPU: key generation, batch/WAL encoding, skiplist insert.
   denv_.host_cpu->Consume(options_.put_cpu_ns * batch->Count());
 
+  Writer w(batch, wopts);
   mu_.Lock();
-  Status s = MakeRoomForWrite(batch->LogicalSize());
-  if (!s.ok()) {
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.Wait(mu_);
+  }
+  if (w.done) {
+    // A leader committed this batch on our behalf.
+    Status s = w.status;
+    Nanos now = env_->Now();
+    stats_.writes_total += batch->Count();
+    stats_.write_bytes_total += batch->LogicalSize();
+    stats_.writes_completed.Add(now, batch->Count());
+    stats_.put_latency.Add(now - start);
     mu_.Unlock();
     return s;
   }
-  SequenceNumber seq = versions_->last_sequence() + 1;
-  batch->SetSequence(seq);
-  versions_->SetLastSequence(seq + batch->Count() - 1);
 
-  if (options_.wal_enabled && !wopts.disable_wal) {
-    s = wal_->AddRecord(batch->Contents(), batch->LogicalSize());
-    if (s.ok() && (wopts.sync || options_.wal_sync)) s = wal_->Sync();
-    if (!s.ok()) {
-      mu_.Unlock();
-      return s;
+  // Leader: gate once for the group, merge followers, commit once.
+  Status s = MakeRoomForWrite(batch->LogicalSize());
+  Writer* last_writer = &w;
+  if (s.ok()) {
+    WriteBatch* group = BuildBatchGroup(&last_writer);
+    // Reserve the group's sequence range before releasing mu_: the KVACCEL
+    // redirect path allocates from the same space concurrently, so the range
+    // must be published immediately even though the insert completes later.
+    group->SetSequence(AllocateSequenceLocked(group->Count()));
+    stats_.write_groups++;
+    stats_.group_commit_size.Add(group->Count());
+
+    // The queue front (this leader) owns the write path, so mem_/wal_ are
+    // stable while unlocked: memtable switches happen only under this
+    // leadership (FlushAll waits out an in-flight commit). Releasing mu_
+    // here is what lets followers enqueue — the queueing group commit
+    // coalesces.
+    commit_in_flight_ = true;
+    mu_.Unlock();
+    if (options_.wal_enabled && !wopts.disable_wal) {
+      s = wal_->AddRecord(group->Contents(), group->LogicalSize());
+      if (s.ok() && (wopts.sync || options_.wal_sync)) s = wal_->Sync();
     }
+    if (s.ok()) s = group->InsertInto(mem_.get());
+    mu_.Lock();
+    commit_in_flight_ = false;
+    work_done_cv_.NotifyAll();
+    if (group == &group_scratch_) group_scratch_.Clear();
   }
-  s = batch->InsertInto(mem_.get());
+
+  // Complete the whole group; the next queued writer (if any) leads.
   Nanos now = env_->Now();
-  stats_.writes_total += batch->Count();
-  stats_.write_bytes_total += batch->LogicalSize();
-  stats_.writes_completed.Add(now, batch->Count());
-  stats_.put_latency.Add(now - start);
+  for (;;) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.NotifyOne();
+    } else {
+      stats_.writes_total += batch->Count();
+      stats_.write_bytes_total += batch->LogicalSize();
+      stats_.writes_completed.Add(now, batch->Count());
+      stats_.put_latency.Add(now - start);
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) writers_.front()->cv.NotifyOne();
   mu_.Unlock();
   return s;
+}
+
+WriteBatch* DbImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  uint64_t size = first->batch->LogicalSize();
+
+  // A small leading batch caps the group lower, so a latency-sensitive tiny
+  // write is not committed behind megabytes of followers.
+  uint64_t max_size = options_.max_group_commit_bytes;
+  if (size <= max_size / 8) max_size = size + max_size / 8;
+
+  *last_writer = first;
+  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+    Writer* wr = *it;
+    // Never fold a sync write into a non-sync group (its durability demand
+    // would be silently dropped), and keep WAL usage uniform per group.
+    if (wr->wopts.sync && !first->wopts.sync) break;
+    if (wr->wopts.disable_wal != first->wopts.disable_wal) break;
+    if (size + wr->batch->LogicalSize() > max_size) break;
+    size += wr->batch->LogicalSize();
+    if (result == first->batch) {
+      group_scratch_.Clear();
+      group_scratch_.Append(*first->batch);
+      result = &group_scratch_;
+    }
+    result->Append(*wr->batch);
+    *last_writer = wr;
+  }
+  return result;
 }
 
 bool DbImpl::StopConditionLocked(std::string* reason) const {
@@ -406,6 +479,10 @@ Status DbImpl::Get(const ReadOptions& ropts, const Slice& key, Value* value) {
 
 SequenceNumber DbImpl::AllocateSequence(uint32_t count) {
   SimLockGuard l(mu_);
+  return AllocateSequenceLocked(count);
+}
+
+SequenceNumber DbImpl::AllocateSequenceLocked(uint32_t count) {
   SequenceNumber first = versions_->last_sequence() + 1;
   versions_->SetLastSequence(first + count - 1);
   return first;
@@ -1078,6 +1155,9 @@ Status DbImpl::IngestSortedBatch(const std::vector<IngestEntry>& entries) {
 
 Status DbImpl::FlushAll() {
   mu_.Lock();
+  // A group leader may be applying its batch with mu_ released; switching
+  // the memtable (and WAL) underneath it would lose the in-flight group.
+  while (commit_in_flight_) work_done_cv_.Wait(mu_);
   if (!mem_->Empty()) {
     Status s = SwitchMemtableLocked();
     if (!s.ok()) {

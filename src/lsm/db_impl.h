@@ -60,8 +60,27 @@ class DbImpl : public DB {
     uint64_t log_number = 0;
   };
 
+  // One queued foreground write. Writers enqueue under mu_; the front writer
+  // becomes the group leader, coalesces followers into one batch, performs
+  // the WAL append + memtable apply for the whole group, and completes the
+  // followers with the shared status (LevelDB/RocksDB group commit).
+  struct Writer {
+    Writer(WriteBatch* b, const WriteOptions& o) : batch(b), wopts(o) {}
+    WriteBatch* batch;
+    WriteOptions wopts;
+    bool done = false;
+    Status status;
+    sim::SimCondVar cv;
+  };
+
   // --- Write-path gating (mu_ held; may release while sleeping/waiting) ---
   Status MakeRoomForWrite(uint64_t batch_logical);
+  // mu_ held. Merges queued followers behind the leader (writers_.front())
+  // into one batch, bounded by max_group_commit_bytes and compatible write
+  // options. Returns the batch to commit (the leader's own, or
+  // group_scratch_) and sets *last_writer to the last coalesced writer.
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+  SequenceNumber AllocateSequenceLocked(uint32_t count);
   bool StopConditionLocked(std::string* reason) const;
   bool SlowdownConditionLocked() const;
   Status SwitchMemtableLocked();
@@ -96,6 +115,9 @@ class DbImpl : public DB {
   sim::SimCondVar stall_cv_;  // wakes stalled writers
   sim::SimCondVar work_done_cv_;  // FlushAll / WaitForCompactionIdle
 
+  std::deque<Writer*> writers_;   // front = current group leader
+  WriteBatch group_scratch_;      // leader's merge buffer (reused)
+
   std::shared_ptr<MemTable> mem_;
   std::deque<ImmEntry> imm_;
   std::unique_ptr<LogWriter> wal_;
@@ -120,6 +142,9 @@ class DbImpl : public DB {
   int running_compactions_ = 0;
   bool flush_running_ = false;
   bool in_slowdown_region_ = false;
+  // True while the group leader is committing (WAL + memtable apply) with
+  // mu_ released; FlushAll must not switch the memtable underneath it.
+  bool commit_in_flight_ = false;
 
   DbStats stats_;
 };

@@ -56,6 +56,12 @@ struct DbOptions {
   bool wal_enabled = true;
   bool wal_sync = false;  // db_bench default: buffered, unsynced WAL
 
+  // --- Group commit ---
+  // Byte budget for one leader-coalesced write group (RocksDB
+  // max_write_batch_group_size_bytes analogue). A small leading batch caps
+  // the group lower so tiny writes aren't delayed behind huge merges.
+  uint64_t max_group_commit_bytes = 1ull << 20;
+
   // --- Per-operation host CPU costs (nominal ns) ---
   // Put: key-gen/batch/WAL encode/skiplist insert on the client thread.
   double put_cpu_ns = 2500;

@@ -39,6 +39,12 @@ struct DbStats {
   uint64_t write_bytes_total = 0;  // logical
   uint64_t reads_total = 0;
   uint64_t seeks_total = 0;
+
+  // Group commit: one "group" is one WAL append + memtable apply performed
+  // by a leader on behalf of itself and any coalesced followers. With a
+  // single writer every group has size 1 and write_groups == writes_total.
+  uint64_t write_groups = 0;
+  Histogram group_commit_size;  // entries per group
 };
 
 }  // namespace kvaccel::lsm

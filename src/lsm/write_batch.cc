@@ -29,6 +29,13 @@ void WriteBatch::Delete(const Slice& key) {
 
 uint32_t WriteBatch::Count() const { return DecodeFixed32(&rep_[8]); }
 
+void WriteBatch::Append(const WriteBatch& other) {
+  EncodeFixed32(&rep_[8], Count() + other.Count());
+  rep_.append(other.rep_.data() + kHeaderSize,
+              other.rep_.size() - kHeaderSize);
+  logical_size_ += other.logical_size_;
+}
+
 void WriteBatch::SetSequence(SequenceNumber seq) {
   EncodeFixed64(&rep_[0], seq);
 }

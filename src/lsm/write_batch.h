@@ -22,6 +22,11 @@ class WriteBatch {
   void Delete(const Slice& key);
   void Clear();
 
+  // Appends every entry of `other` to this batch (group-commit coalescing).
+  // The merged batch keeps this batch's sequence slot; entry order is this
+  // batch's entries followed by `other`'s.
+  void Append(const WriteBatch& other);
+
   uint32_t Count() const;
   // Logical bytes of all entries (keys + full value sizes + trailers).
   uint64_t LogicalSize() const { return logical_size_; }

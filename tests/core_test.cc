@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/kvaccel_db.h"
 #include "tests/test_util.h"
@@ -306,6 +307,112 @@ TEST(KvaccelDbTest, MetadataCostsMatchTableVI) {
     EXPECT_EQ(stats.md_inserts, 1u);
     EXPECT_EQ(stats.md_checks, 2u);
     EXPECT_EQ(stats.md_deletes, 1u);
+  });
+}
+
+// Concurrent writers coalesce through the Main-LSM writer queue: the total
+// op count and the sequence space stay exact, while the number of commit
+// groups drops below the number of writes.
+TEST(KvaccelDbTest, MultiWriterGroupCommit) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.redirection_enabled = false;  // every write takes the writer queue
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+
+    constexpr int kWriters = 4;
+    constexpr int kWritesPerWriter = 400;
+    std::vector<sim::SimEnv::Thread*> writers;
+    for (int t = 0; t < kWriters; t++) {
+      writers.push_back(world.env.Spawn("writer" + std::to_string(t), [&, t] {
+        for (int i = 0; i < kWritesPerWriter; i++) {
+          uint64_t k = static_cast<uint64_t>(t) * kWritesPerWriter + i;
+          ASSERT_TRUE(db->Put({}, TestKey(k), Value::Synthetic(k, 4096)).ok());
+        }
+      }));
+    }
+    for (auto* w : writers) world.env.Join(w);
+
+    const uint64_t total = uint64_t{kWriters} * kWritesPerWriter;
+    EXPECT_EQ(db->stats().writes_total, total);
+    const lsm::DbStats& ms = db->main()->stats();
+    EXPECT_EQ(ms.writes_total, total);
+    // Coalescing happened: fewer groups than writes, groups cover every entry.
+    EXPECT_GT(ms.write_groups, 0u);
+    EXPECT_LT(ms.write_groups, total);
+    EXPECT_EQ(ms.group_commit_size.Count(), ms.write_groups);
+    EXPECT_GT(ms.group_commit_size.Max(), 1u);
+    uint64_t grouped_entries = static_cast<uint64_t>(
+        ms.group_commit_size.Average() *
+            static_cast<double>(ms.group_commit_size.Count()) +
+        0.5);
+    EXPECT_EQ(grouped_entries, total);
+    // Sequence space is gapless: exactly `total` numbers were consumed.
+    EXPECT_EQ(db->main()->AllocateSequence(1), total + 1);
+
+    // Every writer's data survived the shared commits.
+    Value v;
+    for (uint64_t k = 0; k < total; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      EXPECT_EQ(v.seed(), k) << k;
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+// A rollback racing concurrent batched writes must neither lose writes nor
+// resurrect stale device copies: the newest version of every key wins,
+// whichever path served it and whenever the drain happened.
+TEST(KvaccelDbTest, RollbackDuringConcurrentBatchWrites) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions main_opts = test::SmallDbOptions();
+    main_opts.compaction_threads = 1;
+    KvaccelOptions kv_opts = SmallKvOptions();
+    kv_opts.detector_period = FromMillis(1);
+    std::unique_ptr<KvaccelDB> db;
+    ASSERT_TRUE(
+        KvaccelDB::Open(main_opts, kv_opts, world.MakeDbEnv(), &db).ok());
+
+    // Build stall pressure so the device holds data worth rolling back.
+    std::vector<uint64_t> latest(250);
+    for (int i = 0; i < 2000; i++) {
+      ASSERT_TRUE(
+          db->Put({}, TestKey(i % 250), Value::Synthetic(i, 4096)).ok());
+      latest[i % 250] = static_cast<uint64_t>(i);
+    }
+    ASSERT_GT(db->kv_stats().redirected_writes, 0u);
+    ASSERT_FALSE(db->dev()->Empty());
+
+    // One actor streams 8-entry batches while the rollback drains the device.
+    constexpr int kBatches = 60;
+    constexpr int kBatchSize = 8;
+    auto* writer = world.env.Spawn("batch-writer", [&] {
+      uint64_t seed = 100000;
+      for (int b = 0; b < kBatches; b++) {
+        lsm::WriteBatch batch;
+        for (int j = 0; j < kBatchSize; j++) {
+          int k = (b * kBatchSize + j) % 250;
+          batch.Put(TestKey(k), Value::Synthetic(seed, 64));
+          latest[k] = seed++;
+        }
+        ASSERT_TRUE(db->Write({}, &batch).ok());
+      }
+    });
+    ASSERT_TRUE(db->RollbackNow().ok());
+    world.env.Join(writer);
+
+    EXPECT_GE(db->kv_stats().rollbacks, 1u);
+    Value v;
+    for (int k = 0; k < 250; k++) {
+      ASSERT_TRUE(db->Get({}, TestKey(k), &v).ok()) << k;
+      EXPECT_EQ(v.seed(), latest[k]) << k;
+    }
+    ASSERT_TRUE(db->Close().ok());
   });
 }
 

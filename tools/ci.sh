@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain build and an ASan+UBSan build
+# (-DKVACCEL_SANITIZE=ON). Both must pass for a change to land.
+#
+#   tools/ci.sh            # run both passes
+#   tools/ci.sh plain      # plain pass only
+#   tools/ci.sh sanitize   # sanitized pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local name="$1" dir="$2"; shift 2
+  echo "==== ${name}: configure + build (${dir}) ===="
+  cmake -B "${dir}" -S . "$@"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== ${name}: ctest ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  plain)    run_pass "plain" build ;;
+  sanitize) run_pass "sanitize" build-asan -DKVACCEL_SANITIZE=ON ;;
+  all)
+    run_pass "plain" build
+    run_pass "sanitize" build-asan -DKVACCEL_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: tools/ci.sh [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+echo "CI OK (${mode})"

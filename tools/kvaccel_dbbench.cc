@@ -12,6 +12,8 @@
 //   --value_size=N     value bytes (default 4096)
 //   --key_space=N      key draw range (default 2^31)
 //   --read_threads=N   readers for readwhilewriting (default 1)
+//   --writer_threads=N concurrent writer actors (default 1)
+//   --batch_size=N     entries per WriteBatch per writer op (default 1)
 //   --rollback=lazy|eager|disabled    KVACCEL rollback scheme (default lazy)
 //   --no_slowdown      disable the baselines' delayed-write mechanism
 //   --seed=N           workload seed (default 42)
@@ -21,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "harness/flags.h"
 #include "harness/report.h"
 #include "harness/workload.h"
 
@@ -48,7 +51,8 @@ void Usage() {
           "usage: kvaccel_dbbench [--system=rocksdb|adoc|kvaccel]\n"
           "  [--workload=fillrandom|readwhilewriting|seekrandom]\n"
           "  [--seconds=N] [--scale=F] [--threads=N] [--value_size=N]\n"
-          "  [--key_space=N] [--read_threads=N]\n"
+          "  [--key_space=N] [--read_threads=N] [--writer_threads=N]\n"
+          "  [--batch_size=N]\n"
           "  [--rollback=lazy|eager|disabled] [--no_slowdown] [--seed=N]\n"
           "  [--series]\n");
 }
@@ -88,17 +92,26 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (FlagEq(argv[i], "--seconds", &v)) {
-      config.workload.duration = FromSecs(atof(v));
+      config.workload.duration = FromSecs(ParseFlagDouble(v, "--seconds"));
     } else if (FlagEq(argv[i], "--scale", &v)) {
-      config.scale = atof(v);
+      config.scale = ParseFlagDouble(v, "--scale");
     } else if (FlagEq(argv[i], "--threads", &v)) {
-      config.sut.compaction_threads = atoi(v);
+      config.sut.compaction_threads =
+          static_cast<int>(ParseFlagInt(v, "--threads", /*min_value=*/1));
     } else if (FlagEq(argv[i], "--value_size", &v)) {
-      config.workload.value_size = static_cast<uint32_t>(atoi(v));
+      config.workload.value_size = static_cast<uint32_t>(
+          ParseFlagInt(v, "--value_size", /*min_value=*/1));
     } else if (FlagEq(argv[i], "--key_space", &v)) {
-      config.workload.key_space = strtoull(v, nullptr, 10);
+      config.workload.key_space = ParseFlagUint64(v, "--key_space");
     } else if (FlagEq(argv[i], "--read_threads", &v)) {
-      config.workload.read_threads = atoi(v);
+      config.workload.read_threads =
+          static_cast<int>(ParseFlagInt(v, "--read_threads"));
+    } else if (FlagEq(argv[i], "--writer_threads", &v)) {
+      config.workload.writer_threads = static_cast<int>(
+          ParseFlagInt(v, "--writer_threads", /*min_value=*/1));
+    } else if (FlagEq(argv[i], "--batch_size", &v)) {
+      config.workload.batch_size =
+          static_cast<int>(ParseFlagInt(v, "--batch_size", /*min_value=*/1));
     } else if (FlagEq(argv[i], "--rollback", &v)) {
       if (strcmp(v, "lazy") == 0) {
         config.sut.rollback = core::RollbackScheme::kLazy;
@@ -113,7 +126,7 @@ int main(int argc, char** argv) {
     } else if (FlagEq(argv[i], "--no_slowdown", &v)) {
       config.sut.enable_slowdown = false;
     } else if (FlagEq(argv[i], "--seed", &v)) {
-      config.workload.seed = strtoull(v, nullptr, 10);
+      config.workload.seed = ParseFlagUint64(v, "--seed");
     } else if (FlagEq(argv[i], "--series", &v)) {
       print_series = true;
     } else if (strcmp(argv[i], "--help") == 0) {
@@ -148,10 +161,16 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(r.stall_events), r.stalled_seconds,
          static_cast<unsigned long long>(r.slowdown_periods),
          static_cast<unsigned long long>(r.slowdown_events));
+  printf("group commit      : %llu groups, mean %.2f entries/group "
+         "(max %llu)\n",
+         static_cast<unsigned long long>(r.write_groups),
+         r.group_commit_mean,
+         static_cast<unsigned long long>(r.group_commit_max));
   if (config.sut.kind == SystemKind::kKvaccel) {
-    printf("kvaccel           : %llu redirected writes, %llu rollbacks, "
-           "%llu detector checks\n",
+    printf("kvaccel           : %llu redirected writes (%llu batches), "
+           "%llu rollbacks, %llu detector checks\n",
            static_cast<unsigned long long>(r.redirected_writes),
+           static_cast<unsigned long long>(r.redirected_batches),
            static_cast<unsigned long long>(r.rollbacks),
            static_cast<unsigned long long>(r.detector_checks));
   }
