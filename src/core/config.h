@@ -44,10 +44,25 @@ struct KvaccelOptions {
   // Redirect writes when the Detector reports an imminent stall.
   bool redirection_enabled = true;
 
+  // Device-error policy for the redirected write path. A Dev-LSM command
+  // that fails transiently (IOError/Busy/TryAgain) is retried up to
+  // dev_retry_limit times with exponential virtual-time backoff starting at
+  // dev_retry_backoff. When the budget is exhausted the Detector latches the
+  // device unhealthy, all writes fall back to the host path, and after
+  // device_unhealthy_cooldown a single half-open probe may re-enable it.
+  int dev_retry_limit = 3;
+  Nanos dev_retry_backoff = FromMicros(200);
+  Nanos device_unhealthy_cooldown = FromSecs(5);
+
   // Multi-device deployment (paper §V-D): host the key-value interface on a
   // second SSD instead of the hybrid single-device split. nullptr (default)
   // = single-device (Dev-LSM shares the Main-LSM's device).
   ssd::HybridSsd* kv_device = nullptr;
+
+  // Externally owned Dev-LSM to attach instead of creating a fresh one.
+  // Crash-recovery tests use this to keep redirected pairs alive across a
+  // simulated host reboot (the device outlives the host process). Not owned.
+  devlsm::DevLsm* external_dev = nullptr;
 };
 
 struct KvaccelStats {
@@ -65,6 +80,11 @@ struct KvaccelStats {
   uint64_t md_inserts = 0;
   uint64_t md_checks = 0;
   uint64_t md_deletes = 0;
+  // Device-fault handling (fault-injection PR).
+  uint64_t dev_retries = 0;       // Dev-LSM command retries after transients
+  uint64_t fallback_writes = 0;   // entries rerouted to the host path after
+                                  // the device retry budget ran out
+  uint64_t device_unhealthy_events = 0;  // unhealthy latches (circuit opens)
 };
 
 }  // namespace kvaccel::core

@@ -45,6 +45,24 @@ class Detector {
   // Force an immediate poll (used by tests and by rollback bootstrap).
   void PollNow() { CheckOnce(); }
 
+  // ---- Device-health circuit breaker (fault-injection PR) ----
+  // The Controller reports the outcome of Dev-LSM commands here. After the
+  // retry budget is exhausted the device is latched unhealthy and the
+  // Controller stops redirecting; after `device_unhealthy_cooldown` a single
+  // write is allowed through as a half-open probe, and its success closes
+  // the circuit again.
+  bool device_healthy(Nanos now) const {
+    return device_healthy_ || now >= device_retry_at_;
+  }
+  void ReportDeviceFailure(Nanos now) {
+    if (device_healthy_) {
+      device_healthy_ = false;
+      stats_->device_unhealthy_events++;
+    }
+    device_retry_at_ = now + options_.device_unhealthy_cooldown;
+  }
+  void ReportDeviceSuccess() { device_healthy_ = true; }
+
  private:
   void Loop() {
     sim::SimLockGuard l(mu_);
@@ -96,6 +114,9 @@ class Detector {
   bool stall_detected_ = false;
   int calm_streak_ = 0;
   lsm::StallSignals last_signals_;
+
+  bool device_healthy_ = true;
+  Nanos device_retry_at_ = 0;  // half-open probe time while unhealthy
 };
 
 }  // namespace kvaccel::core

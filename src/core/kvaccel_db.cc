@@ -6,8 +6,15 @@
 #include <vector>
 
 #include "core/hybrid_iterator.h"
+#include "sim/fault.h"
 
 namespace kvaccel::core {
+
+namespace {
+bool IsTransient(const Status& s) {
+  return s.IsIOError() || s.IsBusy() || s.IsTryAgain();
+}
+}  // namespace
 
 // ---------------- Open / lifecycle ----------------
 
@@ -28,11 +35,17 @@ Status KvaccelDB::Open(const lsm::DbOptions& main_options,
   if (!s.ok()) return s;
 
   // Single-device (hybrid split) by default; §V-D multi-device when a
-  // second SSD is supplied.
-  ssd::HybridSsd* kv_ssd =
-      kv_options.kv_device != nullptr ? kv_options.kv_device : env.ssd;
-  impl->dev_ = std::make_unique<devlsm::DevLsm>(kv_ssd, /*nsid=*/0,
-                                                kv_options.dev);
+  // second SSD is supplied. An external (device-owned) Dev-LSM survives a
+  // host crash/reopen, so redirected pairs can be recovered below.
+  if (kv_options.external_dev != nullptr) {
+    impl->dev_ = kv_options.external_dev;
+  } else {
+    ssd::HybridSsd* kv_ssd =
+        kv_options.kv_device != nullptr ? kv_options.kv_device : env.ssd;
+    impl->owned_dev_ = std::make_unique<devlsm::DevLsm>(kv_ssd, /*nsid=*/0,
+                                                        kv_options.dev);
+    impl->dev_ = impl->owned_dev_.get();
+  }
   impl->md_ = std::make_unique<MetadataManager>(
       env.env, env.host_cpu, impl->options_, &impl->kv_stats_);
   impl->detector_ = std::make_unique<Detector>(
@@ -40,6 +53,18 @@ Status KvaccelDB::Open(const lsm::DbOptions& main_options,
       &impl->kv_stats_);
   impl->rollback_ =
       std::make_unique<RollbackManager>(impl.get(), impl->options_);
+
+  // Recovery after a host crash: pairs still cached device-side have no
+  // metadata records (the hash table is volatile), so drain them back into
+  // Main-LSM ordered by sequence number before serving traffic (§VI-D).
+  if (!impl->dev_->Empty()) {
+    s = impl->rollback_->Execute(/*trust_metadata=*/false);
+    if (!s.ok()) {
+      impl->main_->Close();
+      impl->closed_ = true;
+      return s;
+    }
+  }
 
   impl->detector_->Start();
   if (impl->options_.rollback != RollbackScheme::kDisabled) {
@@ -68,8 +93,31 @@ bool KvaccelDB::rollback_in_progress() const {
 
 bool KvaccelDB::ShouldRedirect() const {
   // Redirection stays available during rollback: the snapshot-bounded reset
-  // (DevLsm::ResetUpTo) keeps concurrently redirected pairs safe.
-  return options_.redirection_enabled && detector_->stall_detected();
+  // (DevLsm::ResetUpTo) keeps concurrently redirected pairs safe. A device
+  // latched unhealthy by the circuit breaker is skipped until its half-open
+  // probe time.
+  return options_.redirection_enabled && detector_->stall_detected() &&
+         detector_->device_healthy(env_->Now());
+}
+
+Status KvaccelDB::DevPutWithRetry(
+    const std::vector<devlsm::DevLsm::BatchPut>& entries) {
+  Status s = dev_->PutCompound(entries);
+  Nanos backoff = options_.dev_retry_backoff;
+  int attempt = 0;
+  while (!s.ok() && IsTransient(s) && attempt < options_.dev_retry_limit) {
+    attempt++;
+    kv_stats_.dev_retries++;
+    env_->SleepFor(backoff);
+    backoff *= 2;
+    s = dev_->PutCompound(entries);
+  }
+  if (s.ok()) {
+    detector_->ReportDeviceSuccess();
+  } else if (IsTransient(s)) {
+    detector_->ReportDeviceFailure(env_->Now());
+  }
+  return s;
 }
 
 Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
@@ -99,7 +147,7 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
         });
     if (s.ok()) {
       Nanos dev_start = env_->Now();
-      s = dev_->PutCompound(entries);
+      s = DevPutWithRetry(entries);
       if (s.ok()) {
         kv_stats_.redirect_batch_latency.Add(env_->Now() - dev_start);
         std::vector<std::pair<std::string, uint64_t>> recs;
@@ -112,6 +160,7 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
     }
     if (!s.ok()) {
       // Device full/unavailable: fall back to the normal (stalling) path.
+      // Counted as fallback so a dead device shows up in bench reports.
       s = main_->Write(wopts, batch);
       if (s.ok()) {
         (void)batch->ForEach(
@@ -120,6 +169,7 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
             });
       }
       kv_stats_.direct_writes += count;
+      kv_stats_.fallback_writes += count;
     }
   } else {
     s = main_->Write(wopts, batch);
@@ -266,6 +316,13 @@ Status RollbackManager::Execute(bool trust_metadata) {
   };
 
   Status status = dev->BulkScan([&](const devlsm::DevLsm::ScanEntry& e) {
+    // Kill point: a crash mid-drain must leave every not-yet-reset pair on
+    // the device for the next recovery pass (ResetUpTo runs only at the end).
+    if (sim::FaultAt(owner_->sim_env(), "crash.rollback.mid")) {
+      ingest_error = Status::IOError("simulated crash");
+      return;
+    }
+    if (!ingest_error.ok()) return;
     if (trust_metadata) {
       // Skip pairs superseded either by a newer Main-LSM write (their
       // metadata record was deleted on the 3-1 path) or by a re-redirection

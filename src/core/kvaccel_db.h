@@ -60,7 +60,7 @@ class KvaccelDB {
   // ---- Introspection ----
   sim::SimEnv* sim_env() { return env_; }
   lsm::DB* main() { return main_.get(); }
-  devlsm::DevLsm* dev() { return dev_.get(); }
+  devlsm::DevLsm* dev() { return dev_; }
   Detector* detector() { return detector_.get(); }
   MetadataManager* metadata() { return md_.get(); }
   const KvaccelStats& kv_stats() const { return kv_stats_; }
@@ -73,13 +73,20 @@ class KvaccelDB {
   KvaccelDB(const KvaccelOptions& kv_options, const lsm::DbEnv& env);
 
   bool ShouldRedirect() const;
+  // Dev-LSM compound put with transient-error retries; on budget exhaustion
+  // latches the device unhealthy via the Detector and returns the error so
+  // the caller falls back to the host path.
+  Status DevPutWithRetry(const std::vector<devlsm::DevLsm::BatchPut>& entries);
 
   KvaccelOptions options_;
   lsm::DbEnv denv_;
   sim::SimEnv* env_;
 
   std::unique_ptr<lsm::DB> main_;
-  std::unique_ptr<devlsm::DevLsm> dev_;
+  // dev_ points at owned_dev_ unless options_.external_dev attached a
+  // device that outlives this KvaccelDB (crash/reopen tests).
+  devlsm::DevLsm* dev_ = nullptr;
+  std::unique_ptr<devlsm::DevLsm> owned_dev_;
   std::unique_ptr<MetadataManager> md_;
   std::unique_ptr<Detector> detector_;
   std::unique_ptr<RollbackManager> rollback_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/fault.h"
+
 namespace kvaccel::devlsm {
 
 namespace {
@@ -19,6 +21,10 @@ uint64_t DevLsm::EntryLogical(const Slice& key, const Entry& e) const {
 
 Status DevLsm::Put(const Slice& key, const Value& value, uint64_t host_seq) {
   sim::SimLockGuard l(cmd_mu_);
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "devlsm.put.transient")) {
+    return Status::IOError("injected: KV store command failed");
+  }
   stats_.puts++;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvStore, nsid_,
                        key.size() + value.logical_size());
@@ -48,6 +54,10 @@ Status DevLsm::Put(const Slice& key, const Value& value, uint64_t host_seq) {
 
 Status DevLsm::Delete(const Slice& key, uint64_t host_seq) {
   sim::SimLockGuard l(cmd_mu_);
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "devlsm.put.transient")) {
+    return Status::IOError("injected: KV delete command failed");
+  }
   stats_.deletes++;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvDelete, nsid_,
                        key.size());
@@ -75,6 +85,10 @@ Status DevLsm::Delete(const Slice& key, uint64_t host_seq) {
 Status DevLsm::PutCompound(const std::vector<BatchPut>& entries) {
   if (entries.empty()) return Status::OK();
   sim::SimLockGuard l(cmd_mu_);
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "devlsm.put.transient")) {
+    return Status::IOError("injected: KV compound command failed");
+  }
   uint64_t payload = 0;
   for (const BatchPut& e : entries) {
     payload += e.key.size() + (e.tombstone ? 0 : e.value.logical_size());
@@ -116,6 +130,10 @@ Status DevLsm::PutCompound(const std::vector<BatchPut>& entries) {
 
 Status DevLsm::Get(const Slice& key, Value* value) {
   sim::SimLockGuard l(cmd_mu_);
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "devlsm.get.transient")) {
+    return Status::IOError("injected: KV retrieve command failed");
+  }
   stats_.gets++;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvRetrieve, nsid_,
                        key.size());

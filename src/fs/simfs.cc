@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/fault.h"
+
 namespace kvaccel::fs {
 
 // ---------------- SimFs ----------------
@@ -144,6 +146,25 @@ void SimFs::DropAllDirty() {
         std::min(inode->logical_size, inode->dirty_logical);
     inode->dirty_physical = 0;
     inode->dirty_logical = 0;
+    // Bytes that were written back but never covered by a BlockFlush sat in
+    // the device write cache; the torn-writeback fault loses them too.
+    if (inode->unsynced_physical > 0 &&
+        sim::FaultAt(ssd_->env(), "simfs.powercut.torn")) {
+      inode->data.resize(inode->data.size() -
+                         std::min<uint64_t>(inode->data.size(),
+                                            inode->unsynced_physical));
+      inode->logical_size -=
+          std::min(inode->logical_size, inode->unsynced_logical);
+    }
+    inode->unsynced_physical = 0;
+    inode->unsynced_logical = 0;
+  }
+}
+
+void SimFs::MarkAllSynced() {
+  for (auto& [name, inode] : files_) {
+    inode->unsynced_logical = 0;
+    inode->unsynced_physical = 0;
   }
 }
 
@@ -217,9 +238,16 @@ Status WritableFile::WriteBack(bool partial) {
                        static_cast<double>(inode_->dirty_physical) *
                        static_cast<double>(to_write) /
                        static_cast<double>(dirty));
-  inode_->dirty_physical -= std::min(inode_->dirty_physical, phys_written);
+  phys_written = std::min(inode_->dirty_physical, phys_written);
+  inode_->dirty_physical -= phys_written;
   inode_->dirty_logical -= std::min(inode_->dirty_logical, to_write);
-  if (inode_->dirty_logical == 0) inode_->dirty_physical = 0;
+  if (inode_->dirty_logical == 0) {
+    phys_written += inode_->dirty_physical;
+    inode_->dirty_physical = 0;
+  }
+  // Written back, but only durable once a BlockFlush covers it.
+  inode_->unsynced_logical += to_write;
+  inode_->unsynced_physical += phys_written;
   return Status::OK();
 }
 
@@ -231,7 +259,10 @@ Status WritableFile::Flush() {
 Status WritableFile::Sync() {
   Status s = Flush();
   if (!s.ok()) return s;
-  return fs_->ssd_->BlockFlush(fs_->nsid_);
+  s = fs_->ssd_->BlockFlush(fs_->nsid_);
+  if (!s.ok()) return s;
+  fs_->MarkAllSynced();
+  return Status::OK();
 }
 
 Status WritableFile::Close() {
@@ -270,6 +301,19 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n,
   // Copy after the device wait: appended-only data makes [offset, offset+n)
   // immutable once written.
   out->assign(inode_->data, offset, n);
+  if (!out->empty()) {
+    sim::SimEnv* env = fs_->ssd_->env();
+    if (sim::FaultAt(env, "simfs.read.bitflip")) {
+      // Latent media corruption: flip one bit of the returned payload.
+      sim::FaultInjector* inj = env->fault_injector();
+      size_t byte = inj->Rand(out->size());
+      (*out)[byte] = static_cast<char>(
+          static_cast<unsigned char>((*out)[byte]) ^ (1u << inj->Rand(8)));
+    }
+    if (sim::FaultAt(env, "simfs.read.short")) {
+      out->resize(env->fault_injector()->Rand(out->size()));
+    }
+  }
   return Status::OK();
 }
 

@@ -54,6 +54,10 @@ struct Inode {
   // Appended but not yet written back to the device.
   uint64_t dirty_logical = 0;
   uint64_t dirty_physical = 0;
+  // Written back but not yet covered by a device cache flush (BlockFlush).
+  // A power cut may tear these when the simfs.powercut.torn fault is armed.
+  uint64_t unsynced_logical = 0;
+  uint64_t unsynced_physical = 0;
 };
 
 class WritableFile {
@@ -128,7 +132,9 @@ class SimFs {
   std::vector<std::string> GetChildren() const;
 
   // Power-cut semantics: every file loses its dirty (never-written-back)
-  // tail, as the real page cache would across a crash.
+  // tail, as the real page cache would across a crash. With the
+  // simfs.powercut.torn fault armed, a file may additionally lose its
+  // written-back-but-unflushed tail (device write cache torn by the cut).
   void DropAllDirty();
 
   uint64_t free_sectors() const { return free_sectors_; }
@@ -144,6 +150,9 @@ class SimFs {
   // Allocates `sectors` (possibly as multiple extents). Fails with NoSpace.
   Status AllocSectors(uint64_t sectors, std::vector<Extent>* out);
   void FreeExtents(const std::vector<Extent>& extents);
+  // A BlockFlush is a device-wide cache flush: every file's unsynced bytes
+  // become durable.
+  void MarkAllSynced();
 
   ssd::HybridSsd* ssd_;
   int nsid_;

@@ -1,0 +1,54 @@
+// Canned fault profiles for bench runs and CI (--fault_profile=<name>).
+// A profile arms a small set of fault sites on a FaultInjector; combined
+// with --fault_seed the whole faulty run is reproducible bit-for-bit.
+//
+//   flaky-nvme   rare transient command failures on the block and KV paths
+//                (exercises the retry/backoff machinery end to end)
+//   bitrot       latent read corruption: ~1-in-10k file reads return one
+//                flipped bit (exercises checksum verification paths)
+//   power-cut    every dropped dirty cache additionally loses a torn
+//                trailing-sector tail (exercises crash recovery)
+//   devlsm-dead  every Dev-LSM command fails (exercises the host-path
+//                fallback and the device-health circuit breaker)
+#pragma once
+
+#include <string>
+
+#include "sim/fault.h"
+
+namespace kvaccel::harness {
+
+// Arms `inj` according to the named profile. Returns false when the name is
+// unknown; "" and "none" are valid no-ops.
+inline bool ApplyFaultProfile(sim::FaultInjector* inj,
+                              const std::string& name) {
+  if (name.empty() || name == "none") return true;
+  sim::FaultRule rule;
+  if (name == "flaky-nvme") {
+    rule.probability = 1e-4;
+    inj->Arm("ssd.block.write.transient", rule);
+    inj->Arm("ssd.block.read.transient", rule);
+    rule.probability = 1e-5;
+    inj->Arm("ssd.block.flush.transient", rule);
+    inj->Arm("devlsm.put.transient", rule);
+    return true;
+  }
+  if (name == "bitrot") {
+    rule.probability = 1e-4;
+    inj->Arm("simfs.read.bitflip", rule);
+    return true;
+  }
+  if (name == "power-cut") {
+    rule.probability = 1.0;
+    inj->Arm("simfs.powercut.torn", rule);
+    return true;
+  }
+  if (name == "devlsm-dead") {
+    rule.probability = 1.0;
+    inj->Arm("devlsm.put.transient", rule);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace kvaccel::harness

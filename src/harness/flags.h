@@ -5,6 +5,14 @@
 //   --threads=N        restrict to one compaction-thread count (default: sweep)
 //   --writer_threads=N concurrent writer actors (default 1)
 //   --batch_size=N     entries per WriteBatch a writer submits (default 1)
+//   --fault_profile=P  arm a canned fault profile for the run (default none):
+//                        flaky-nvme   rare transient block/KV command errors
+//                        bitrot       ~1-in-10k file reads flip one bit
+//                        power-cut    dropped dirty cache loses a torn tail
+//                        devlsm-dead  every Dev-LSM command fails (fallback)
+//                      (catalogue lives in harness/fault_profiles.h)
+//   --fault_seed=N     fault injector RNG seed (default 1); the same
+//                      profile+seed reproduces the same fault sequence
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -81,6 +89,8 @@ struct BenchFlags {
   int threads = 0;  // 0 = bench default / sweep
   int writer_threads = 1;
   int batch_size = 1;
+  std::string fault_profile;  // empty = no fault injection
+  unsigned long long fault_seed = 1;
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -99,6 +109,10 @@ struct BenchFlags {
       } else if (strncmp(arg, "--batch_size=", 13) == 0) {
         f.batch_size = static_cast<int>(
             ParseFlagInt(arg + 13, "--batch_size", /*min_value=*/1));
+      } else if (strncmp(arg, "--fault_profile=", 16) == 0) {
+        f.fault_profile = arg + 16;
+      } else if (strncmp(arg, "--fault_seed=", 13) == 0) {
+        f.fault_seed = ParseFlagUint64(arg + 13, "--fault_seed");
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

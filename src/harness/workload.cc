@@ -5,7 +5,9 @@
 
 #include "common/random.h"
 #include "fs/simfs.h"
+#include "harness/fault_profiles.h"
 #include "sim/cpu_pool.h"
+#include "sim/fault.h"
 #include "sim/sim_env.h"
 #include "ssd/hybrid_ssd.h"
 
@@ -129,6 +131,16 @@ RunResult RunBenchmark(const BenchConfig& config) {
   fs::SimFs fs(&ssd, 0);
   sim::CpuPool host_cpu(&env, "host", 8);  // Table II: usage limited to 8
   lsm::DbEnv denv{&env, &ssd, &fs, &host_cpu};
+
+  sim::FaultInjector injector(&env, config.fault_seed);
+  if (!config.fault_profile.empty()) {
+    env.set_fault_injector(&injector);
+    if (!ApplyFaultProfile(&injector, config.fault_profile)) {
+      fprintf(stderr, "unknown fault profile '%s'\n",
+              config.fault_profile.c_str());
+      exit(2);
+    }
+  }
 
   RunResult result;
   Shared sh;
@@ -278,12 +290,17 @@ RunResult RunBenchmark(const BenchConfig& config) {
       }
     }
 
+    result.fault_injected = injector.total_fires();
+    result.io_retries = ms.io_retries;
+    result.background_errors = ms.background_errors;
     if (sut->kvaccel() != nullptr) {
       const core::KvaccelStats& ks = sut->kvaccel()->kv_stats();
       result.redirected_writes = ks.redirected_writes;
       result.rollbacks = ks.rollbacks;
       result.detector_checks = ks.detector_checks;
       result.redirected_batches = ks.redirected_batches;
+      result.dev_retries = ks.dev_retries;
+      result.fallback_writes = ks.fallback_writes;
     }
     sut->Close();
   });

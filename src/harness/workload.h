@@ -48,6 +48,10 @@ struct BenchConfig {
   double scale = 0.125;
   // Ablation hook: override the device bandwidth (0 = preset 630 MB/s).
   double nand_mbps = 0;
+  // Fault injection: canned profile name (see harness/fault_profiles.h;
+  // "" = no faults) and the injector's RNG seed.
+  std::string fault_profile;
+  uint64_t fault_seed = 1;
 };
 
 struct RunResult {
@@ -93,6 +97,13 @@ struct RunResult {
   uint64_t rollbacks = 0;
   uint64_t detector_checks = 0;
   uint64_t redirected_batches = 0;
+
+  // Fault-injection observability (--fault_profile runs).
+  uint64_t fault_injected = 0;      // total injector fires
+  uint64_t io_retries = 0;          // Main-LSM transient-error retries
+  uint64_t background_errors = 0;   // latched flush/compaction failures
+  uint64_t dev_retries = 0;         // Dev-LSM command retries (KVACCEL)
+  uint64_t fallback_writes = 0;     // host-path fallbacks after dead device
 };
 
 // Encodes `v` as a fixed-width big-endian key (lexicographic == numeric).

@@ -98,6 +98,11 @@ class DB {
   // called before SimEnv::Run() can return.
   virtual Status Close() = 0;
 
+  // The latched background error, if any (RocksDB-style): once a flush or
+  // compaction fails unrecoverably the DB refuses further writes with this
+  // status until reopened. Reads keep working.
+  virtual Status GetBackgroundError() = 0;
+
   virtual const DbStats& stats() const = 0;
   virtual DbStats& mutable_stats() = 0;
   virtual StallSignals GetStallSignals() = 0;

@@ -6,10 +6,18 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "sim/fault.h"
 
 namespace kvaccel::lsm {
 
 using sim::SimLockGuard;
+
+namespace {
+// Device errors worth retrying; Corruption/NoSpace/InvalidArgument are not.
+bool IsTransient(const Status& s) {
+  return s.IsIOError() || s.IsBusy() || s.IsTryAgain();
+}
+}  // namespace
 
 // ---------------- Open / lifecycle ----------------
 
@@ -127,6 +135,29 @@ Status DbImpl::Close() {
   return versions_->CloseManifest();
 }
 
+Status DbImpl::GetBackgroundError() {
+  SimLockGuard l(mu_);
+  return bg_error_;
+}
+
+Status DbImpl::RetryTransient(const std::function<Status()>& fn) {
+  Status s = fn();
+  Nanos backoff = options_.io_retry_backoff;
+  for (int attempt = 0;
+       !s.ok() && IsTransient(s) && attempt < options_.max_io_retries;
+       attempt++) {
+    {
+      SimLockGuard l(mu_);
+      if (shutting_down_) return s;
+      stats_.io_retries++;
+    }
+    env_->SleepFor(backoff);
+    backoff *= 2;
+    s = fn();
+  }
+  return s;
+}
+
 // ---------------- Write path ----------------
 
 Status DbImpl::Put(const WriteOptions& wopts, const Slice& key,
@@ -186,7 +217,19 @@ Status DbImpl::Write(const WriteOptions& wopts, WriteBatch* batch) {
     mu_.Unlock();
     if (options_.wal_enabled && !wopts.disable_wal) {
       s = wal_->AddRecord(group->Contents(), group->LogicalSize());
-      if (s.ok() && (wopts.sync || options_.wal_sync)) s = wal_->Sync();
+      if (s.ok() && sim::FaultAt(env_, "crash.wal.post_append")) {
+        // Power lost after the append, before it could become durable: the
+        // group is never acknowledged.
+        s = Status::IOError("simulated crash");
+      }
+      if (s.ok() && (wopts.sync || options_.wal_sync)) {
+        s = RetryTransient([this] { return wal_->Sync(); });
+      }
+      if (s.ok() && sim::FaultAt(env_, "crash.wal.post_sync")) {
+        // Power lost after the sync, before the memtable apply: the group is
+        // durable in the WAL but never acknowledged.
+        s = Status::IOError("simulated crash");
+      }
     }
     if (s.ok()) s = group->InsertInto(mem_.get());
     mu_.Lock();
@@ -347,7 +390,8 @@ Status DbImpl::MakeRoomForWrite(uint64_t batch_logical) {
       // Full write stall (paper events 2/3).
       stats_.stall_events++;
       stats_.stall_regions.Begin(env_->Now());
-      while (!shutting_down_ && StopConditionLocked(nullptr)) {
+      while (!shutting_down_ && bg_error_.ok() &&
+             StopConditionLocked(nullptr)) {
         bg_cv_.NotifyAll();
         stall_cv_.Wait(mu_);
       }
@@ -365,7 +409,7 @@ Status DbImpl::MakeRoomForWrite(uint64_t batch_logical) {
       // memtable drains.
       stats_.stall_events++;
       stats_.stall_regions.Begin(env_->Now());
-      while (!shutting_down_ &&
+      while (!shutting_down_ && bg_error_.ok() &&
              static_cast<int>(imm_.size()) >=
                  options_.max_write_buffer_number - 1) {
         bg_cv_.NotifyAll();
@@ -777,7 +821,9 @@ std::unique_ptr<Iterator> DbImpl::NewIterator(const ReadOptions& ropts) {
 void DbImpl::FlushThreadLoop() {
   mu_.Lock();
   while (!shutting_down_) {
-    if (imm_.empty()) {
+    // A latched background error parks the thread: retrying forever against
+    // a dead device would spin without advancing virtual time.
+    if (imm_.empty() || !bg_error_.ok()) {
       bg_cv_.Wait(mu_);
       continue;
     }
@@ -790,7 +836,10 @@ void DbImpl::FlushThreadLoop() {
     mu_.Lock();
     flush_running_ = false;
     if (!s.ok()) {
-      bg_error_ = s;
+      if (bg_error_.ok()) {
+        bg_error_ = s;
+        stats_.background_errors++;
+      }
       LogError("flush failed: %s", s.ToString().c_str());
     } else {
       imm_.pop_front();
@@ -809,11 +858,8 @@ void DbImpl::FlushThreadLoop() {
   mu_.Unlock();
 }
 
-Status DbImpl::FlushImmToL0(const ImmEntry& imm) {
-  mu_.Lock();
-  uint64_t number = versions_->NewFileNumber();
-  mu_.Unlock();
-
+Status DbImpl::BuildL0Sst(const ImmEntry& imm, uint64_t number,
+                          FileMetaData* meta) {
   std::unique_ptr<fs::WritableFile> file;
   Status s = denv_.fs->NewWritableFile(SstName(number), &file);
   if (!s.ok()) return s;
@@ -823,6 +869,9 @@ Status DbImpl::FlushImmToL0(const ImmEntry& imm) {
   auto iter = imm.mem->NewIterator();
   uint64_t cpu_debt_bytes = 0;
   for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (sim::FaultAt(env_, "crash.flush.mid")) {
+      return Status::IOError("simulated crash");
+    }
     Slice ikey = iter->key();
     Slice val = iter->value();
     Value decoded;
@@ -848,13 +897,30 @@ Status DbImpl::FlushImmToL0(const ImmEntry& imm) {
   s = builder.Finish();
   if (!s.ok()) return s;
 
-  auto meta = std::make_shared<FileMetaData>();
   meta->number = number;
   meta->logical_size = builder.logical_size();
   meta->num_entries = builder.num_entries();
   meta->max_seq = builder.max_seq();
   meta->smallest = builder.smallest();
   meta->largest = builder.largest();
+  return Status::OK();
+}
+
+Status DbImpl::FlushImmToL0(const ImmEntry& imm) {
+  mu_.Lock();
+  uint64_t number = versions_->NewFileNumber();
+  mu_.Unlock();
+
+  auto meta = std::make_shared<FileMetaData>();
+  Status s = RetryTransient([&] {
+    Status bs = BuildL0Sst(imm, number, meta.get());
+    if (!bs.ok() && !sim::SimCrashed(env_)) {
+      // Drop the partial output so a retry (or reopened DB) starts clean.
+      denv_.fs->DeleteFile(SstName(number));
+    }
+    return bs;
+  });
+  if (!s.ok()) return s;
 
   mu_.Lock();
   VersionEdit edit;
@@ -877,8 +943,9 @@ Status DbImpl::FlushImmToL0(const ImmEntry& imm) {
 void DbImpl::CompactionThreadLoop(int worker_id) {
   mu_.Lock();
   while (!shutting_down_) {
-    if (worker_id >= active_compaction_threads_) {
-      // Parked: beyond the currently configured thread budget (ADOC shrink).
+    if (worker_id >= active_compaction_threads_ || !bg_error_.ok()) {
+      // Parked: beyond the currently configured thread budget (ADOC shrink),
+      // or the DB has latched a background error.
       bg_cv_.Wait(mu_);
       continue;
     }
@@ -896,7 +963,10 @@ void DbImpl::CompactionThreadLoop(int worker_id) {
     running_compactions_--;
     c->MarkBeingCompacted(false);
     if (!s.ok()) {
-      bg_error_ = s;
+      if (bg_error_.ok()) {
+        bg_error_ = s;
+        stats_.background_errors++;
+      }
       LogError("compaction failed: %s", s.ToString().c_str());
     }
     stall_cv_.NotifyAll();
@@ -907,9 +977,64 @@ void DbImpl::CompactionThreadLoop(int worker_id) {
 }
 
 Status DbImpl::RunCompaction(Compaction* c) {
+  std::vector<FileMetaPtr> outputs;
+  std::vector<uint64_t> created;
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+  Status s = RetryTransient([&] {
+    outputs.clear();
+    read_bytes = 0;
+    written_bytes = 0;
+    Status ws =
+        DoCompactionWork(c, &outputs, &created, &read_bytes, &written_bytes);
+    if (!ws.ok() && !sim::SimCrashed(env_)) {
+      // Drop partial outputs so a retry (or reopened DB) starts clean.
+      for (uint64_t n : created) denv_.fs->DeleteFile(SstName(n));
+    }
+    if (!ws.ok()) created.clear();
+    return ws;
+  });
+  if (!s.ok()) return s;
+
+  // Install the result. MANIFEST failures are not retried: a possibly
+  // half-appended edit must not be followed by a duplicate.
+  const int output_level = c->level + 1;
+  mu_.Lock();
+  VersionEdit edit;
+  for (int which = 0; which < 2; which++) {
+    int level = c->level + which;
+    for (const auto& f : c->inputs[which]) {
+      edit.DeleteFile(level, f->number);
+    }
+  }
+  for (const auto& meta : outputs) edit.AddFile(output_level, meta);
+  s = versions_->LogAndApply(&edit);
+  stats_.compaction_count++;
+  stats_.compaction_bytes_read += read_bytes;
+  stats_.compaction_bytes_written += written_bytes;
+  mu_.Unlock();
+  if (!s.ok()) return s;
+
+  // Retire the inputs; actual deletion waits until no pinned version can
+  // still reference them.
+  for (int which = 0; which < 2; which++) {
+    for (const auto& f : c->inputs[which]) DeferObsoleteFile(f);
+  }
+  ReapObsoleteFiles();
+  return Status::OK();
+}
+
+Status DbImpl::DoCompactionWork(Compaction* c,
+                                std::vector<FileMetaPtr>* outputs,
+                                std::vector<uint64_t>* created,
+                                uint64_t* read_bytes_out,
+                                uint64_t* written_bytes_out) {
   const int output_level = c->level + 1;
   ReadOptions ropts;
   ropts.fill_cache = false;  // compaction reads must not wipe the cache
+  // Compaction verifies block CRCs: rewriting a corrupt block into a new SST
+  // would silently launder bad data into wrong-but-checksummed data.
+  ropts.verify_checksums = true;
   // RocksDB compaction_readahead_size (2 MB): amortize NAND access latency
   // over large sequential spans.
   ropts.readahead_blocks = static_cast<uint32_t>(
@@ -944,13 +1069,10 @@ Status DbImpl::RunCompaction(Compaction* c) {
     return true;
   };
 
-  std::vector<FileMetaPtr> outputs;
   std::unique_ptr<SstBuilder> builder;
   uint64_t builder_number = 0;
   std::string last_user_key;
   bool has_last = false;
-  uint64_t read_bytes = 0;
-  uint64_t written_bytes = 0;
   Status s;
 
   auto finish_output = [&]() -> Status {
@@ -964,8 +1086,8 @@ Status DbImpl::RunCompaction(Compaction* c) {
     meta->max_seq = builder->max_seq();
     meta->smallest = builder->smallest();
     meta->largest = builder->largest();
-    written_bytes += meta->logical_size;
-    if (meta->num_entries > 0) outputs.push_back(meta);
+    *written_bytes_out += meta->logical_size;
+    if (meta->num_entries > 0) outputs->push_back(meta);
     builder.reset();
     return Status::OK();
   };
@@ -994,6 +1116,7 @@ Status DbImpl::RunCompaction(Compaction* c) {
         mu_.Lock();
         builder_number = versions_->NewFileNumber();
         mu_.Unlock();
+        created->push_back(builder_number);
         std::unique_ptr<fs::WritableFile> file;
         Status ws = denv_.fs->NewWritableFile(SstName(builder_number), &file);
         if (!ws.ok()) return ws;
@@ -1013,6 +1136,9 @@ Status DbImpl::RunCompaction(Compaction* c) {
   };
 
   for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
+    if (sim::FaultAt(env_, "crash.compaction.mid")) {
+      return Status::IOError("simulated crash");
+    }
     Slice ikey = merged.key();
     Slice ukey = ExtractUserKey(ikey);
     Slice val = merged.value();
@@ -1025,7 +1151,7 @@ Status DbImpl::RunCompaction(Compaction* c) {
         entry_logical += decoded.logical_size();
       }
     }
-    read_bytes += entry_logical;
+    *read_bytes_out += entry_logical;
 
     if (has_last && ukey == Slice(last_user_key)) continue;  // shadowed
     last_user_key.assign(ukey.data(), ukey.size());
@@ -1046,33 +1172,7 @@ Status DbImpl::RunCompaction(Compaction* c) {
   if (!merged.status().ok()) return merged.status();
   s = write_batch_out();
   if (!s.ok()) return s;
-  s = finish_output();
-  if (!s.ok()) return s;
-
-  // Install the result.
-  mu_.Lock();
-  VersionEdit edit;
-  for (int which = 0; which < 2; which++) {
-    int level = c->level + which;
-    for (const auto& f : c->inputs[which]) {
-      edit.DeleteFile(level, f->number);
-    }
-  }
-  for (const auto& meta : outputs) edit.AddFile(output_level, meta);
-  s = versions_->LogAndApply(&edit);
-  stats_.compaction_count++;
-  stats_.compaction_bytes_read += read_bytes;
-  stats_.compaction_bytes_written += written_bytes;
-  mu_.Unlock();
-  if (!s.ok()) return s;
-
-  // Retire the inputs; actual deletion waits until no pinned version can
-  // still reference them.
-  for (int which = 0; which < 2; which++) {
-    for (const auto& f : c->inputs[which]) DeferObsoleteFile(f);
-  }
-  ReapObsoleteFiles();
-  return Status::OK();
+  return finish_output();
 }
 
 void DbImpl::DeferObsoleteFile(const FileMetaPtr& meta) {
@@ -1131,10 +1231,13 @@ Status DbImpl::IngestSortedBatch(const std::vector<IngestEntry>& entries) {
       logical += e.value.logical_size();
     }
     s = builder.Add(ikey, val_enc, logical);
-    if (!s.ok()) return s;
+    if (!s.ok()) break;
   }
-  s = builder.Finish();
-  if (!s.ok()) return s;
+  if (s.ok()) s = builder.Finish();
+  if (!s.ok()) {
+    if (!sim::SimCrashed(env_)) denv_.fs->DeleteFile(SstName(number));
+    return s;
+  }
 
   auto meta = std::make_shared<FileMetaData>();
   meta->number = number;
@@ -1147,6 +1250,12 @@ Status DbImpl::IngestSortedBatch(const std::vector<IngestEntry>& entries) {
   mu_.Lock();
   VersionEdit edit;
   edit.AddFile(0, meta);
+  // Ingested entries carry historical sequences; after a crash-recovery
+  // ingest those may exceed the recovered last_sequence, and fresh writes
+  // must never be allocated below them.
+  if (meta->max_seq > versions_->last_sequence()) {
+    versions_->SetLastSequence(meta->max_seq);
+  }
   s = versions_->LogAndApply(&edit);
   bg_cv_.NotifyAll();
   mu_.Unlock();

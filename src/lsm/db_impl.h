@@ -43,6 +43,8 @@ class DbImpl : public DB {
   Status WaitForCompactionIdle() override;
   Status Close() override;
 
+  Status GetBackgroundError() override;
+
   const DbStats& stats() const override { return stats_; }
   DbStats& mutable_stats() override { return stats_; }
   StallSignals GetStallSignals() override;
@@ -90,6 +92,19 @@ class DbImpl : public DB {
   void CompactionThreadLoop(int worker_id);
   Status FlushImmToL0(const ImmEntry& imm);
   Status RunCompaction(Compaction* c);
+  // Builds the L0 SST file for `imm` and fills `meta`; retryable — the
+  // caller deletes the partial file between attempts.
+  Status BuildL0Sst(const ImmEntry& imm, uint64_t number, FileMetaData* meta);
+  // Merge phase of a compaction: produces output SSTs without touching the
+  // version set. `created` records every file number written so a failed
+  // attempt can be cleaned up and retried.
+  Status DoCompactionWork(Compaction* c, std::vector<FileMetaPtr>* outputs,
+                          std::vector<uint64_t>* created,
+                          uint64_t* read_bytes, uint64_t* written_bytes);
+  // Runs `fn`, retrying transient device errors (IOError/Busy/TryAgain) up
+  // to options_.max_io_retries times with exponential virtual-time backoff.
+  // mu_ must NOT be held.
+  Status RetryTransient(const std::function<Status()>& fn);
   // Obsolete SSTs are deleted only once no live version (and hence no
   // iterator/snapshot) can still lazily open them: files retire to a
   // deferred list and are reaped when their metadata refcount drops to the

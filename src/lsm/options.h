@@ -72,11 +72,22 @@ struct DbOptions {
 
   // Verify CRCs when reading blocks (costs host CPU in the model).
   bool verify_checksums = true;
+
+  // --- Transient-error retry policy ---
+  // Retryable device errors (IOError/Busy/TryAgain) in WAL sync, flush and
+  // compaction are retried up to this many times with exponential backoff in
+  // virtual time, starting at io_retry_backoff and doubling per attempt.
+  // Exhausting the budget (or a non-retryable error such as Corruption)
+  // latches the background error and the DB becomes read-only.
+  int max_io_retries = 5;
+  Nanos io_retry_backoff = FromMicros(100);
 };
 
 // Per-read options.
 struct ReadOptions {
   bool fill_cache = true;
+  // Verify block CRCs on this read (ANDed with DbOptions::verify_checksums).
+  bool verify_checksums = true;
   // Blocks fetched per device read by iterators (1 = none). Compaction uses
   // a large value (RocksDB compaction_readahead_size) so sequential reads
   // amortize the NAND access latency.

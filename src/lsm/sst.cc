@@ -201,7 +201,7 @@ size_t SstReader::FindBlock(const Slice& internal_key) const {
   return lo;
 }
 
-Status SstReader::ReadBlock(size_t index_pos, bool fill_cache,
+Status SstReader::ReadBlock(size_t index_pos, const ReadOptions& ropts,
                             std::shared_ptr<BlockCache::Block>* block) {
   const BlockHandle& handle = index_[index_pos].second;
   if (cache_ != nullptr) {
@@ -215,7 +215,10 @@ Status SstReader::ReadBlock(size_t index_pos, bool fill_cache,
   fresh->logical = handle.logical;
   Status s = file_->Read(handle.offset, handle.physical, &fresh->physical);
   if (!s.ok()) return s;
-  if (options_.verify_checksums) {
+  if (fresh->physical.size() != handle.physical) {
+    return Status::Corruption("short block read");
+  }
+  if (options_.verify_checksums && ropts.verify_checksums) {
     std::string crc_bytes;
     s = file_->Read(handle.offset + handle.physical, 4, &crc_bytes);
     if (!s.ok()) return s;
@@ -225,7 +228,7 @@ Status SstReader::ReadBlock(size_t index_pos, bool fill_cache,
       return Status::Corruption("block checksum mismatch");
     }
   }
-  if (cache_ != nullptr && fill_cache) {
+  if (cache_ != nullptr && ropts.fill_cache) {
     cache_->Insert(file_number_, handle.offset, fresh);
   }
   *block = std::move(fresh);
@@ -233,7 +236,7 @@ Status SstReader::ReadBlock(size_t index_pos, bool fill_cache,
 }
 
 Status SstReader::ReadBlocksRange(
-    size_t first, size_t count,
+    size_t first, size_t count, const ReadOptions& ropts,
     std::vector<std::shared_ptr<BlockCache::Block>>* out) {
   out->clear();
   if (first >= index_.size()) return Status::OK();
@@ -255,7 +258,7 @@ Status SstReader::ReadBlocksRange(
     auto block = std::make_shared<BlockCache::Block>();
     block->logical = h.logical;
     block->physical.assign(buf, rel, h.physical);
-    if (options_.verify_checksums) {
+    if (options_.verify_checksums && ropts.verify_checksums) {
       uint32_t expected =
           crc32c::Unmask(DecodeFixed32(buf.data() + rel + h.physical));
       if (expected !=
@@ -280,7 +283,7 @@ Status SstReader::Get(const ReadOptions& ropts, const Slice& seek_key,
   size_t pos = FindBlock(seek_key);
   if (pos == index_.size()) return Status::OK();
   std::shared_ptr<BlockCache::Block> block;
-  Status s = ReadBlock(pos, ropts.fill_cache, &block);
+  Status s = ReadBlock(pos, ropts, &block);
   if (!s.ok()) return s;
 
   BlockEntryCursor cur(block->physical);
@@ -402,12 +405,12 @@ class SstIterator : public Iterator {
   // per window) when the position moves outside.
   Status FetchBlock(size_t pos, std::shared_ptr<BlockCache::Block>* block) {
     if (ropts_.readahead_blocks <= 1) {
-      return table_->ReadBlock(pos, ropts_.fill_cache, block);
+      return table_->ReadBlock(pos, ropts_, block);
     }
     if (pos < prefetch_base_ || pos >= prefetch_base_ + prefetch_.size()) {
       prefetch_base_ = pos;
-      Status s =
-          table_->ReadBlocksRange(pos, ropts_.readahead_blocks, &prefetch_);
+      Status s = table_->ReadBlocksRange(pos, ropts_.readahead_blocks, ropts_,
+                                         &prefetch_);
       if (!s.ok()) return s;
     }
     *block = prefetch_[pos - prefetch_base_];

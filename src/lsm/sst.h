@@ -102,12 +102,14 @@ class SstReader : public std::enable_shared_from_this<SstReader> {
         bloom_(options.bloom_bits_per_key) {}
 
   // Loads (possibly from cache) the data block for index position `i`.
-  Status ReadBlock(size_t index_pos, bool fill_cache,
+  // CRCs are verified iff both DbOptions::verify_checksums and
+  // ropts.verify_checksums are set.
+  Status ReadBlock(size_t index_pos, const ReadOptions& ropts,
                    std::shared_ptr<BlockCache::Block>* block);
   // Sequential readahead: loads `count` consecutive blocks starting at
   // `first` with a single device read (one access latency for the whole
   // span), parsing and CRC-checking each block.
-  Status ReadBlocksRange(size_t first, size_t count,
+  Status ReadBlocksRange(size_t first, size_t count, const ReadOptions& ropts,
                          std::vector<std::shared_ptr<BlockCache::Block>>* out);
   // First index position whose block may contain `internal_key`.
   size_t FindBlock(const Slice& internal_key) const;

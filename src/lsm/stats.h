@@ -40,6 +40,12 @@ struct DbStats {
   uint64_t reads_total = 0;
   uint64_t seeks_total = 0;
 
+  // Fault handling: transient-error retries performed (foreground WAL sync
+  // plus background flush/compaction attempts) and background errors latched
+  // (each one moves the DB to read-only until reopened).
+  uint64_t io_retries = 0;
+  uint64_t background_errors = 0;
+
   // Group commit: one "group" is one WAL append + memtable apply performed
   // by a leader on behalf of itself and any coalesced followers. With a
   // single writer every group has size 1 and write_groups == writes_total.

@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "lsm/wal.h"
+#include "sim/fault.h"
 
 namespace kvaccel::lsm {
 
@@ -322,9 +323,18 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   edit->EncodeTo(&payload);
   Status s = manifest_->AddRecord(payload, payload.size());
   if (!s.ok()) return s;
+  sim::SimEnv* env = fs_->ssd()->env();
+  if (sim::FaultAt(env, "crash.manifest.pre_sync")) {
+    // Edit appended but not durable: reopen must not observe it.
+    return Status::IOError("simulated crash");
+  }
   // Durable before the WAL it obsoletes can be deleted.
   s = manifest_->Sync();
   if (!s.ok()) return s;
+  if (sim::FaultAt(env, "crash.manifest.post_sync")) {
+    // Edit durable but never applied in memory: reopen must observe it.
+    return Status::IOError("simulated crash");
+  }
   current_ = BuildAfter(*edit);
   return Status::OK();
 }

@@ -28,18 +28,36 @@ bool LogReader::ReadRecord(std::string* payload, Status* status) {
   if (pos_ + kRecordHeader > contents_.size()) return false;  // clean/torn EOF
   uint32_t masked_crc = DecodeFixed32(contents_.data() + pos_);
   uint32_t len = DecodeFixed32(contents_.data() + pos_ + 4);
-  if (pos_ + kRecordHeader + len > contents_.size()) {
-    // Torn tail record: stop without error.
+  if (pos_ + kRecordHeader + len > contents_.size() ||
+      crc32c::Unmask(masked_crc) !=
+          crc32c::Value(contents_.data() + pos_ + kRecordHeader, len)) {
+    // A bad record at the very end of the log is a torn tail — the expected
+    // shape after a crash mid-append — and ends recovery cleanly. A bad
+    // record *followed by* a valid one cannot have been torn by a crash:
+    // that is mid-log corruption and must not be silently truncated.
+    if (HasValidRecordAfter(pos_ + 1)) {
+      status_ = Status::Corruption("WAL record corrupt before valid data");
+      *status = status_;
+    }
     return false;
   }
-  const char* data = contents_.data() + pos_ + kRecordHeader;
-  if (crc32c::Unmask(masked_crc) != crc32c::Value(data, len)) {
-    // Corrupt (likely torn) record ends recovery.
-    return false;
-  }
-  payload->assign(data, len);
+  payload->assign(contents_.data() + pos_ + kRecordHeader, len);
   pos_ += kRecordHeader + len;
   return true;
+}
+
+bool LogReader::HasValidRecordAfter(size_t from) const {
+  if (contents_.size() < kRecordHeader) return false;
+  for (size_t p = from; p + kRecordHeader <= contents_.size(); p++) {
+    uint32_t masked_crc = DecodeFixed32(contents_.data() + p);
+    uint32_t len = DecodeFixed32(contents_.data() + p + 4);
+    if (len == 0 || p + kRecordHeader + len > contents_.size()) continue;
+    if (crc32c::Unmask(masked_crc) ==
+        crc32c::Value(contents_.data() + p + kRecordHeader, len)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace kvaccel::lsm

@@ -32,12 +32,18 @@ class LogReader {
  public:
   explicit LogReader(std::unique_ptr<fs::RandomAccessFile> file);
 
-  // Reads the next record payload; returns false at clean EOF. A torn tail
-  // (truncated or CRC-failing final record) ends iteration without error —
-  // the standard crash-recovery posture.
+  // Reads the next record payload; returns false at clean EOF. A torn *tail*
+  // — a truncated or CRC-failing record with nothing valid after it — ends
+  // iteration without error (the standard crash-recovery posture). A bad
+  // record with a valid record after it cannot be a torn tail: that is data
+  // corruption, reported via `status` as Status::Corruption.
   bool ReadRecord(std::string* payload, Status* status);
 
  private:
+  // True if any well-formed (length-fitting, CRC-passing) record starts at
+  // or after `from`.
+  bool HasValidRecordAfter(size_t from) const;
+
   std::string contents_;
   size_t pos_ = 0;
   Status status_;

@@ -1,0 +1,74 @@
+#include "sim/fault.h"
+
+#include "sim/sim_env.h"
+
+namespace kvaccel::sim {
+
+void FaultInjector::Arm(const std::string& site, const FaultRule& rule) {
+  SiteState& st = sites_[site];
+  st.rule = rule;
+  st.armed = true;
+  st.hits = 0;
+  st.fires = 0;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Clear() {
+  for (auto& [name, st] : sites_) st.armed = false;
+  crashed_ = false;
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  SiteState& st = it->second;
+  const FaultRule& r = st.rule;
+  if (r.window_start != 0 || r.window_end != 0) {
+    Nanos now = env_->Now();
+    if (now < r.window_start || now >= r.window_end) return false;
+  }
+  st.hits++;
+  if (r.max_fires >= 0 && st.fires >= static_cast<uint64_t>(r.max_fires)) {
+    return false;
+  }
+  bool fire;
+  if (r.nth_hit != 0) {
+    fire = (st.hits == r.nth_hit);
+  } else {
+    fire = (r.probability > 0.0 && rng_.NextDouble() < r.probability);
+  }
+  if (!fire) return false;
+  st.fires++;
+  total_fires_++;
+  if (site.compare(0, 6, "crash.") == 0) crashed_ = true;
+  return true;
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::fires(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+bool FaultAt(SimEnv* env, const std::string& site) {
+  if (env == nullptr) return false;
+  FaultInjector* f = env->fault_injector();
+  if (f == nullptr) return false;
+  return f->ShouldFail(site);
+}
+
+bool SimCrashed(SimEnv* env) {
+  if (env == nullptr) return false;
+  FaultInjector* f = env->fault_injector();
+  return f != nullptr && f->crashed();
+}
+
+}  // namespace kvaccel::sim

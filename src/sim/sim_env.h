@@ -39,6 +39,7 @@ struct ShutdownSignal {};
 
 class SimMutex;
 class SimCondVar;
+class FaultInjector;
 
 class SimEnv {
  public:
@@ -79,6 +80,12 @@ class SimEnv {
     return shutting_down_.load(std::memory_order_relaxed);
   }
 
+  // Optional fault injector (see sim/fault.h). Not owned; null by default.
+  // Components reach it through their SimEnv* so arming faults needs no
+  // constructor plumbing.
+  void set_fault_injector(FaultInjector* f) { fault_injector_ = f; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
  private:
   friend class SimMutex;
   friend class SimCondVar;
@@ -108,6 +115,7 @@ class SimEnv {
   std::atomic<bool> shutting_down_{false};
   bool running_ = false;
   uint64_t next_seq_ = 0;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 struct SimEnv::Thread {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/fault.h"
+
 namespace kvaccel::ssd {
 
 HybridSsd::HybridSsd(sim::SimEnv* env, const SsdConfig& config)
@@ -44,6 +46,10 @@ uint64_t HybridSsd::BlockCapacitySectors(int nsid) const {
 
 Status HybridSsd::BlockWrite(int nsid, uint64_t lba, uint64_t sectors) {
   if (!ValidNsid(nsid)) return Status::InvalidArgument("bad nsid");
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "ssd.block.write.transient")) {
+    return Status::IOError("injected: block write failed");
+  }
   uint64_t bytes = sectors * config_.page_size;
   trace_.Record(env_->Now(), nvme::Opcode::kWrite, nsid, bytes);
   pcie_->Transfer(bytes);
@@ -57,6 +63,15 @@ Status HybridSsd::BlockRead(int nsid, uint64_t lba, uint64_t sectors) {
   if (!ValidNsid(nsid)) return Status::InvalidArgument("bad nsid");
   if (lba + sectors > namespaces_[nsid].block_pages) {
     return Status::InvalidArgument("read beyond block region");
+  }
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "ssd.block.read.transient")) {
+    return Status::IOError("injected: block read failed");
+  }
+  if (sim::FaultAt(env_, "ssd.block.read.timeout")) {
+    // Command timeout: the host gives up after a long device stall.
+    env_->SleepFor(FromMillis(10));
+    return Status::IOError("injected: block read timed out");
   }
   uint64_t bytes = sectors * config_.page_size;
   trace_.Record(env_->Now(), nvme::Opcode::kRead, nsid, bytes);
@@ -73,6 +88,10 @@ Status HybridSsd::BlockTrim(int nsid, uint64_t lba, uint64_t sectors) {
 
 Status HybridSsd::BlockFlush(int nsid) {
   if (!ValidNsid(nsid)) return Status::InvalidArgument("bad nsid");
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "ssd.block.flush.transient")) {
+    return Status::IOError("injected: flush failed");
+  }
   trace_.Record(env_->Now(), nvme::Opcode::kFlush, nsid, 0);
   // Write cache flush: modeled as a fixed device-side round trip.
   env_->SleepFor(FromMicros(20));

@@ -1,0 +1,121 @@
+// Crash monkey: randomized crash/recover cycles against the LSM engine.
+//
+// Each cycle arms one randomly chosen kill point to fire on a random hit,
+// writes a random synced workload until the crash (or cycle end), then runs
+// the crash protocol — close the dead DB, drop the page cache, clear the
+// crash latch, reopen — and checks the recovery invariants:
+//
+//   1. every acknowledged write (wal_sync=true) is recovered, at its
+//      acknowledged version or a later attempted one;
+//   2. no alien values appear (every recovered seed was actually written);
+//   3. reopen itself succeeds — no torn SST/MANIFEST state survives.
+//
+// The whole schedule is deterministic from the two fixed seeds below.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "lsm/db.h"
+#include "sim/fault.h"
+#include "tests/test_util.h"
+
+namespace kvaccel {
+namespace {
+
+using test::SimWorld;
+using test::TestKey;
+
+TEST(CrashMonkeyTest, RandomizedCrashRecoverCycles) {
+  const char* kSites[] = {
+      "crash.wal.post_append",   "crash.wal.post_sync",
+      "crash.flush.mid",         "crash.manifest.pre_sync",
+      "crash.manifest.post_sync", "crash.compaction.mid",
+  };
+  SimWorld world;
+  world.Run([&] {
+    sim::FaultInjector inj(&world.env, 0xC0FFEE);
+    world.env.set_fault_injector(&inj);
+    Random64 rng(0xDECAF);
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.wal_sync = true;
+
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+
+    // Acknowledged state, and every seed ever attempted per key (a
+    // durable-but-unacknowledged overwrite is a legal survivor).
+    std::map<std::string, uint64_t> model;
+    std::map<std::string, std::set<uint64_t>> attempted;
+
+    const int kCycles = 60;
+    const uint64_t kKeys = 300;
+    uint64_t next_seed = 1;
+    int crashes = 0;
+    for (int cycle = 0; cycle < kCycles; cycle++) {
+      const char* site = kSites[rng.Uniform(6)];
+      sim::FaultRule rule;
+      rule.nth_hit = 1 + rng.Uniform(40);
+      rule.max_fires = 1;
+      inj.Arm(site, rule);
+
+      bool crashed = false;
+      for (int i = 0; i < 150 && !crashed; i++) {
+        std::string key = TestKey(rng.Uniform(kKeys));
+        uint64_t seed = next_seed++;
+        attempted[key].insert(seed);
+        Status s = db->Put({}, key, Value::Synthetic(seed, 4096));
+        if (s.ok()) {
+          model[key] = seed;
+        } else {
+          crashed = true;
+        }
+        if (!db->GetBackgroundError().ok()) crashed = true;
+      }
+      inj.Disarm(site);
+      if (crashed) crashes++;
+
+      // Crash/recover protocol (clean cycles exercise plain reopen).
+      (void)db->Close();
+      db.reset();
+      world.fs->DropAllDirty();
+      inj.ClearCrash();
+      ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok())
+          << "cycle " << cycle << " site " << site;
+
+      for (uint64_t k = 0; k < kKeys; k++) {
+        std::string key = TestKey(k);
+        Value v;
+        Status s = db->Get({}, key, &v);
+        auto m = model.find(key);
+        if (s.IsNotFound()) {
+          ASSERT_TRUE(m == model.end())
+              << "cycle " << cycle << " site " << site
+              << ": acknowledged key " << key << " lost";
+          continue;
+        }
+        ASSERT_TRUE(s.ok())
+            << "cycle " << cycle << " site " << site << ": " << s.ToString();
+        ASSERT_TRUE(attempted[key].count(v.seed()) > 0)
+            << "cycle " << cycle << ": key " << key << " has alien value "
+            << v.seed();
+        if (m != model.end()) {
+          ASSERT_GE(v.seed(), m->second)
+              << "cycle " << cycle << " site " << site << ": key " << key
+              << " regressed below its acknowledged version";
+        }
+        model[key] = v.seed();  // adopt durable-but-unacked survivors
+      }
+    }
+    // The schedule must actually have killed the DB a meaningful number of
+    // times, or the invariants above checked nothing.
+    EXPECT_GE(crashes, 10);
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace kvaccel

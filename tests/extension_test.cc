@@ -194,8 +194,10 @@ TEST_P(FuzzDecode, ParsersSurviveGarbage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode, ::testing::Values(1, 17, 23, 99));
 
-// WAL reader over corrupted logs: flip bytes; recovery must stop cleanly
-// (no crash, no garbage records accepted past the corruption).
+// WAL reader over corrupted logs: flip bytes; recovery must stop at the
+// corruption (no crash, no garbage records accepted past it) and — because
+// valid records follow the flipped byte — report Corruption rather than
+// treating the damage as a benign torn tail.
 class WalCorruption : public ::testing::TestWithParam<int> {};
 
 TEST_P(WalCorruption, TornOrFlippedBytesStopRecoveryCleanly) {
@@ -242,7 +244,9 @@ TEST_P(WalCorruption, TornOrFlippedBytesStopRecoveryCleanly) {
       EXPECT_EQ(payload, payloads[recovered]);
       recovered++;
     }
-    EXPECT_TRUE(s.ok());
+    // Mid-log damage with valid data after it is real corruption, not a
+    // torn tail from a crash, and must be reported as such.
+    EXPECT_TRUE(s.IsCorruption()) << s.ToString();
     EXPECT_LT(recovered, 10u);  // corruption truncated recovery
   });
 }

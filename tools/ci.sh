@@ -17,6 +17,14 @@ run_pass() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "==== ${name}: ctest ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  # Fault-injection suite, explicitly: all seeds are fixed in the tests, so
+  # this is deterministic in both the plain and sanitized builds.
+  echo "==== ${name}: ctest -L faults ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L faults
+  # Faulty-run smoke: the bench must complete under an armed fault profile.
+  echo "==== ${name}: dbbench fault smoke ===="
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=5 --fault_profile=flaky-nvme --fault_seed=7 > /dev/null
 }
 
 mode="${1:-all}"

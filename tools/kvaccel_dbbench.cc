@@ -17,6 +17,10 @@
 //   --rollback=lazy|eager|disabled    KVACCEL rollback scheme (default lazy)
 //   --no_slowdown      disable the baselines' delayed-write mechanism
 //   --seed=N           workload seed (default 42)
+//   --fault_profile=P  arm a canned fault profile: flaky-nvme | bitrot |
+//                      power-cut | devlsm-dead (see harness/fault_profiles.h)
+//   --fault_seed=N     fault injector RNG seed (default 1); the same
+//                      profile+seed reproduces the identical fault sequence
 //   --series           print per-second throughput / PCIe series
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +58,8 @@ void Usage() {
           "  [--key_space=N] [--read_threads=N] [--writer_threads=N]\n"
           "  [--batch_size=N]\n"
           "  [--rollback=lazy|eager|disabled] [--no_slowdown] [--seed=N]\n"
-          "  [--series]\n");
+          "  [--fault_profile=flaky-nvme|bitrot|power-cut|devlsm-dead]\n"
+          "  [--fault_seed=N] [--series]\n");
 }
 
 }  // namespace
@@ -127,6 +132,10 @@ int main(int argc, char** argv) {
       config.sut.enable_slowdown = false;
     } else if (FlagEq(argv[i], "--seed", &v)) {
       config.workload.seed = ParseFlagUint64(v, "--seed");
+    } else if (FlagEq(argv[i], "--fault_profile", &v)) {
+      config.fault_profile = v;
+    } else if (FlagEq(argv[i], "--fault_seed", &v)) {
+      config.fault_seed = ParseFlagUint64(v, "--fault_seed");
     } else if (FlagEq(argv[i], "--series", &v)) {
       print_series = true;
     } else if (strcmp(argv[i], "--help") == 0) {
@@ -173,6 +182,21 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(r.redirected_batches),
            static_cast<unsigned long long>(r.rollbacks),
            static_cast<unsigned long long>(r.detector_checks));
+  }
+  if (!config.fault_profile.empty()) {
+    printf("faults            : profile %s (seed %llu): %llu injected, "
+           "%llu retries, %llu background errors",
+           config.fault_profile.c_str(),
+           static_cast<unsigned long long>(config.fault_seed),
+           static_cast<unsigned long long>(r.fault_injected),
+           static_cast<unsigned long long>(r.io_retries),
+           static_cast<unsigned long long>(r.background_errors));
+    if (config.sut.kind == SystemKind::kKvaccel) {
+      printf(", %llu dev retries, %llu fallback writes",
+             static_cast<unsigned long long>(r.dev_retries),
+             static_cast<unsigned long long>(r.fallback_writes));
+    }
+    printf("\n");
   }
   if (print_series) {
     PrintSeries("write Kops/s", r.per_sec_write_kops, "Kops/s");
