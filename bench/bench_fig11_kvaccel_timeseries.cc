@@ -9,6 +9,7 @@
 
 #include "harness/flags.h"
 #include "harness/report.h"
+#include "harness/report_json.h"
 #include "harness/workload.h"
 
 using namespace kvaccel;
@@ -30,6 +31,9 @@ int main(int argc, char** argv) {
     c.sut.enable_slowdown = true;  // baselines at their defaults
     c.sut.rollback = core::RollbackScheme::kDisabled;  // §VI-C setup
     c.workload.duration = FromSecs(flags.seconds);
+    // --trace_out traces the KVACCEL run (the one with redirect/rollback
+    // phases); the baselines would overwrite the same file.
+    if (kinds[i] == SystemKind::kKvaccel) c.trace_out = flags.trace_out;
     results[i] = RunBenchmark(c);
   }
 
@@ -74,5 +78,15 @@ int main(int argc, char** argv) {
              "KVACCEL(1) aggregate beats RocksDB(1)");
   CheckShape(kvacc.write_kops > adoc.write_kops,
              "KVACCEL(1) aggregate beats ADOC(1) (paper: +17%)");
+  if (!flags.json_out.empty()) {
+    BenchConfig echo;
+    echo.scale = flags.scale;
+    echo.sut.kind = SystemKind::kKvaccel;
+    echo.sut.compaction_threads = 1;
+    echo.workload.duration = FromSecs(flags.seconds);
+    if (!WriteJsonReport(flags.json_out, echo, {rocks, adoc, kvacc})) {
+      return 1;
+    }
+  }
   return 0;
 }

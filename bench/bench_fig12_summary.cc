@@ -11,6 +11,7 @@
 
 #include "harness/flags.h"
 #include "harness/report.h"
+#include "harness/report_json.h"
 #include "harness/workload.h"
 
 using namespace kvaccel;
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   PrintBanner("Figure 12: throughput / P99 / efficiency matrix (workload A)");
 
   RunResult grid[3][3];  // [thread index][system index]
+  std::vector<RunResult> all_runs;
   const int threads_of[3] = {1, 2, 4};
   const SystemKind kinds[3] = {SystemKind::kRocksDB, SystemKind::kAdoc,
                                SystemKind::kKvaccel};
@@ -35,11 +37,25 @@ int main(int argc, char** argv) {
       c.sut.compaction_threads = threads_of[ti];
       c.sut.rollback = core::RollbackScheme::kDisabled;
       c.workload.duration = FromSecs(flags.seconds);
+      // --trace_out traces the KVACCEL(1) cell of the matrix.
+      if (kinds[si] == SystemKind::kKvaccel && threads_of[ti] == 1) {
+        c.trace_out = flags.trace_out;
+      }
       grid[ti][si] = RunBenchmark(c);
+      all_runs.push_back(grid[ti][si]);
       PrintResultRow(grid[ti][si]);
     }
   }
-  if (flags.threads != 0) return 0;
+  auto dump_json = [&]() {
+    if (flags.json_out.empty()) return true;
+    BenchConfig echo;
+    echo.scale = flags.scale;
+    echo.sut.kind = SystemKind::kKvaccel;
+    echo.sut.compaction_threads = 1;
+    echo.workload.duration = FromSecs(flags.seconds);
+    return WriteJsonReport(flags.json_out, echo, all_runs);
+  };
+  if (flags.threads != 0) return dump_json() ? 0 : 1;
 
   const RunResult& r1 = grid[0][0];
   const RunResult& a1 = grid[0][1];
@@ -77,6 +93,7 @@ int main(int argc, char** argv) {
     }
   }
   CheckShape(k1_best_eff, "KVACCEL(1) posts the best efficiency score");
+
   // KVACCEL beats the same-thread baselines on efficiency at every count.
   for (int ti = 0; ti < 3; ti++) {
     char msg[96];
@@ -87,5 +104,5 @@ int main(int argc, char** argv) {
                    grid[ti][2].efficiency > grid[ti][1].efficiency,
                msg);
   }
-  return 0;
+  return dump_json() ? 0 : 1;
 }

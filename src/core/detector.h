@@ -9,6 +9,7 @@
 
 #include "core/config.h"
 #include "lsm/db.h"
+#include "obs/trace.h"
 #include "sim/cpu_pool.h"
 #include "sim/sim_env.h"
 
@@ -22,6 +23,8 @@ class Detector {
         stats_(stats) {}
 
   void Start() {
+    tracer_ = env_->tracer();
+    if (tracer_ != nullptr) tr_kvaccel_ = tracer_->RegisterTrack("kvaccel");
     thread_ = env_->Spawn("kvaccel-detector", [this] { Loop(); });
   }
 
@@ -34,6 +37,10 @@ class Detector {
     }
     env_->Join(thread_);
     thread_ = nullptr;
+    // Close an open redirect window so the trace has no dangling 'B'.
+    if (tracer_ != nullptr && stall_detected_) {
+      tracer_->End(tr_kvaccel_, "stall.redirect");
+    }
   }
 
   // Latest published state (read by the Controller on every operation —
@@ -91,8 +98,16 @@ class Detector {
         sig.hard_pending_limit > 0 &&
         sig.pending_compaction_bytes >=
             sig.hard_pending_limit - sig.hard_pending_limit / 10;
+    bool was_stalled = stall_detected_;
     stall_detected_ =
         sig.stalled || l0_at_edge || flush_backlogged || pending_at_edge;
+    if (tracer_ != nullptr && stall_detected_ != was_stalled) {
+      if (stall_detected_) {
+        tracer_->Begin(tr_kvaccel_, "stall.redirect");
+      } else {
+        tracer_->End(tr_kvaccel_, "stall.redirect");
+      }
+    }
     if (stall_detected_) {
       calm_streak_ = 0;
     } else {
@@ -114,6 +129,9 @@ class Detector {
   bool stall_detected_ = false;
   int calm_streak_ = 0;
   lsm::StallSignals last_signals_;
+
+  obs::Tracer* tracer_ = nullptr;  // redirect-window track (DESIGN.md §8)
+  uint32_t tr_kvaccel_ = 0;
 
   bool device_healthy_ = true;
   Nanos device_retry_at_ = 0;  // half-open probe time while unhealthy

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/hybrid_iterator.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 
 namespace kvaccel::core {
@@ -283,6 +284,9 @@ Status RollbackManager::Execute(bool trust_metadata) {
   if (dev->Empty()) return Status::OK();
   in_progress_ = true;
   Nanos start = owner_->sim_env()->Now();
+  obs::Tracer* tracer = owner_->sim_env()->tracer();
+  uint32_t track = 0;
+  if (tracer != nullptr) track = tracer->RegisterTrack("kvaccel");
   // Snapshot bound: only pairs written up to here are scanned and reset;
   // anything redirected during the drain survives for the next rollback.
   uint64_t snapshot_seq = dev->LastSeq();
@@ -297,6 +301,7 @@ Status RollbackManager::Execute(bool trust_metadata) {
   // numbers, skipping the WAL/memtable double-write (DB::IngestSortedBatch).
   std::vector<lsm::IngestEntry> batch;
   uint64_t batch_bytes = 0;
+  uint64_t drained_bytes = 0;
   auto flush_batch = [&]() {
     if (batch.empty() || !ingest_error.ok()) return;
     Status s = main->IngestSortedBatch(batch);
@@ -311,6 +316,7 @@ Status RollbackManager::Execute(bool trust_metadata) {
       if (md_seq != 0 && md_seq <= e.seq) md->Delete(e.key);
       merged++;
     }
+    drained_bytes += batch_bytes;
     batch.clear();
     batch_bytes = 0;
   };
@@ -346,11 +352,19 @@ Status RollbackManager::Execute(bool trust_metadata) {
   });
   flush_batch();
   if (status.ok()) status = ingest_error;
+  if (tracer != nullptr) {
+    tracer->Complete(track, "rollback.drain", start, owner_->sim_env()->Now(),
+                     drained_bytes);
+  }
   if (status.ok()) status = dev->ResetUpTo(snapshot_seq);
+  if (tracer != nullptr) tracer->Instant(track, "rollback.reset");
   KvaccelStats& ks = const_cast<KvaccelStats&>(owner_->kv_stats());
   ks.rollbacks++;
   ks.rollback_entries += merged;
   ks.rollback_total_ns += owner_->sim_env()->Now() - start;
+  if (tracer != nullptr) {
+    tracer->Complete(track, "rollback", start, owner_->sim_env()->Now());
+  }
   in_progress_ = false;
   return status;
 }

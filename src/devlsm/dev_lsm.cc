@@ -13,7 +13,21 @@ constexpr uint64_t kCommandOverheadBytes = 64;
 }  // namespace
 
 DevLsm::DevLsm(ssd::HybridSsd* ssd, int nsid, const DevLsmOptions& options)
-    : ssd_(ssd), nsid_(nsid), options_(options), env_(ssd->env()) {}
+    : ssd_(ssd), nsid_(nsid), options_(options), env_(ssd->env()) {
+  tracer_ = env_->tracer();
+  if (tracer_ != nullptr) {
+    tr_dev_ = tracer_->RegisterTrack("devlsm");
+    put_span_.Init(tracer_, tr_dev_, "dev.put", FromMicros(50));
+    get_span_.Init(tracer_, tr_dev_, "dev.get", FromMicros(50));
+  }
+}
+
+DevLsm::~DevLsm() {
+  // The tracer outlives the DB world; close out coalesced busy windows so
+  // the last burst isn't lost (see obs::CoalescingSpan lifetime rule).
+  put_span_.Flush();
+  get_span_.Flush();
+}
 
 uint64_t DevLsm::EntryLogical(const Slice& key, const Entry& e) const {
   return key.size() + 8 + (e.tombstone ? 0 : e.value.logical_size());
@@ -26,6 +40,7 @@ Status DevLsm::Put(const Slice& key, const Value& value, uint64_t host_seq) {
     return Status::IOError("injected: KV store command failed");
   }
   stats_.puts++;
+  Nanos cmd_start = tracer_ != nullptr ? env_->Now() : 0;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvStore, nsid_,
                        key.size() + value.logical_size());
   ssd_->PcieToDevice(kCommandOverheadBytes + key.size() +
@@ -45,6 +60,10 @@ Status DevLsm::Put(const Slice& key, const Value& value, uint64_t host_seq) {
   memtable_logical_ += EntryLogical(key, e);
   memtable_.insert_or_assign(std::move(k), e);
   mutation_epoch_++;
+  if (tracer_ != nullptr) {
+    put_span_.Add(cmd_start, env_->Now(),
+                  key.size() + value.logical_size());
+  }
   if (memtable_logical_ >= options_.memtable_bytes) {
     Status s = FlushMemtableLocked();
     if (!s.ok()) return s;
@@ -59,6 +78,7 @@ Status DevLsm::Delete(const Slice& key, uint64_t host_seq) {
     return Status::IOError("injected: KV delete command failed");
   }
   stats_.deletes++;
+  Nanos cmd_start = tracer_ != nullptr ? env_->Now() : 0;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvDelete, nsid_,
                        key.size());
   ssd_->PcieToDevice(kCommandOverheadBytes + key.size());
@@ -75,6 +95,7 @@ Status DevLsm::Delete(const Slice& key, uint64_t host_seq) {
   memtable_logical_ += EntryLogical(key, e);
   memtable_.insert_or_assign(std::move(k), e);
   mutation_epoch_++;
+  if (tracer_ != nullptr) put_span_.Add(cmd_start, env_->Now(), key.size());
   if (memtable_logical_ >= options_.memtable_bytes) {
     Status s = FlushMemtableLocked();
     if (!s.ok()) return s;
@@ -93,6 +114,7 @@ Status DevLsm::PutCompound(const std::vector<BatchPut>& entries) {
   for (const BatchPut& e : entries) {
     payload += e.key.size() + (e.tombstone ? 0 : e.value.logical_size());
   }
+  Nanos cmd_start = tracer_ != nullptr ? env_->Now() : 0;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvCompound, nsid_,
                        payload);
   ssd_->PcieToDevice(kCommandOverheadBytes + payload);
@@ -122,6 +144,10 @@ Status DevLsm::PutCompound(const std::vector<BatchPut>& entries) {
     memtable_.insert_or_assign(bp.key, e);
   }
   mutation_epoch_++;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(tr_dev_, "dev.put_compound", cmd_start, env_->Now(),
+                      payload);
+  }
   if (memtable_logical_ >= options_.memtable_bytes) {
     return FlushMemtableLocked();
   }
@@ -135,6 +161,7 @@ Status DevLsm::Get(const Slice& key, Value* value) {
     return Status::IOError("injected: KV retrieve command failed");
   }
   stats_.gets++;
+  Nanos cmd_start = tracer_ != nullptr ? env_->Now() : 0;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvRetrieve, nsid_,
                        key.size());
   ssd_->PcieToDevice(kCommandOverheadBytes + key.size());
@@ -161,10 +188,14 @@ Status DevLsm::Get(const Slice& key, Value* value) {
     }
   }
   if (found == nullptr || found->tombstone) {
+    if (tracer_ != nullptr) get_span_.Add(cmd_start, env_->Now(), key.size());
     return Status::NotFound("not in Dev-LSM");
   }
   *value = found->value;
   ssd_->PcieToHost(found->value.logical_size());
+  if (tracer_ != nullptr) {
+    get_span_.Add(cmd_start, env_->Now(), found->value.logical_size());
+  }
   return Status::OK();
 }
 
@@ -190,6 +221,7 @@ bool DevLsm::Exist(const Slice& key) {
 
 Status DevLsm::FlushMemtableLocked() {
   if (memtable_.empty()) return Status::OK();
+  Nanos flush_start = tracer_ != nullptr ? env_->Now() : 0;
   Run run;
   run.entries.assign(memtable_.begin(), memtable_.end());
   for (const auto& [k, e] : run.entries) {
@@ -208,12 +240,17 @@ Status DevLsm::FlushMemtableLocked() {
 
   ssd_->firmware()->Consume(options_.flush_fw_ns_per_byte *
                             static_cast<double>(run.logical_bytes));
+  const uint64_t flushed_bytes = run.logical_bytes;
   ssd_->NandWrite(run.logical_bytes);
   runs_.push_back(std::move(run));
   memtable_.clear();
   memtable_logical_ = 0;
   mutation_epoch_++;
   stats_.flushes++;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(tr_dev_, "dev.flush", flush_start, env_->Now(),
+                      flushed_bytes);
+  }
 
   if (options_.compaction_enabled &&
       static_cast<int>(runs_.size()) > options_.l0_run_trigger) {
@@ -224,6 +261,7 @@ Status DevLsm::FlushMemtableLocked() {
 
 Status DevLsm::CompactRunsLocked() {
   if (runs_.size() < 2) return Status::OK();
+  Nanos compact_start = tracer_ != nullptr ? env_->Now() : 0;
   uint64_t in_bytes = 0;
   uint64_t in_pages = 0;
   for (const auto& r : runs_) {
@@ -261,6 +299,10 @@ Status DevLsm::CompactRunsLocked() {
   runs_.push_back(std::move(out));
   mutation_epoch_++;
   stats_.compactions++;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(tr_dev_, "dev.compact", compact_start, env_->Now(),
+                      in_bytes);
+  }
   return Status::OK();
 }
 
@@ -333,10 +375,15 @@ Status DevLsm::BulkScan(const std::function<void(const ScanEntry&)>& fn) {
     {
       sim::SimLockGuard l(cmd_mu_);
       stats_.scan_chunks++;
+      Nanos chunk_start = tracer_ != nullptr ? env_->Now() : 0;
       ssd_->NandRead(chunk_bytes);
       ssd_->firmware()->Consume(options_.scan_fw_ns_per_entry *
                                 static_cast<double>(chunk_entries.size()));
       ssd_->PcieToHost(chunk_bytes);
+      if (tracer_ != nullptr) {
+        tracer_->Complete(tr_dev_, "dev.scan_chunk", chunk_start, env_->Now(),
+                          chunk_bytes);
+      }
     }
     for (const auto& e : chunk_entries) fn(e);
     chunk_entries.clear();
@@ -360,6 +407,7 @@ Status DevLsm::BulkScan(const std::function<void(const ScanEntry&)>& fn) {
 Status DevLsm::ResetUpTo(uint64_t up_to_seq) {
   sim::SimLockGuard l(cmd_mu_);
   stats_.resets++;
+  Nanos reset_start = tracer_ != nullptr ? env_->Now() : 0;
   ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvReset, nsid_, 0);
 
   uint64_t old_pages = 0;
@@ -412,6 +460,9 @@ Status DevLsm::ResetUpTo(uint64_t up_to_seq) {
   }
   ssd_->firmware()->Consume(options_.put_fw_ns);
   mutation_epoch_++;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(tr_dev_, "dev.reset", reset_start, env_->Now());
+  }
   return Status::OK();
 }
 

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "common/value.h"
+#include "obs/trace.h"
 #include "sim/sim_env.h"
 #include "ssd/hybrid_ssd.h"
 
@@ -90,6 +91,7 @@ class DevLsm {
   };
 
   DevLsm(ssd::HybridSsd* ssd, int nsid, const DevLsmOptions& options);
+  ~DevLsm();
 
   // ---- Host-facing KV interface (NVMe-KV command semantics) ----
   // `host_seq` optionally tags the pair with a host-side version number
@@ -196,6 +198,14 @@ class DevLsm {
   // false so the caller charges the NAND read.
   bool ReadCacheLookupOrFill(const std::string& key, uint64_t bytes);
   DevLsmStats stats_;
+
+  // Command spans on the "devlsm" trace track (DESIGN.md §8). Point
+  // commands (PUT/GET) coalesce into busy windows; flush/compaction/scan
+  // chunks/reset are discrete spans. Null tracer = all of this is inert.
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t tr_dev_ = 0;
+  obs::CoalescingSpan put_span_;
+  obs::CoalescingSpan get_span_;
 };
 
 // Host-side cursor over the device iterator protocol. Returns user keys and

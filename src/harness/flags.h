@@ -13,6 +13,9 @@
 //                      (catalogue lives in harness/fault_profiles.h)
 //   --fault_seed=N     fault injector RNG seed (default 1); the same
 //                      profile+seed reproduces the same fault sequence
+//   --trace_out=FILE   write a Chrome trace-event JSON of the run (load in
+//                      Perfetto / chrome://tracing); empty = tracing off
+//   --json_out=FILE    write the machine-readable kvaccel-run-v1 report
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -91,6 +94,8 @@ struct BenchFlags {
   int batch_size = 1;
   std::string fault_profile;  // empty = no fault injection
   unsigned long long fault_seed = 1;
+  std::string trace_out;  // empty = tracing disabled
+  std::string json_out;   // empty = no JSON report
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -113,6 +118,10 @@ struct BenchFlags {
         f.fault_profile = arg + 16;
       } else if (strncmp(arg, "--fault_seed=", 13) == 0) {
         f.fault_seed = ParseFlagUint64(arg + 13, "--fault_seed");
+      } else if (strncmp(arg, "--trace_out=", 12) == 0) {
+        f.trace_out = arg + 12;
+      } else if (strncmp(arg, "--json_out=", 11) == 0) {
+        f.json_out = arg + 11;
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

@@ -8,6 +8,7 @@ namespace kvaccel::harness {
 
 namespace {
 int g_shape_failures = 0;
+std::vector<ShapeCheck> g_shape_checks;
 }
 
 void PrintBanner(const std::string& title) {
@@ -83,9 +84,12 @@ void PrintCdf(const std::string& label, std::vector<double> samples,
 bool CheckShape(bool ok, const std::string& description) {
   printf("  [%s] %s\n", ok ? "SHAPE PASS" : "SHAPE FAIL", description.c_str());
   if (!ok) g_shape_failures++;
+  g_shape_checks.push_back({description, ok});
   return ok;
 }
 
 int ShapeFailures() { return g_shape_failures; }
+
+const std::vector<ShapeCheck>& ShapeResults() { return g_shape_checks; }
 
 }  // namespace kvaccel::harness

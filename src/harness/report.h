@@ -34,4 +34,12 @@ void PrintCdf(const std::string& label, std::vector<double> samples,
 bool CheckShape(bool ok, const std::string& description);
 int ShapeFailures();
 
+// Every CheckShape verdict recorded so far, in call order — the JSON report
+// embeds these so a run's PASS/FAIL is machine-readable.
+struct ShapeCheck {
+  std::string description;
+  bool ok = false;
+};
+const std::vector<ShapeCheck>& ShapeResults();
+
 }  // namespace kvaccel::harness

@@ -1,0 +1,152 @@
+#include "harness/report_json.h"
+
+#include <cstdio>
+
+#include "harness/report.h"
+#include "obs/json.h"
+
+namespace kvaccel::harness {
+
+namespace {
+
+const char* WorkloadName(WorkloadConfig::Type type) {
+  switch (type) {
+    case WorkloadConfig::Type::kFillRandom:
+      return "fillrandom";
+    case WorkloadConfig::Type::kReadWhileWriting:
+      return "readwhilewriting";
+    case WorkloadConfig::Type::kSeekRandom:
+      return "seekrandom";
+  }
+  return "?";
+}
+
+void WriteSeries(obs::JsonWriter* w, const std::string& key,
+                 const std::vector<double>& values) {
+  w->Key(key);
+  w->BeginArray();
+  for (double v : values) w->Double(v);
+  w->EndArray();
+}
+
+void WriteRun(obs::JsonWriter* w, const RunResult& r) {
+  w->BeginObject();
+  w->Field("name", r.name);
+  w->Field("seconds", r.seconds);
+
+  w->Key("summary");
+  w->BeginObject();
+  w->Field("write_kops", r.write_kops);
+  w->Field("read_kops", r.read_kops);
+  w->Field("scan_kops", r.scan_kops);
+  w->Field("write_mbps", r.write_mbps);
+  w->Field("put_avg_us", r.put_avg_us);
+  w->Field("put_p99_us", r.put_p99_us);
+  w->Field("put_p999_us", r.put_p999_us);
+  w->Field("get_p99_us", r.get_p99_us);
+  w->Field("cpu_pct", r.cpu_pct);
+  w->Field("efficiency", r.efficiency);
+  w->Field("stall_events", r.stall_events);
+  w->Field("stalled_seconds", r.stalled_seconds);
+  w->Field("slowdown_events", r.slowdown_events);
+  w->Field("slowdown_periods", r.slowdown_periods);
+  w->Field("zero_traffic_stall_seconds", r.zero_traffic_stall_seconds);
+  w->Field("write_groups", r.write_groups);
+  w->Field("group_commit_mean", r.group_commit_mean);
+  w->Field("group_commit_max", r.group_commit_max);
+  w->Field("redirected_writes", r.redirected_writes);
+  w->Field("redirected_batches", r.redirected_batches);
+  w->Field("rollbacks", r.rollbacks);
+  w->Field("detector_checks", r.detector_checks);
+  w->Field("fault_injected", r.fault_injected);
+  w->Field("io_retries", r.io_retries);
+  w->Field("background_errors", r.background_errors);
+  w->Field("dev_retries", r.dev_retries);
+  w->Field("fallback_writes", r.fallback_writes);
+  w->Field("cache_hits", r.cache_hits);
+  w->Field("cache_misses", r.cache_misses);
+  w->Field("cache_hit_rate", r.cache_hit_rate);
+  w->EndObject();
+
+  w->Key("per_second");
+  w->BeginObject();
+  WriteSeries(w, "write_kops", r.per_sec_write_kops);
+  WriteSeries(w, "read_kops", r.per_sec_read_kops);
+  WriteSeries(w, "pcie_mbps", r.per_sec_pcie_mbps);
+  w->EndObject();
+
+  w->Key("stall_regions_sec");
+  w->BeginArray();
+  for (const auto& [a, b] : r.stall_regions_sec) {
+    w->BeginArray();
+    w->Double(a);
+    w->Double(b);
+    w->EndArray();
+  }
+  w->EndArray();
+
+  w->Key("metrics");
+  r.metrics.WriteJson(w);
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string JsonReportString(const BenchConfig& config,
+                             const std::vector<RunResult>& runs) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", "kvaccel-run-v1");
+
+  w.Key("config");
+  w.BeginObject();
+  w.Field("system", SystemName(config.sut.kind));
+  w.Field("workload", WorkloadName(config.workload.type));
+  w.Field("seconds", ToSecs(config.workload.duration));
+  w.Field("scale", config.scale);
+  w.Field("compaction_threads", config.sut.compaction_threads);
+  w.Field("value_size", config.workload.value_size);
+  w.Field("key_space", config.workload.key_space);
+  w.Field("read_threads", config.workload.read_threads);
+  w.Field("writer_threads", config.workload.writer_threads);
+  w.Field("batch_size", config.workload.batch_size);
+  w.Field("seed", config.workload.seed);
+  w.Field("fault_profile", config.fault_profile);
+  w.Field("fault_seed", config.fault_seed);
+  w.EndObject();
+
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunResult& r : runs) WriteRun(&w, r);
+  w.EndArray();
+
+  w.Key("shape_checks");
+  w.BeginArray();
+  for (const ShapeCheck& c : ShapeResults()) {
+    w.BeginObject();
+    w.Field("description", c.description);
+    w.Field("ok", c.ok);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteJsonReport(const std::string& path, const BenchConfig& config,
+                     const std::vector<RunResult>& runs) {
+  std::string body = JsonReportString(config, runs);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "json report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) fprintf(stderr, "json report: write to %s failed\n", path.c_str());
+  return ok;
+}
+
+}  // namespace kvaccel::harness

@@ -1,0 +1,24 @@
+// Machine-readable run reports (--json_out): one JSON document per bench
+// invocation carrying the config echo, every run's summary + per-second
+// series + metrics snapshot, and the shape-check verdicts. Schema
+// "kvaccel-run-v1" (DESIGN.md §8); identical seeds produce byte-identical
+// files, so reports can be diffed mechanically across PRs (BENCH_*.json).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/workload.h"
+
+namespace kvaccel::harness {
+
+// Serializes `runs` (with the shared `config` echo and the global CheckShape
+// verdicts) to `path`. Returns false and prints to stderr on I/O failure.
+bool WriteJsonReport(const std::string& path, const BenchConfig& config,
+                     const std::vector<RunResult>& runs);
+
+// The document body (no file I/O) — what tests assert against.
+std::string JsonReportString(const BenchConfig& config,
+                             const std::vector<RunResult>& runs);
+
+}  // namespace kvaccel::harness

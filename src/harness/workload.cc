@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "fs/simfs.h"
 #include "harness/fault_profiles.h"
+#include "obs/trace.h"
 #include "sim/cpu_pool.h"
 #include "sim/fault.h"
 #include "sim/sim_env.h"
@@ -121,10 +122,127 @@ void SeekLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
   }
 }
 
+// Mirrors every subsystem's existing stats structs into the registry at
+// snapshot time (DESIGN.md §8 naming: <layer>.<component>.<metric>). The
+// callbacks read live objects, so Snapshot() must run while the world is
+// still open (before SystemUnderTest::Close()).
+void RegisterWorldMetrics(obs::MetricsRegistry* registry,
+                          SystemUnderTest* sut, ssd::HybridSsd* ssd,
+                          sim::CpuPool* host_cpu,
+                          sim::FaultInjector* injector, obs::Tracer* tracer) {
+  registry->AddSource([sut](obs::MetricsSnapshot* snap) {
+    const lsm::DbStats& ms = sut->main_stats();
+    snap->SetCounter("lsm.writes_total", ms.writes_total);
+    snap->SetCounter("lsm.write_bytes_total", ms.write_bytes_total);
+    snap->SetCounter("lsm.reads_total", ms.reads_total);
+    snap->SetCounter("lsm.seeks_total", ms.seeks_total);
+    snap->SetCounter("lsm.flush.count", ms.flush_count);
+    snap->SetCounter("lsm.flush.bytes", ms.flush_bytes);
+    snap->SetCounter("lsm.compaction.count", ms.compaction_count);
+    snap->SetCounter("lsm.compaction.bytes_read", ms.compaction_bytes_read);
+    snap->SetCounter("lsm.compaction.bytes_written",
+                     ms.compaction_bytes_written);
+    snap->SetCounter("lsm.stall.events", ms.stall_events);
+    snap->SetCounter("lsm.slowdown.events", ms.slowdown_events);
+    snap->SetCounter("lsm.io_retries", ms.io_retries);
+    snap->SetCounter("lsm.background_errors", ms.background_errors);
+    snap->SetCounter("lsm.write_groups", ms.write_groups);
+    snap->SetHistogram("lsm.group_commit_size", ms.group_commit_size);
+    const lsm::DbStats& fg = sut->stats();
+    snap->SetHistogram("db.put_latency_ns", fg.put_latency);
+    snap->SetHistogram("db.get_latency_ns", fg.get_latency);
+    snap->SetHistogram("db.seek_latency_ns", fg.seek_latency);
+    lsm::BlockCacheStats cache = sut->db()->GetBlockCacheStats();
+    snap->SetCounter("lsm.block_cache.hits", cache.hits);
+    snap->SetCounter("lsm.block_cache.misses", cache.misses);
+    snap->SetCounter("lsm.block_cache.usage_bytes", cache.usage_bytes);
+    snap->SetCounter("lsm.block_cache.capacity_bytes", cache.capacity_bytes);
+    snap->SetGauge("lsm.block_cache.hit_rate", cache.hit_rate());
+  });
+
+  registry->AddSource([ssd](obs::MetricsSnapshot* snap) {
+    snap->SetCounter("ssd.link.busy_ns",
+                     static_cast<uint64_t>(ssd->pcie().busy_ns()));
+    snap->SetCounter("ssd.nand.busy_ns",
+                     static_cast<uint64_t>(ssd->nand().busy_ns()));
+    snap->SetCounter("ssd.nand.bytes_read", ssd->nand().bytes_read());
+    snap->SetCounter("ssd.nand.bytes_written", ssd->nand().bytes_written());
+    snap->SetCounter("ssd.nand.blocks_erased", ssd->nand().blocks_erased());
+    const ssd::Ftl& ftl = ssd->block_ftl(0);
+    snap->SetCounter("ssd.ftl.valid_pages", ftl.valid_pages());
+    snap->SetCounter("ssd.ftl.free_blocks", ftl.free_blocks());
+    snap->SetCounter("ssd.ftl.relocated_pages", ftl.relocated_pages());
+    snap->SetCounter("ssd.ftl.erased_blocks", ftl.erased_blocks());
+    snap->SetCounter("ssd.ftl.gc_runs", ftl.gc_runs());
+    snap->SetGauge("ssd.ftl.write_amplification", ftl.write_amplification());
+    snap->SetGauge("ssd.firmware.busy_seconds",
+                   ssd->firmware()->busy_seconds());
+  });
+
+  if (sut->kvaccel() != nullptr) {
+    core::KvaccelDB* kv = sut->kvaccel();
+    registry->AddSource([kv](obs::MetricsSnapshot* snap) {
+      const core::KvaccelStats& ks = kv->kv_stats();
+      snap->SetCounter("kvaccel.detector.checks", ks.detector_checks);
+      snap->SetCounter("kvaccel.redirect.writes", ks.redirected_writes);
+      snap->SetCounter("kvaccel.redirect.batches", ks.redirected_batches);
+      snap->SetCounter("kvaccel.direct.writes", ks.direct_writes);
+      snap->SetCounter("kvaccel.rollback.count", ks.rollbacks);
+      snap->SetCounter("kvaccel.rollback.entries", ks.rollback_entries);
+      snap->SetCounter("kvaccel.rollback.total_ns", ks.rollback_total_ns);
+      snap->SetCounter("kvaccel.read.dev", ks.dev_reads);
+      snap->SetCounter("kvaccel.read.main", ks.main_reads);
+      snap->SetCounter("kvaccel.md.inserts", ks.md_inserts);
+      snap->SetCounter("kvaccel.md.checks", ks.md_checks);
+      snap->SetCounter("kvaccel.md.deletes", ks.md_deletes);
+      snap->SetCounter("kvaccel.dev.retries", ks.dev_retries);
+      snap->SetCounter("kvaccel.fallback_writes", ks.fallback_writes);
+      snap->SetCounter("kvaccel.device_unhealthy_events",
+                       ks.device_unhealthy_events);
+      snap->SetHistogram("kvaccel.redirect.batch_latency_ns",
+                         ks.redirect_batch_latency);
+      snap->SetGauge("kvaccel.redirect.active",
+                     kv->detector()->stall_detected() ? 1.0 : 0.0);
+      const devlsm::DevLsmStats& ds = kv->dev()->stats();
+      snap->SetCounter("devlsm.puts", ds.puts);
+      snap->SetCounter("devlsm.gets", ds.gets);
+      snap->SetCounter("devlsm.deletes", ds.deletes);
+      snap->SetCounter("devlsm.compound_cmds", ds.compound_cmds);
+      snap->SetCounter("devlsm.compound_entries", ds.compound_entries);
+      snap->SetCounter("devlsm.flushes", ds.flushes);
+      snap->SetCounter("devlsm.compactions", ds.compactions);
+      snap->SetCounter("devlsm.bulk_scans", ds.bulk_scans);
+      snap->SetCounter("devlsm.scan_chunks", ds.scan_chunks);
+      snap->SetCounter("devlsm.resets", ds.resets);
+    });
+  }
+
+  registry->AddSource(
+      [host_cpu, injector, tracer](obs::MetricsSnapshot* snap) {
+        snap->SetGauge("host.cpu.busy_seconds", host_cpu->busy_seconds());
+        if (injector != nullptr) {
+          snap->SetCounter("sim.faults.injected", injector->total_fires());
+        }
+        if (tracer != nullptr) {
+          snap->SetCounter("obs.trace.events", tracer->num_events());
+          snap->SetCounter("obs.trace.dropped", tracer->dropped_events());
+          snap->SetCounter("obs.trace.tracks", tracer->num_tracks());
+        }
+      });
+}
+
 }  // namespace
 
 RunResult RunBenchmark(const BenchConfig& config) {
   sim::SimEnv env;
+  // The tracer must attach before any component is built: HybridSsd's
+  // constructor registers the PCIe/NAND busy tracks off env.tracer().
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!config.trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(&env);
+    env.set_tracer(tracer.get());
+  }
+  obs::MetricsRegistry registry;
   ssd::SsdConfig ssd_config = PaperSsdConfig(config.scale);
   if (config.nand_mbps > 0) ssd_config.nand_bytes_per_sec = config.nand_mbps * 1e6;
   ssd::HybridSsd ssd(&env, ssd_config);
@@ -155,6 +273,9 @@ RunResult RunBenchmark(const BenchConfig& config) {
     }
     sh.sut = sut.get();
     result.name = sut->name();
+    RegisterWorldMetrics(&registry, sut.get(), &ssd, &host_cpu,
+                         config.fault_profile.empty() ? nullptr : &injector,
+                         tracer.get());
 
     const WorkloadConfig& wl = config.workload;
 
@@ -302,10 +423,23 @@ RunResult RunBenchmark(const BenchConfig& config) {
       result.dev_retries = ks.dev_retries;
       result.fallback_writes = ks.fallback_writes;
     }
+    lsm::BlockCacheStats cache = sut->db()->GetBlockCacheStats();
+    result.cache_hits = cache.hits;
+    result.cache_misses = cache.misses;
+    result.cache_hit_rate = cache.hit_rate();
+    // Snapshot while the world is still open — the registry sources read
+    // live component state.
+    result.metrics = registry.Snapshot();
     sut->Close();
   });
 
   env.Run();
+  if (tracer != nullptr) {
+    std::string trace_error;
+    if (!tracer->WriteChromeTrace(config.trace_out, &trace_error)) {
+      fprintf(stderr, "trace: %s\n", trace_error.c_str());
+    }
+  }
   return result;
 }
 

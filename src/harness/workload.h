@@ -14,6 +14,7 @@
 
 #include "common/units.h"
 #include "harness/sut.h"
+#include "obs/metrics.h"
 
 namespace kvaccel::harness {
 
@@ -52,6 +53,10 @@ struct BenchConfig {
   // "" = no faults) and the injector's RNG seed.
   std::string fault_profile;
   uint64_t fault_seed = 1;
+  // Non-empty: attach an obs::Tracer to the run and write the Chrome
+  // trace-event JSON here when it finishes (see DESIGN.md §8). Empty =
+  // tracing fully disabled (no tracer object exists).
+  std::string trace_out;
 };
 
 struct RunResult {
@@ -104,6 +109,15 @@ struct RunResult {
   uint64_t background_errors = 0;   // latched flush/compaction failures
   uint64_t dev_retries = 0;         // Dev-LSM command retries (KVACCEL)
   uint64_t fallback_writes = 0;     // host-path fallbacks after dead device
+
+  // SST block cache (Main-LSM).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0;  // hits / lookups, 0 when no lookups
+
+  // Full registry snapshot harvested at window end (obs/metrics.h); the
+  // machine-readable superset of the scalar fields above.
+  obs::MetricsSnapshot metrics;
 };
 
 // Encodes `v` as a fixed-width big-endian key (lexicographic == numeric).

@@ -47,6 +47,21 @@ struct StallSignals {
   uint64_t hard_pending_limit = 0;
 };
 
+// Point-in-time view of the SST block cache (obs: `lsm.cache.*`).
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t usage_bytes = 0;
+  uint64_t capacity_bytes = 0;
+
+  double hit_rate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
 // One entry of a sorted-batch ingestion (see DB::IngestSortedBatch).
 struct IngestEntry {
   std::string key;
@@ -105,6 +120,7 @@ class DB {
 
   virtual const DbStats& stats() const = 0;
   virtual DbStats& mutable_stats() = 0;
+  virtual BlockCacheStats GetBlockCacheStats() = 0;
   virtual StallSignals GetStallSignals() = 0;
   virtual uint64_t TotalSstBytes() = 0;
 

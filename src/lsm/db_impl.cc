@@ -55,6 +55,20 @@ std::string DbImpl::LogName(uint64_t number) {
 }
 
 Status DbImpl::OpenImpl() {
+  tracer_ = env_->tracer();
+  if (tracer_ != nullptr) {
+    tr_wal_ = tracer_->RegisterTrack("lsm.wal");
+    tr_mem_ = tracer_->RegisterTrack("lsm.memtable");
+    tr_flush_ = tracer_->RegisterTrack("lsm.flush");
+    tr_stall_ = tracer_->RegisterTrack("lsm.stall");
+    tr_slowdown_ = tracer_->RegisterTrack("lsm.slowdown");
+    for (int i = 0; i < max_compaction_workers_; i++) {
+      tr_compact_.push_back(
+          tracer_->RegisterTrack("lsm.compaction-" + std::to_string(i)));
+    }
+    wal_append_span_.Init(tracer_, tr_wal_, "wal.append", FromMicros(50));
+    wal_sync_span_.Init(tracer_, tr_wal_, "wal.sync", FromMicros(50));
+  }
   block_cache_ =
       std::make_unique<BlockCache>(options_.block_cache_capacity);
   versions_ = std::make_unique<VersionSet>(options_, denv_.fs);
@@ -126,6 +140,15 @@ Status DbImpl::Close() {
   bg_threads_.clear();
   {
     SimLockGuard l(mu_);
+    if (tracer_ != nullptr) {
+      // Close any span the shutdown interrupted and drain the WAL
+      // coalescers: the tracer may outlive this DB, so nothing here may be
+      // deferred to serialization time.
+      if (stats_.stall_regions.open()) tracer_->End(tr_stall_, "stall");
+      if (in_slowdown_region_) tracer_->End(tr_slowdown_, "slowdown");
+      wal_append_span_.Flush();
+      wal_sync_span_.Flush();
+    }
     stats_.stall_regions.CloseAt(env_->Now());
     stats_.slowdown_regions.CloseAt(env_->Now());
     closed_ = true;
@@ -216,14 +239,23 @@ Status DbImpl::Write(const WriteOptions& wopts, WriteBatch* batch) {
     commit_in_flight_ = true;
     mu_.Unlock();
     if (options_.wal_enabled && !wopts.disable_wal) {
+      Nanos append_start = tracer_ != nullptr ? env_->Now() : 0;
       s = wal_->AddRecord(group->Contents(), group->LogicalSize());
+      if (tracer_ != nullptr) {
+        wal_append_span_.Add(append_start, env_->Now(),
+                             group->LogicalSize());
+      }
       if (s.ok() && sim::FaultAt(env_, "crash.wal.post_append")) {
         // Power lost after the append, before it could become durable: the
         // group is never acknowledged.
         s = Status::IOError("simulated crash");
       }
       if (s.ok() && (wopts.sync || options_.wal_sync)) {
+        Nanos sync_start = tracer_ != nullptr ? env_->Now() : 0;
         s = RetryTransient([this] { return wal_->Sync(); });
+        if (tracer_ != nullptr) {
+          wal_sync_span_.Add(sync_start, env_->Now(), 0);
+        }
       }
       if (s.ok() && sim::FaultAt(env_, "crash.wal.post_sync")) {
         // Power lost after the sync, before the memtable apply: the group is
@@ -332,6 +364,7 @@ Status DbImpl::SwitchMemtableLocked() {
   mem_ = std::make_shared<MemTable>();
   wal_ = std::make_unique<LogWriter>(std::move(wal_file));
   wal_number_ = new_wal;
+  if (tracer_ != nullptr) tracer_->Instant(tr_mem_, "memtable.switch");
   bg_cv_.NotifyAll();
   return Status::OK();
 }
@@ -354,6 +387,7 @@ Status DbImpl::MakeRoomForWrite(uint64_t batch_logical) {
       if (!in_slowdown_region_) {
         in_slowdown_region_ = true;
         stats_.slowdown_regions.Begin(env_->Now());
+        if (tracer_ != nullptr) tracer_->Begin(tr_slowdown_, "slowdown");
       }
       uint64_t bytes = batch_logical == 0 ? 4096 : batch_logical;
       // RocksDB escalates the delay as conditions approach the stop trigger
@@ -384,18 +418,21 @@ Status DbImpl::MakeRoomForWrite(uint64_t batch_logical) {
     if (in_slowdown_region_ && !SlowdownConditionLocked()) {
       in_slowdown_region_ = false;
       stats_.slowdown_regions.End(env_->Now());
+      if (tracer_ != nullptr) tracer_->End(tr_slowdown_, "slowdown");
     }
 
     if (stop) {
       // Full write stall (paper events 2/3).
       stats_.stall_events++;
       stats_.stall_regions.Begin(env_->Now());
+      if (tracer_ != nullptr) tracer_->Begin(tr_stall_, "stall");
       while (!shutting_down_ && bg_error_.ok() &&
              StopConditionLocked(nullptr)) {
         bg_cv_.NotifyAll();
         stall_cv_.Wait(mu_);
       }
       stats_.stall_regions.End(env_->Now());
+      if (tracer_ != nullptr) tracer_->End(tr_stall_, "stall");
       continue;
     }
 
@@ -409,6 +446,7 @@ Status DbImpl::MakeRoomForWrite(uint64_t batch_logical) {
       // memtable drains.
       stats_.stall_events++;
       stats_.stall_regions.Begin(env_->Now());
+      if (tracer_ != nullptr) tracer_->Begin(tr_stall_, "stall");
       while (!shutting_down_ && bg_error_.ok() &&
              static_cast<int>(imm_.size()) >=
                  options_.max_write_buffer_number - 1) {
@@ -416,6 +454,7 @@ Status DbImpl::MakeRoomForWrite(uint64_t batch_logical) {
         stall_cv_.Wait(mu_);
       }
       stats_.stall_regions.End(env_->Now());
+      if (tracer_ != nullptr) tracer_->End(tr_stall_, "stall");
       continue;
     }
 
@@ -831,7 +870,12 @@ void DbImpl::FlushThreadLoop() {
     flush_running_ = true;
     mu_.Unlock();
 
+    Nanos flush_start = tracer_ != nullptr ? env_->Now() : 0;
     Status s = FlushImmToL0(imm);
+    if (tracer_ != nullptr) {
+      tracer_->Complete(tr_flush_, "flush", flush_start, env_->Now(),
+                        imm.mem->LogicalSize());
+    }
 
     mu_.Lock();
     flush_running_ = false;
@@ -957,7 +1001,12 @@ void DbImpl::CompactionThreadLoop(int worker_id) {
     running_compactions_++;
     mu_.Unlock();
 
-    Status s = RunCompaction(c.get());
+    uint32_t track = tracer_ != nullptr ? tr_compact_[worker_id] : 0;
+    Nanos comp_start = tracer_ != nullptr ? env_->Now() : 0;
+    Status s = RunCompaction(c.get(), track);
+    if (tracer_ != nullptr) {
+      tracer_->Complete(track, "compaction", comp_start, env_->Now());
+    }
 
     mu_.Lock();
     running_compactions_--;
@@ -976,7 +1025,7 @@ void DbImpl::CompactionThreadLoop(int worker_id) {
   mu_.Unlock();
 }
 
-Status DbImpl::RunCompaction(Compaction* c) {
+Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
   std::vector<FileMetaPtr> outputs;
   std::vector<uint64_t> created;
   uint64_t read_bytes = 0;
@@ -985,8 +1034,8 @@ Status DbImpl::RunCompaction(Compaction* c) {
     outputs.clear();
     read_bytes = 0;
     written_bytes = 0;
-    Status ws =
-        DoCompactionWork(c, &outputs, &created, &read_bytes, &written_bytes);
+    Status ws = DoCompactionWork(c, trace_track, &outputs, &created,
+                                 &read_bytes, &written_bytes);
     if (!ws.ok() && !sim::SimCrashed(env_)) {
       // Drop partial outputs so a retry (or reopened DB) starts clean.
       for (uint64_t n : created) denv_.fs->DeleteFile(SstName(n));
@@ -1024,7 +1073,7 @@ Status DbImpl::RunCompaction(Compaction* c) {
   return Status::OK();
 }
 
-Status DbImpl::DoCompactionWork(Compaction* c,
+Status DbImpl::DoCompactionWork(Compaction* c, uint32_t trace_track,
                                 std::vector<FileMetaPtr>* outputs,
                                 std::vector<uint64_t>* created,
                                 uint64_t* read_bytes_out,
@@ -1105,11 +1154,28 @@ Status DbImpl::DoCompactionWork(Compaction* c,
   };
   std::vector<BatchEntry> batch;
   uint64_t batch_bytes = 0;
+  // Read-phase start for tracing: the span from here (or from the end of the
+  // previous write phase) to the batch boundary is dominated by SST reads.
+  Nanos phase_start = tracer_ != nullptr ? env_->Now() : 0;
 
   auto write_batch_out = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    const uint64_t bytes = batch_bytes;
+    Nanos merge_start = 0;
+    if (tracer_ != nullptr) {
+      merge_start = env_->Now();
+      tracer_->Complete(trace_track, "compaction.read", phase_start,
+                        merge_start, bytes);
+    }
     // Merge phase: one CPU burst for the whole batch, no device traffic.
     denv_.host_cpu->Consume(options_.compaction_cpu_ns_per_byte *
                             static_cast<double>(batch_bytes));
+    Nanos write_start = 0;
+    if (tracer_ != nullptr) {
+      write_start = env_->Now();
+      tracer_->Complete(trace_track, "compaction.merge", merge_start,
+                        write_start, bytes);
+    }
     // Write phase.
     for (const BatchEntry& e : batch) {
       if (builder == nullptr) {
@@ -1132,6 +1198,11 @@ Status DbImpl::DoCompactionWork(Compaction* c,
     }
     batch.clear();
     batch_bytes = 0;
+    if (tracer_ != nullptr) {
+      phase_start = env_->Now();
+      tracer_->Complete(trace_track, "compaction.write", write_start,
+                        phase_start, bytes);
+    }
     return Status::OK();
   };
 
@@ -1296,6 +1367,16 @@ Status DbImpl::WaitForCompactionIdle() {
   Status s = bg_error_;
   mu_.Unlock();
   return s;
+}
+
+BlockCacheStats DbImpl::GetBlockCacheStats() {
+  SimLockGuard l(mu_);
+  BlockCacheStats cs;
+  cs.hits = block_cache_->hits();
+  cs.misses = block_cache_->misses();
+  cs.usage_bytes = block_cache_->usage();
+  cs.capacity_bytes = block_cache_->capacity();
+  return cs;
 }
 
 StallSignals DbImpl::GetStallSignals() {

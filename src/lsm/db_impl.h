@@ -16,6 +16,7 @@
 #include "lsm/sst.h"
 #include "lsm/version.h"
 #include "lsm/wal.h"
+#include "obs/trace.h"
 #include "sim/sim_env.h"
 
 namespace kvaccel::lsm {
@@ -47,6 +48,7 @@ class DbImpl : public DB {
 
   const DbStats& stats() const override { return stats_; }
   DbStats& mutable_stats() override { return stats_; }
+  BlockCacheStats GetBlockCacheStats() override;
   StallSignals GetStallSignals() override;
   uint64_t TotalSstBytes() override;
 
@@ -91,14 +93,17 @@ class DbImpl : public DB {
   void FlushThreadLoop();
   void CompactionThreadLoop(int worker_id);
   Status FlushImmToL0(const ImmEntry& imm);
-  Status RunCompaction(Compaction* c);
+  // `trace_track` is the worker's compaction track (unused when tracing is
+  // off): sub-phase spans land on the worker that runs them.
+  Status RunCompaction(Compaction* c, uint32_t trace_track);
   // Builds the L0 SST file for `imm` and fills `meta`; retryable — the
   // caller deletes the partial file between attempts.
   Status BuildL0Sst(const ImmEntry& imm, uint64_t number, FileMetaData* meta);
   // Merge phase of a compaction: produces output SSTs without touching the
   // version set. `created` records every file number written so a failed
   // attempt can be cleaned up and retried.
-  Status DoCompactionWork(Compaction* c, std::vector<FileMetaPtr>* outputs,
+  Status DoCompactionWork(Compaction* c, uint32_t trace_track,
+                          std::vector<FileMetaPtr>* outputs,
                           std::vector<uint64_t>* created,
                           uint64_t* read_bytes, uint64_t* written_bytes);
   // Runs `fn`, retrying transient device errors (IOError/Busy/TryAgain) up
@@ -162,6 +167,19 @@ class DbImpl : public DB {
   bool commit_in_flight_ = false;
 
   DbStats stats_;
+
+  // Tracing (obs/trace.h). tracer_ is null unless a Tracer was attached to
+  // the SimEnv before Open; every site below guards on that, so the disabled
+  // cost is one pointer compare and the hot write path never allocates.
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t tr_wal_ = 0;
+  uint32_t tr_mem_ = 0;
+  uint32_t tr_flush_ = 0;
+  uint32_t tr_stall_ = 0;
+  uint32_t tr_slowdown_ = 0;
+  std::vector<uint32_t> tr_compact_;  // one track per compaction worker
+  obs::CoalescingSpan wal_append_span_;
+  obs::CoalescingSpan wal_sync_span_;
 };
 
 }  // namespace kvaccel::lsm

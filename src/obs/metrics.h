@@ -1,0 +1,117 @@
+// MetricsRegistry: hierarchical named counters / gauges / histograms with a
+// point-in-time Snapshot() and JSON serialization.
+//
+// Names are dot-separated paths mirroring the subsystem layout, e.g.
+// `lsm.compaction.bytes_written`, `ssd.link.busy_ns`,
+// `kvaccel.redirect.active` (the full scheme is DESIGN.md §8).
+//
+// Two ways for a component to publish:
+//  1. Native instruments — GetCounter()/GetGauge()/GetHistogram() return
+//     stable pointers the component updates directly. Counter::Inc is a
+//     single relaxed atomic add, cheap enough for hot paths.
+//  2. Snapshot sources — AddSource() registers a callback invoked at
+//     Snapshot() time that mirrors an existing stats struct (DbStats,
+//     DevLsmStats, KvaccelStats, FTL counters, ...) into the snapshot. This
+//     is how legacy counters migrate without rewriting every update site.
+//
+// Registration and Snapshot() are not internally synchronized: like the rest
+// of the simulation state they are safe under the cooperative scheduler
+// (exactly one simulated thread runs at a time and map operations never
+// yield). Counter values themselves are atomics, so reading a snapshot from
+// the harness while actors run is well-defined.
+//
+// Snapshots use std::map (sorted keys), so serialization order — and
+// therefore report bytes — is deterministic for identical runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace kvaccel::obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Compact percentile summary of a Histogram, cheap to snapshot and serialize.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double avg = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  static HistogramSummary From(const Histogram& h);
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  void SetCounter(const std::string& name, uint64_t v) { counters[name] = v; }
+  void SetGauge(const std::string& name, double v) { gauges[name] = v; }
+  void SetHistogram(const std::string& name, const Histogram& h) {
+    histograms[name] = HistogramSummary::From(h);
+  }
+
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returned pointers are stable for the registry's lifetime (map nodes).
+  Counter* GetCounter(const std::string& name) { return &counters_[name]; }
+  Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
+  Histogram* GetHistogram(const std::string& name) {
+    return &histograms_[name];
+  }
+
+  using Source = std::function<void(MetricsSnapshot*)>;
+  void AddSource(Source source) { sources_.push_back(std::move(source)); }
+
+  // Native instruments first, then sources in registration order; a source
+  // writing a name that already exists overwrites it (sources win).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace kvaccel::obs

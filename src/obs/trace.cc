@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace kvaccel::obs {
+
+Tracer::Tracer(sim::SimEnv* env, size_t max_events)
+    : env_(env), max_events_(max_events) {
+  events_.reserve(max_events_ < (1u << 16) ? max_events_ : (1u << 16));
+}
+
+uint32_t Tracer::RegisterTrack(const std::string& name) {
+  for (size_t i = 0; i < track_names_.size(); i++) {
+    if (track_names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  track_names_.push_back(name);
+  return static_cast<uint32_t>(track_names_.size() - 1);
+}
+
+uint64_t Tracer::CountEvents(const char* name) const {
+  uint64_t n = 0;
+  for (const Event& e : events_) {
+    if (strcmp(e.name, name) == 0) n++;
+  }
+  return n;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = path + ": " + std::strerror(errno);
+    return false;
+  }
+  WriteChromeTrace(f);
+  bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok && error != nullptr) *error = path + ": write failed";
+  return ok;
+}
+
+void Tracer::WriteChromeTrace(std::FILE* f) {
+  for (const auto& flusher : flushers_) flusher();
+
+  fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  // Metadata: process name plus one named, ordered thread per track.
+  fprintf(f,
+          "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"kvaccel-sim\"}}");
+  for (size_t i = 0; i < track_names_.size(); i++) {
+    std::string escaped;
+    JsonWriter::Escape(track_names_[i], &escaped);
+    unsigned tid = static_cast<unsigned>(i) + 1;
+    fprintf(f,
+            ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+            "\"args\":{\"name\":%s}}",
+            tid, escaped.c_str());
+    fprintf(f,
+            ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+            "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%u}}",
+            tid, tid);
+  }
+  for (const Event& e : events_) {
+    unsigned tid = e.track + 1;
+    // Chrome timestamps are microseconds; three decimals keep 1 ns exact.
+    double ts_us = static_cast<double>(e.ts) / 1000.0;
+    fprintf(f, ",\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f", e.phase,
+            tid, ts_us);
+    if (e.phase == 'X') {
+      fprintf(f, ",\"dur\":%.3f", static_cast<double>(e.dur) / 1000.0);
+    }
+    if (e.phase == 'i') {
+      fprintf(f, ",\"s\":\"t\"");
+    }
+    fprintf(f, ",\"cat\":\"sim\",\"name\":\"%s\"", e.name);
+    if (e.bytes != 0) {
+      fprintf(f, ",\"args\":{\"bytes\":%" PRIu64 "}", e.bytes);
+    }
+    fprintf(f, "}");
+  }
+  fprintf(f,
+          "\n],\"otherData\":{\"clock\":\"virtual\",\"dropped_events\":%" PRIu64
+          "}}\n",
+          dropped_);
+}
+
+}  // namespace kvaccel::obs

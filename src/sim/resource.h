@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/units.h"
@@ -34,10 +35,15 @@ class RateResource {
     double end = start + dur;
     busy_until_ns_ = end;
     total_bytes_ += bytes;
+    busy_total_ns_ += dur;
     traffic_.AddRange(static_cast<Nanos>(start), static_cast<Nanos>(end),
                       static_cast<double>(bytes));
     traffic_fine_.AddRange(static_cast<Nanos>(start), static_cast<Nanos>(end),
                            static_cast<double>(bytes));
+    if (busy_callback_) {
+      busy_callback_(static_cast<Nanos>(start), static_cast<Nanos>(end),
+                     bytes);
+    }
     env_->SleepUntil(static_cast<Nanos>(end + 0.999));
     return env_->Now();
   }
@@ -51,10 +57,15 @@ class RateResource {
     double end = start + TransferNanosExact(bytes, bytes_per_sec_);
     busy_until_ns_ = end;
     total_bytes_ += bytes;
+    busy_total_ns_ += end - start;
     traffic_.AddRange(static_cast<Nanos>(start), static_cast<Nanos>(end),
                       static_cast<double>(bytes));
     traffic_fine_.AddRange(static_cast<Nanos>(start), static_cast<Nanos>(end),
                            static_cast<double>(bytes));
+    if (busy_callback_) {
+      busy_callback_(static_cast<Nanos>(start), static_cast<Nanos>(end),
+                     bytes);
+    }
     return static_cast<Nanos>(end + 0.999);
   }
 
@@ -76,12 +87,25 @@ class RateResource {
   // Earliest time a new transfer could start.
   Nanos busy_until() const { return static_cast<Nanos>(busy_until_ns_); }
 
+  // Cumulative time the medium has spent transferring (the `*.busy_ns`
+  // metric): transfers are FIFO and never overlap, so this is exact.
+  Nanos busy_ns() const { return static_cast<Nanos>(busy_total_ns_); }
+
+  // Observes every transfer's [start, end) busy window as it is scheduled.
+  // The tracing layer hooks this to draw per-link busy bands; the resource
+  // itself stays ignorant of obs.
+  using BusyCallback = std::function<void(Nanos start, Nanos end,
+                                          uint64_t bytes)>;
+  void set_busy_callback(BusyCallback cb) { busy_callback_ = std::move(cb); }
+
  private:
   SimEnv* env_;
   std::string name_;
   double bytes_per_sec_;
   double busy_until_ns_ = 0;  // fractional ns to avoid rounding drift
+  double busy_total_ns_ = 0;
   uint64_t total_bytes_ = 0;
+  BusyCallback busy_callback_;
   TimeSeries traffic_;
   TimeSeries traffic_fine_{kNanosPerSec / 8};
 };

@@ -30,6 +30,10 @@
 
 #include "common/units.h"
 
+namespace kvaccel::obs {
+class Tracer;
+}  // namespace kvaccel::obs
+
 namespace kvaccel::sim {
 
 // Thrown out of blocked daemon threads when the environment shuts down; the
@@ -86,6 +90,12 @@ class SimEnv {
   void set_fault_injector(FaultInjector* f) { fault_injector_ = f; }
   FaultInjector* fault_injector() const { return fault_injector_; }
 
+  // Optional span tracer (see obs/trace.h). Not owned; null by default, in
+  // which case instrumentation sites reduce to a pointer comparison.
+  // Forward-declared so sim never links against obs.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   friend class SimMutex;
   friend class SimCondVar;
@@ -116,6 +126,7 @@ class SimEnv {
   bool running_ = false;
   uint64_t next_seq_ = 0;
   FaultInjector* fault_injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 struct SimEnv::Thread {

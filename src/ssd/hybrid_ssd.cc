@@ -10,6 +10,14 @@ HybridSsd::HybridSsd(sim::SimEnv* env, const SsdConfig& config)
     : env_(env), config_(config) {
   pcie_ = std::make_unique<sim::RateResource>(env, "pcie",
                                               config.pcie_bytes_per_sec);
+  if (obs::Tracer* tracer = env->tracer()) {
+    pcie_span_.Init(tracer, tracer->RegisterTrack("ssd.pcie"), "pcie.busy",
+                    FromMicros(50));
+    pcie_->set_busy_callback([this](Nanos start, Nanos end, uint64_t bytes) {
+      pcie_span_.Add(start, end, bytes);
+    });
+    tracer->AddFlusher([this] { pcie_span_.Flush(); });
+  }
   nand_ = std::make_unique<NandFlash>(env, config);
   firmware_ = std::make_unique<sim::CpuPool>(
       env, "ssd-firmware", config.firmware_cores, config.firmware_speed);

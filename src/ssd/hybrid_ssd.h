@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/cpu_pool.h"
 #include "sim/resource.h"
 #include "sim/sim_env.h"
@@ -89,6 +90,7 @@ class HybridSsd {
   std::unique_ptr<sim::CpuPool> firmware_;
   std::vector<Namespace> namespaces_;
   nvme::CommandTrace trace_;
+  obs::CoalescingSpan pcie_span_;
 };
 
 }  // namespace kvaccel::ssd

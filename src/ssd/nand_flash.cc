@@ -11,6 +11,20 @@ NandFlash::NandFlash(sim::SimEnv* env, const SsdConfig& config)
     channels_.push_back(std::make_unique<sim::RateResource>(
         env, "nand-ch" + std::to_string(i), per_channel));
   }
+  if (obs::Tracer* tracer = env->tracer()) {
+    channel_spans_.resize(channels_.size());
+    for (size_t i = 0; i < channels_.size(); i++) {
+      uint32_t track =
+          tracer->RegisterTrack("ssd.nand-ch" + std::to_string(i));
+      obs::CoalescingSpan* span = &channel_spans_[i];
+      span->Init(tracer, track, "nand.busy", FromMicros(50));
+      channels_[i]->set_busy_callback(
+          [span](Nanos start, Nanos end, uint64_t bytes) {
+            span->Add(start, end, bytes);
+          });
+      tracer->AddFlusher([span] { span->Flush(); });
+    }
+  }
 }
 
 double NandFlash::total_bytes_per_sec() const {

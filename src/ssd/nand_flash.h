@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/resource.h"
 #include "sim/sim_env.h"
 #include "ssd/config.h"
@@ -34,12 +35,22 @@ class NandFlash {
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t blocks_erased() const { return blocks_erased_; }
 
+  // Total channel busy time (sum over channels) — `ssd.nand.busy_ns`.
+  Nanos busy_ns() const {
+    Nanos total = 0;
+    for (const auto& ch : channels_) total += ch->busy_ns();
+    return total;
+  }
+
  private:
   Nanos StripedTransfer(uint64_t bytes, Nanos fixed_latency);
 
   sim::SimEnv* env_;
   SsdConfig config_;
   std::vector<std::unique_ptr<sim::RateResource>> channels_;
+  // One per channel when tracing; addresses must stay stable (sized once in
+  // the constructor) because the channel busy callbacks point into it.
+  std::vector<obs::CoalescingSpan> channel_spans_;
   size_t next_channel_ = 0;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;

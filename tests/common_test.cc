@@ -264,6 +264,69 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_NEAR(h.Percentile(99.9), 77, 8);
 }
 
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Average(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+  EXPECT_EQ(h.Percentile(99.9), 0.0);
+}
+
+TEST(HistogramTest, SingleValueBoundsPercentiles) {
+  Histogram h;
+  h.Add(500);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 500u);
+  EXPECT_EQ(h.Max(), 500u);
+  EXPECT_EQ(h.Average(), 500.0);
+  // Every percentile of a single-sample distribution lands in its bucket.
+  for (double p : {0.1, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(h.Percentile(p), 500, 50) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyPreservesEverything) {
+  Histogram a, b;
+  for (int i = 1; i <= 1000; i++) b.Add(i);
+  const double p50 = b.Percentile(50);
+  const double p99 = b.Percentile(99);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.Min(), b.Min());
+  EXPECT_EQ(a.Max(), b.Max());
+  EXPECT_EQ(a.Average(), b.Average());
+  EXPECT_EQ(a.Percentile(50), p50);
+  EXPECT_EQ(a.Percentile(99), p99);
+}
+
+TEST(HistogramTest, MergeEmptyIsANoOp) {
+  Histogram a, empty;
+  for (int i = 1; i <= 1000; i++) a.Add(i);
+  const double p50 = a.Percentile(50);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 1000u);
+  EXPECT_EQ(a.Min(), 1u);
+  EXPECT_EQ(a.Max(), 1000u);
+  EXPECT_EQ(a.Percentile(50), p50);
+}
+
+TEST(HistogramTest, MergeDisjointRangesKeepsTails) {
+  Histogram lo, hi;
+  for (int i = 1; i <= 300; i++) lo.Add(i);
+  for (int i = 0; i <= 100; i++) hi.Add(100000 + i * 10);
+  lo.Merge(hi);
+  EXPECT_EQ(lo.Count(), 401u);
+  EXPECT_EQ(lo.Min(), 1u);
+  EXPECT_EQ(lo.Max(), 101000u);
+  // The low range dominates the median; the merged tail sits in the high
+  // range contributed entirely by `hi`.
+  EXPECT_LT(lo.Percentile(50), 1000);
+  EXPECT_GT(lo.Percentile(99), 50000);
+}
+
 TEST(ValueTest, InlineRoundTrip) {
   Value v = Value::Inline("some bytes");
   EXPECT_TRUE(v.is_inline());

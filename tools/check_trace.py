@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Sanity-check a Chrome trace-event JSON produced by --trace_out.
+
+Usage: check_trace.py TRACE.json
+
+Asserts the trace parses as JSON and contains at least one flush span, one
+compaction span and one stall window (the KVACCEL detector's redirect window
+is named "stall.redirect", so substring matching covers both the baselines'
+plain "stall" B/E pairs and the accelerator's detected-stall windows).
+Exits non-zero with a diagnostic when a required event class is missing.
+"""
+import collections
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_trace.py TRACE.json", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path, "rb") as f:
+        trace = json.load(f)
+
+    events = trace.get("traceEvents", [])
+    if not events:
+        print(f"{path}: no traceEvents", file=sys.stderr)
+        return 1
+
+    by_name = collections.Counter(
+        e.get("name", "") for e in events if e.get("ph") != "M"
+    )
+    tracks = sum(1 for e in events if e.get("name") == "thread_name")
+
+    required = ["flush", "compaction", "stall"]
+    missing = []
+    for substr in required:
+        count = sum(n for name, n in by_name.items() if substr in name)
+        print(f"{substr:<12}: {count} events")
+        if count == 0:
+            missing.append(substr)
+
+    dropped = trace.get("otherData", {}).get("dropped_events", 0)
+    print(f"total       : {sum(by_name.values())} events, "
+          f"{tracks} tracks, {dropped} dropped")
+
+    if missing:
+        print(f"{path}: missing required events: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,14 +25,52 @@ run_pass() {
   echo "==== ${name}: dbbench fault smoke ===="
   "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
     --seconds=5 --fault_profile=flaky-nvme --fault_seed=7 > /dev/null
+  # Observability suite, explicitly (tracer, metrics registry, run reports).
+  echo "==== ${name}: ctest -L obs ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L obs
+  # Run-artifact smoke: a traced KVACCEL run must produce a parseable Chrome
+  # trace containing flush, compaction and stall events, plus a parseable
+  # kvaccel-run-v1 JSON report. The report is validated with json.tool; the
+  # trace (tens of MB) goes through check_trace.py, whose json.load is a
+  # strict parse without json.tool's minutes-long pretty-printing.
+  echo "==== ${name}: dbbench trace/report artifacts ===="
+  local obs_dir="${dir}/obs-artifacts"
+  mkdir -p "${obs_dir}"
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=10 --scale=0.0625 \
+    --trace_out="${obs_dir}/kvaccel_trace.json" \
+    --json_out="${obs_dir}/kvaccel_report.json" > /dev/null
+  python3 -m json.tool "${obs_dir}/kvaccel_report.json" > /dev/null
+  python3 tools/check_trace.py "${obs_dir}/kvaccel_trace.json"
+}
+
+# Short fillrandom on each system; the merged BENCH_smoke.json records the
+# throughput / stall / P99 signals CI tracks across commits.
+bench_smoke() {
+  local dir="$1" out_dir="$1/obs-artifacts"
+  echo "==== bench smoke: fillrandom x {rocksdb, adoc, kvaccel} ===="
+  mkdir -p "${out_dir}"
+  local sys
+  for sys in rocksdb adoc kvaccel; do
+    "${dir}/tools/kvaccel_dbbench" --system="${sys}" --workload=fillrandom \
+      --seconds=10 --scale=0.0625 \
+      --json_out="${out_dir}/smoke_${sys}.json" > /dev/null
+  done
+  python3 tools/merge_smoke.py BENCH_smoke.json \
+    "${out_dir}/smoke_rocksdb.json" "${out_dir}/smoke_adoc.json" \
+    "${out_dir}/smoke_kvaccel.json"
 }
 
 mode="${1:-all}"
 case "${mode}" in
-  plain)    run_pass "plain" build ;;
+  plain)
+    run_pass "plain" build
+    bench_smoke build
+    ;;
   sanitize) run_pass "sanitize" build-asan -DKVACCEL_SANITIZE=ON ;;
   all)
     run_pass "plain" build
+    bench_smoke build
     run_pass "sanitize" build-asan -DKVACCEL_SANITIZE=ON
     ;;
   *)

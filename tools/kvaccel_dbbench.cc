@@ -22,6 +22,10 @@
 //   --fault_seed=N     fault injector RNG seed (default 1); the same
 //                      profile+seed reproduces the identical fault sequence
 //   --series           print per-second throughput / PCIe series
+//   --trace_out=FILE   write a Chrome trace-event JSON of the run (open in
+//                      Perfetto / chrome://tracing); off when omitted
+//   --json_out=FILE    write the machine-readable kvaccel-run-v1 report
+//                      (metrics snapshot + per-second series)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,7 @@
 
 #include "harness/flags.h"
 #include "harness/report.h"
+#include "harness/report_json.h"
 #include "harness/workload.h"
 
 using namespace kvaccel;
@@ -59,7 +64,8 @@ void Usage() {
           "  [--batch_size=N]\n"
           "  [--rollback=lazy|eager|disabled] [--no_slowdown] [--seed=N]\n"
           "  [--fault_profile=flaky-nvme|bitrot|power-cut|devlsm-dead]\n"
-          "  [--fault_seed=N] [--series]\n");
+          "  [--fault_seed=N] [--series]\n"
+          "  [--trace_out=FILE] [--json_out=FILE]\n");
 }
 
 }  // namespace
@@ -71,6 +77,7 @@ int main(int argc, char** argv) {
   config.sut.compaction_threads = 1;
   config.workload.duration = FromSecs(60);
   bool print_series = false;
+  std::string json_out;
 
   for (int i = 1; i < argc; i++) {
     const char* v = nullptr;
@@ -138,6 +145,10 @@ int main(int argc, char** argv) {
       config.fault_seed = ParseFlagUint64(v, "--fault_seed");
     } else if (FlagEq(argv[i], "--series", &v)) {
       print_series = true;
+    } else if (FlagEq(argv[i], "--trace_out", &v)) {
+      config.trace_out = v;
+    } else if (FlagEq(argv[i], "--json_out", &v)) {
+      json_out = v;
     } else if (strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -175,6 +186,10 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(r.write_groups),
          r.group_commit_mean,
          static_cast<unsigned long long>(r.group_commit_max));
+  printf("block cache       : %llu hits / %llu misses (%.1f%% hit rate)\n",
+         static_cast<unsigned long long>(r.cache_hits),
+         static_cast<unsigned long long>(r.cache_misses),
+         r.cache_hit_rate * 100.0);
   if (config.sut.kind == SystemKind::kKvaccel) {
     printf("kvaccel           : %llu redirected writes (%llu batches), "
            "%llu rollbacks, %llu detector checks\n",
@@ -205,6 +220,14 @@ int main(int argc, char** argv) {
     }
     PrintSeries("PCIe MB/s", r.per_sec_pcie_mbps, "MB/s");
     PrintStallRegions(r);
+  }
+  if (!config.trace_out.empty()) {
+    printf("trace             : %s (load in Perfetto / chrome://tracing)\n",
+           config.trace_out.c_str());
+  }
+  if (!json_out.empty()) {
+    if (!WriteJsonReport(json_out, config, {r})) return 1;
+    printf("json report       : %s\n", json_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Merge per-system kvaccel-run-v1 reports into BENCH_smoke.json.
+
+Usage: merge_smoke.py OUT.json REPORT.json...
+
+Each input is one dbbench --json_out report (one run). The output maps each
+system name to the smoke signals CI tracks across commits: write throughput,
+total stalled seconds and P99 put latency.
+"""
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) < 3:
+        print("usage: merge_smoke.py OUT.json REPORT.json...", file=sys.stderr)
+        return 2
+    out_path = sys.argv[1]
+
+    merged = {"schema": "kvaccel-bench-smoke-v1", "systems": {}}
+    for path in sys.argv[2:]:
+        with open(path, "rb") as f:
+            report = json.load(f)
+        if report.get("schema") != "kvaccel-run-v1":
+            print(f"{path}: not a kvaccel-run-v1 report", file=sys.stderr)
+            return 1
+        for run in report.get("runs", []):
+            s = run["summary"]
+            merged["systems"][run["name"]] = {
+                "write_kops": s["write_kops"],
+                "write_mbps": s["write_mbps"],
+                "stalled_seconds": s["stalled_seconds"],
+                "stall_events": s["stall_events"],
+                "put_p99_us": s["put_p99_us"],
+            }
+        merged.setdefault("config", report.get("config"))
+
+    if not merged["systems"]:
+        print("no runs found in inputs", file=sys.stderr)
+        return 1
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"{out_path}: {len(merged['systems'])} systems")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
