@@ -1,0 +1,26 @@
+#include "check/model_db.h"
+
+namespace kvaccel::check {
+
+void ModelDb::Put(const std::string& key, const Value& value) {
+  last_seq_++;
+  live_[key] = Entry{value, last_seq_};
+}
+
+void ModelDb::Delete(const std::string& key) {
+  last_seq_++;
+  live_.erase(key);
+}
+
+bool ModelDb::Get(const std::string& key, Value* value) const {
+  auto it = live_.find(key);
+  if (it == live_.end()) return false;
+  if (value != nullptr) *value = it->second.value;
+  return true;
+}
+
+bool ModelDb::Contains(const std::string& key) const {
+  return live_.count(key) > 0;
+}
+
+}  // namespace kvaccel::check

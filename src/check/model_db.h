@@ -1,0 +1,42 @@
+// ModelDb: the in-memory oracle the nemesis harness compares KvaccelDB
+// against (DESIGN.md §9). It implements the semantics a correct KV store
+// must show — last write wins, deletes hide keys, iteration is key-ordered
+// over live keys only — with none of the machinery under test: no LSM, no
+// device, no recovery. Every acknowledged operation is applied here
+// synchronously, so after any crash-recovery cycle the real DB must agree
+// with this map modulo the single in-flight (unacknowledged) operation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/value.h"
+
+namespace kvaccel::check {
+
+class ModelDb {
+ public:
+  struct Entry {
+    Value value;
+    uint64_t seq = 0;  // model op sequence of the deciding write
+  };
+
+  void Put(const std::string& key, const Value& value);
+  void Delete(const std::string& key);
+  // false when the key is absent (never written, or deleted).
+  bool Get(const std::string& key, Value* value) const;
+  bool Contains(const std::string& key) const;
+
+  // Live keys in order — what a full scan of the real DB must produce.
+  const std::map<std::string, Entry>& live() const { return live_; }
+  size_t size() const { return live_.size(); }
+  // Model op sequence of the most recent mutation (diagnostics).
+  uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::map<std::string, Entry> live_;
+  uint64_t last_seq_ = 0;
+};
+
+}  // namespace kvaccel::check

@@ -1,0 +1,495 @@
+#include "check/nemesis.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/model_db.h"
+#include "common/random.h"
+#include "common/value.h"
+#include "core/kvaccel_db.h"
+#include "devlsm/dev_lsm.h"
+#include "fs/simfs.h"
+#include "lsm/db.h"
+#include "sim/cpu_pool.h"
+#include "sim/fault.h"
+#include "sim/sim_env.h"
+#include "ssd/hybrid_ssd.h"
+
+namespace kvaccel::check {
+
+namespace {
+
+// Crash sites armed round the schedule, with the nth-hit ceiling matched to
+// how often each site is hit per cycle (WAL sites fire per write; flush,
+// manifest and compaction sites only every few thousand written bytes;
+// rollback and redirect sites only when those paths actually run).
+struct CrashSite {
+  const char* name;
+  uint64_t max_nth;
+};
+constexpr CrashSite kCrashSites[] = {
+    {"crash.wal.post_append", 40}, {"crash.wal.post_sync", 40},
+    {"crash.flush.mid", 6},        {"crash.manifest.pre_sync", 4},
+    {"crash.manifest.post_sync", 4}, {"crash.compaction.mid", 4},
+    {"crash.rollback.mid", 8},     {"crash.redirect.mid", 3},
+};
+constexpr int kNumCrashSites =
+    static_cast<int>(sizeof(kCrashSites) / sizeof(kCrashSites[0]));
+
+std::string NemKey(uint64_t n) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+// The two states an in-flight (error-returning) write op may have left a key
+// in; recovery must surface exactly one of them.
+struct Ambiguous {
+  bool had_pre = false;  // key existed before the op
+  Value pre;
+  bool post_is_delete = false;
+  Value post;
+};
+
+// Aggressive Main-LSM shape: tiny memtable and low L0 triggers so flushes,
+// compactions, stall pressure (and therefore redirection) all happen inside
+// a 150-op cycle.
+lsm::DbOptions NemesisDbOptions() {
+  lsm::DbOptions o;
+  o.write_buffer_size = 64 << 10;
+  o.max_bytes_for_level_base = 512 << 10;
+  o.target_file_size = 64 << 10;
+  o.block_size = 4 << 10;
+  o.block_cache_capacity = 1 << 20;
+  o.l0_compaction_trigger = 4;
+  o.l0_slowdown_writes_trigger = 4;
+  o.l0_stop_writes_trigger = 5;
+  o.compaction_threads = 1;
+  o.wal_sync = true;  // acknowledged <=> durable: the oracle's ground truth
+  return o;
+}
+
+core::KvaccelOptions NemesisKvOptions(devlsm::DevLsm* dev) {
+  core::KvaccelOptions o;
+  o.detector_period = FromMillis(1);
+  o.dev.memtable_bytes = 128 << 10;
+  o.dev.dma_chunk = 64 << 10;
+  // Rollbacks happen only at the op stream's explicit RollbackNow draws, so
+  // the schedule stays a pure function of the seed.
+  o.rollback = core::RollbackScheme::kDisabled;
+  o.external_dev = dev;  // the device outlives every simulated host reboot
+  return o;
+}
+
+}  // namespace
+
+NemesisResult RunNemesis(const NemesisOptions& opt) {
+  NemesisResult result;
+  std::ostringstream trace;
+  trace << "nemesis-trace-v1 seed=" << opt.seed << " cycles=" << opt.cycles
+        << " ops_per_cycle=" << opt.ops_per_cycle
+        << " key_space=" << opt.key_space << " value_size=" << opt.value_size
+        << " corrupt_model_at_cycle=" << opt.corrupt_model_at_cycle << "\n";
+
+  sim::SimEnv env;
+  ssd::SsdConfig ssd_config;
+  ssd_config.capacity_bytes = 2ull << 30;
+  ssd::HybridSsd ssd(&env, ssd_config);
+  fs::SimFs fs(&ssd, 0);
+  sim::CpuPool host_cpu(&env, "host", 8);
+  sim::FaultInjector inj(&env, opt.seed);
+  env.set_fault_injector(&inj);
+
+  env.Spawn("nemesis-main", [&] {
+    Random64 rng(opt.seed);
+    lsm::DbOptions db_opts = NemesisDbOptions();
+    devlsm::DevLsm dev(&ssd, 0, NemesisKvOptions(nullptr).dev);
+    core::KvaccelOptions kv_opts = NemesisKvOptions(&dev);
+    lsm::DbEnv denv{&env, &ssd, &fs, &host_cpu};
+
+    std::unique_ptr<core::KvaccelDB> db;
+    Status s = core::KvaccelDB::Open(db_opts, kv_opts, denv, &db);
+    if (!s.ok()) {
+      result.ok = false;
+      result.error = "initial open failed: " + s.ToString();
+      trace << "DIVERGENCE: " << result.error << "\n";
+      return;
+    }
+
+    ModelDb model;
+    uint64_t next_seed = 1;
+
+    auto diverge = [&](const std::string& what) {
+      result.ok = false;
+      if (result.error.empty()) result.error = what;
+      trace << "DIVERGENCE: " << what << "\n";
+    };
+
+    for (int cycle = 0; cycle < opt.cycles && result.ok; cycle++) {
+      const CrashSite& site = kCrashSites[rng.Uniform(kNumCrashSites)];
+      sim::FaultRule rule;
+      rule.nth_hit = 1 + rng.Uniform(site.max_nth);
+      rule.max_fires = 1;
+      inj.Arm(site.name, rule);
+      // Some cycles also see transient device-put failures, exercising the
+      // retry/fallback path underneath the crash schedule.
+      bool transient = rng.Uniform(4) == 0;
+      if (transient) {
+        sim::FaultRule t;
+        t.probability = 0.02;
+        inj.Arm("devlsm.put.transient", t);
+      }
+      trace << "cycle=" << cycle << " site=" << site.name
+            << " nth=" << rule.nth_hit << " transient=" << (transient ? 1 : 0)
+            << "\n";
+
+      std::map<std::string, Ambiguous> ambiguous;
+      // Records pre-op state for every key of a write op, so a failure can
+      // mark them ambiguous.
+      auto note_pre = [&](const std::string& key, Ambiguous* a) {
+        a->had_pre = model.Get(key, &a->pre);
+      };
+      bool crashed = false;
+
+      for (int op = 0; op < opt.ops_per_cycle && !crashed; op++) {
+        result.ops_executed++;
+        uint64_t draw = rng.Uniform(100);
+        if (draw < 50) {
+          // --- put ---
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          uint64_t seed = next_seed++;
+          Value value = Value::Synthetic(seed, opt.value_size);
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post = value;
+          Status ps = db->Put({}, key, value);
+          trace << "op=" << op << " put k=" << key << " s=" << seed << " -> "
+                << (ps.ok() ? "ok" : "err") << "\n";
+          if (ps.ok()) {
+            model.Put(key, value);
+          } else {
+            ambiguous[key] = a;
+            crashed = true;
+          }
+        } else if (draw < 60) {
+          // --- delete ---
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post_is_delete = true;
+          Status ds = db->Delete({}, key);
+          trace << "op=" << op << " del k=" << key << " -> "
+                << (ds.ok() ? "ok" : "err") << "\n";
+          if (ds.ok()) {
+            model.Delete(key);
+          } else {
+            ambiguous[key] = a;
+            crashed = true;
+          }
+        } else if (draw < 70) {
+          // --- batch write (atomic group of 2-8 mixed puts/deletes) ---
+          int n = 2 + static_cast<int>(rng.Uniform(7));
+          lsm::WriteBatch batch;
+          std::map<std::string, Ambiguous> batch_amb;  // last op per key wins
+          trace << "op=" << op << " batch n=" << n;
+          for (int e = 0; e < n; e++) {
+            std::string key = NemKey(rng.Uniform(opt.key_space));
+            Ambiguous a;
+            note_pre(key, &a);
+            if (rng.Uniform(5) == 0) {
+              a.post_is_delete = true;
+              batch.Delete(key);
+              trace << " del:" << key;
+            } else {
+              uint64_t seed = next_seed++;
+              a.post = Value::Synthetic(seed, opt.value_size);
+              batch.Put(key, a.post);
+              trace << " put:" << key << ":" << seed;
+            }
+            batch_amb[key] = a;
+          }
+          Status bs = db->Write({}, &batch);
+          trace << " -> " << (bs.ok() ? "ok" : "err") << "\n";
+          if (bs.ok()) {
+            // Replay into the model in batch order (later entries win).
+            (void)batch.ForEach([&](lsm::ValueType type, const Slice& key,
+                                    const Value& value) {
+              if (type == lsm::ValueType::kValue) {
+                model.Put(key.ToString(), value);
+              } else {
+                model.Delete(key.ToString());
+              }
+            });
+          } else {
+            for (auto& [key, a] : batch_amb) ambiguous[key] = a;
+            crashed = true;
+          }
+        } else if (draw < 85) {
+          // --- get-verify ---
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Value got, want;
+          bool want_present = model.Get(key, &want);
+          Status gs = db->Get({}, key, &got);
+          trace << "op=" << op << " get k=" << key << " -> "
+                << (gs.ok() ? "hit" : gs.IsNotFound() ? "miss" : "err")
+                << "\n";
+          if (gs.ok()) {
+            if (!want_present) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": present but model says deleted/absent");
+              break;
+            }
+            if (got != want) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": value mismatch (got seed " + U64(got.seed()) +
+                      ", want seed " + U64(want.seed()) + ")");
+              break;
+            }
+          } else if (gs.IsNotFound()) {
+            if (want_present) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": NotFound but model holds seed " + U64(want.seed()));
+              break;
+            }
+          } else {
+            crashed = true;  // read error only happens under the crash latch
+          }
+        } else if (draw < 95) {
+          // --- seek + short scan-verify ---
+          std::string start = NemKey(rng.Uniform(opt.key_space));
+          auto it = db->NewIterator({});
+          it->Seek(start);
+          auto mit = model.live().lower_bound(start);
+          int matched = 0;
+          bool scan_ok = true;
+          for (int e = 0; e < 10; e++) {
+            if (mit == model.live().end()) {
+              if (it->Valid()) scan_ok = false;
+              break;
+            }
+            if (!it->Valid() || it->key().ToString() != mit->first ||
+                Value::DecodeOrDie(it->value()) != mit->second.value) {
+              scan_ok = false;
+              break;
+            }
+            matched++;
+            it->Next();
+            ++mit;
+          }
+          trace << "op=" << op << " scan k=" << start << " n=" << matched
+                << " -> " << (scan_ok ? "ok" : "mismatch") << "\n";
+          if (!scan_ok) {
+            if (inj.crashed() || !it->status().ok()) {
+              crashed = true;  // device died mid-scan, not a model divergence
+            } else {
+              diverge("cycle " + U64(cycle) + " scan from " + start +
+                      " diverged after " + U64(matched) + " entries");
+              break;
+            }
+          }
+        } else {
+          // --- forced rollback (drain Dev-LSM into Main-LSM) ---
+          Status rs = db->RollbackNow();
+          trace << "op=" << op << " rollback -> " << (rs.ok() ? "ok" : "err")
+                << "\n";
+          // State-preserving either way: a mid-drain crash leaves every
+          // unreset pair on the device for the reopen drain.
+          if (!rs.ok()) crashed = true;
+        }
+        if (inj.crashed() || !db->main()->GetBackgroundError().ok()) {
+          crashed = true;  // background thread hit the kill point
+        }
+      }
+      inj.Disarm(site.name);
+      if (transient) inj.Disarm("devlsm.put.transient");
+      if (!result.ok) break;
+      if (crashed) result.crashes++;
+      trace << (crashed ? "crash" : "clean") << " cycle=" << cycle << "\n";
+
+      // Crash protocol: the machine is dead — close tolerating errors, lose
+      // the page cache, clear the latch, reopen (which drains the device).
+      (void)db->Close();
+      db.reset();
+      fs.DropAllDirty();
+      inj.ClearCrash();
+      s = core::KvaccelDB::Open(db_opts, kv_opts, denv, &db);
+      if (!s.ok()) {
+        diverge("cycle " + U64(cycle) +
+                " recovery open failed: " + s.ToString());
+        break;
+      }
+
+      if (cycle == opt.corrupt_model_at_cycle) {
+        // Self-test: force the oracle out of sync; verification below MUST
+        // catch it, proving the harness detects real divergences.
+        std::string key = model.size() > 0 ? model.live().begin()->first
+                                           : NemKey(0);
+        model.Put(key, Value::Synthetic(0xDEADBEEF, opt.value_size));
+        trace << "inject-model-corruption k=" << key << "\n";
+      }
+
+      // --- full-keyspace sweep against the oracle ---
+      for (uint64_t k = 0; k < opt.key_space && result.ok; k++) {
+        std::string key = NemKey(k);
+        Value got;
+        Status gs = db->Get({}, key, &got);
+        if (!gs.ok() && !gs.IsNotFound()) {
+          diverge("cycle " + U64(cycle) + " recovered get " + key +
+                  " failed: " + gs.ToString());
+          break;
+        }
+        auto amb = ambiguous.find(key);
+        if (amb != ambiguous.end()) {
+          // The one in-flight op: either state is legal; adopt what the DB
+          // actually holds so the oracle tracks reality from here on.
+          const Ambiguous& a = amb->second;
+          if (gs.ok()) {
+            if (!a.post_is_delete && got == a.post) {
+              model.Put(key, a.post);
+            } else if (a.had_pre && got == a.pre) {
+              // pre-state: model already holds it
+            } else {
+              diverge("cycle " + U64(cycle) + " ambiguous key " + key +
+                      " recovered to alien value (seed " + U64(got.seed()) +
+                      ")");
+            }
+          } else {
+            if (a.post_is_delete) {
+              model.Delete(key);
+            } else if (!a.had_pre) {
+              // pre-state: never existed
+            } else {
+              diverge("cycle " + U64(cycle) + " ambiguous key " + key +
+                      " lost both pre and post state");
+            }
+          }
+          continue;
+        }
+        Value want;
+        if (model.Get(key, &want)) {
+          if (gs.IsNotFound()) {
+            diverge("cycle " + U64(cycle) + " acknowledged key " + key +
+                    " lost (model seed " + U64(want.seed()) + ")");
+          } else if (got != want) {
+            diverge("cycle " + U64(cycle) + " key " + key +
+                    " recovered wrong value (got seed " + U64(got.seed()) +
+                    ", want seed " + U64(want.seed()) + ")");
+          }
+        } else if (gs.ok()) {
+          diverge("cycle " + U64(cycle) + " deleted/absent key " + key +
+                  " resurrected (seed " + U64(got.seed()) + ")");
+        }
+      }
+      if (!result.ok) break;
+
+      // --- full hybrid-iterator walk: exact key order and values ---
+      {
+        auto it = db->NewIterator({});
+        it->SeekToFirst();
+        auto mit = model.live().begin();
+        uint64_t pos = 0;
+        while (result.ok) {
+          if (mit == model.live().end()) {
+            if (it->Valid()) {
+              diverge("cycle " + U64(cycle) + " iterator has extra key " +
+                      it->key().ToString() + " past model end");
+            }
+            break;
+          }
+          if (!it->Valid()) {
+            diverge("cycle " + U64(cycle) + " iterator ended at entry " +
+                    U64(pos) + ", model still holds " + mit->first);
+            break;
+          }
+          if (it->key().ToString() != mit->first) {
+            diverge("cycle " + U64(cycle) + " iterator order: got " +
+                    it->key().ToString() + ", want " + mit->first);
+            break;
+          }
+          if (Value::DecodeOrDie(it->value()) != mit->second.value) {
+            diverge("cycle " + U64(cycle) + " iterator value mismatch at " +
+                    mit->first);
+            break;
+          }
+          it->Next();
+          ++mit;
+          pos++;
+        }
+        if (result.ok && !it->status().ok()) {
+          diverge("cycle " + U64(cycle) +
+                  " iterator error: " + it->status().ToString());
+        }
+      }
+      if (result.ok) {
+        trace << "recover cycle=" << cycle << " live=" << model.size()
+              << "\n";
+      }
+      result.cycles_run++;
+    }
+    if (db != nullptr) (void)db->Close();
+  });
+  env.Run();
+
+  result.trace = trace.str();
+  if (!result.ok && !opt.trace_dump_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.trace_dump_dir, ec);
+    std::string path =
+        opt.trace_dump_dir + "/nemesis-" + U64(opt.seed) + ".trace";
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      out << result.trace;
+      out.close();
+      result.trace_path = path;
+    }
+  }
+  return result;
+}
+
+Status ParseNemesisTrace(const std::string& path, NemesisOptions* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open trace: " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::Corruption("empty trace: " + path);
+  }
+  std::istringstream tokens(header);
+  std::string tok;
+  if (!(tokens >> tok) || tok != "nemesis-trace-v1") {
+    return Status::Corruption("not a nemesis trace: " + path);
+  }
+  while (tokens >> tok) {
+    size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      return Status::Corruption("bad trace header token: " + tok);
+    }
+    std::string name = tok.substr(0, eq);
+    long long value = strtoll(tok.c_str() + eq + 1, nullptr, 10);
+    if (name == "seed") {
+      out->seed = static_cast<uint64_t>(value);
+    } else if (name == "cycles") {
+      out->cycles = static_cast<int>(value);
+    } else if (name == "ops_per_cycle") {
+      out->ops_per_cycle = static_cast<int>(value);
+    } else if (name == "key_space") {
+      out->key_space = static_cast<uint64_t>(value);
+    } else if (name == "value_size") {
+      out->value_size = static_cast<uint32_t>(value);
+    } else if (name == "corrupt_model_at_cycle") {
+      out->corrupt_model_at_cycle = static_cast<int>(value);
+    }  // unknown keys: forward compatibility, ignore
+  }
+  return Status::OK();
+}
+
+}  // namespace kvaccel::check
+

@@ -1,0 +1,58 @@
+// Nemesis: model-oracle simulation testing (DESIGN.md §9).
+//
+// RunNemesis drives a seeded random op stream (put / delete / batch write /
+// get / seek+scan / forced rollback) against a full KVACCEL stack while a
+// seeded fault-and-crash schedule arms one crash site per cycle — including
+// mid-rollback and mid-redirect kill points — then runs the crash protocol
+// (close, drop page cache, clear latch, reopen) and verifies the recovered
+// DB against an in-memory ModelDb: every live key at its exact value, every
+// deleted key absent, and a full hybrid-iterator walk in model order.
+//
+// Everything is deterministic from NemesisOptions::seed: the same options
+// replay the exact same op stream, fault schedule and virtual-time
+// interleaving, so a failure is reproducible from its header line alone.
+// On divergence the full op trace is dumped to trace_dump_dir (when set) and
+// ParseNemesisTrace turns that file back into the options that reproduce it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace kvaccel::check {
+
+struct NemesisOptions {
+  uint64_t seed = 0x5EED;
+  int cycles = 30;
+  int ops_per_cycle = 150;
+  uint64_t key_space = 400;
+  uint32_t value_size = 4096;
+  // When non-empty: on divergence, write the op trace to
+  // <trace_dump_dir>/nemesis-<seed>.trace on the host file system.
+  std::string trace_dump_dir;
+  // Self-test hook: corrupt one model entry after this cycle's recovery so
+  // the harness must detect (and dump) a divergence. -1 = never.
+  int corrupt_model_at_cycle = -1;
+};
+
+struct NemesisResult {
+  bool ok = true;
+  std::string error;       // first divergence, empty when ok
+  std::string trace;       // full deterministic op trace (header + op lines)
+  std::string trace_path;  // non-empty if the trace was dumped to disk
+  int cycles_run = 0;
+  int crashes = 0;         // cycles that actually died at a crash site
+  uint64_t ops_executed = 0;
+};
+
+// Builds its own simulation world and runs the whole schedule; returns after
+// the virtual-time run completes.
+NemesisResult RunNemesis(const NemesisOptions& options);
+
+// Reads the header line of a dumped trace back into `out` so one command
+// replays the failing schedule.
+Status ParseNemesisTrace(const std::string& path, NemesisOptions* out);
+
+}  // namespace kvaccel::check
+

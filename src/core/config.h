@@ -63,6 +63,21 @@ struct KvaccelOptions {
   // Crash-recovery tests use this to keep redirected pairs alive across a
   // simulated host reboot (the device outlives the host process). Not owned.
   devlsm::DevLsm* external_dev = nullptr;
+
+  // Online scrubber (DESIGN.md §9): a low-priority actor that re-reads SST
+  // blocks with checksum verification during idle bandwidth. Off by default
+  // so existing benchmarks/tests keep their exact virtual-time schedules.
+  struct ScrubOptions {
+    bool enabled = false;
+    // Wake-up cadence; each wake-up verifies at most one SST, and only when
+    // the Detector sees no stall pressure (idle-bandwidth discipline).
+    Nanos period = FromMillis(500);
+    // Consecutive verification failures of the same file before the
+    // scrubber escalates through the Detector's device-health circuit
+    // breaker (transients get this many chances to clear first).
+    int escalate_after = 3;
+  };
+  ScrubOptions scrub;
 };
 
 struct KvaccelStats {

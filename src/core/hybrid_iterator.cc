@@ -26,9 +26,9 @@ void HybridIterator::ChooseNext() {
       } else if (cmp > 0) {
         take_dev = false;
       } else {
-        // Same user key on both sides: the Metadata Manager knows where the
-        // newest version lives.
-        take_dev = md_->Check(main_->key());
+        // Same user key on both sides: the Metadata Manager snapshot taken
+        // at iterator creation knows where the newest version lived then.
+        take_dev = md_snapshot_.count(main_->key().ToString()) > 0;
       }
     } else {
       take_dev = d;

@@ -4,12 +4,21 @@
 // smaller key; on equal keys the Metadata Manager arbitrates which side has
 // the newest version. Dev-LSM tombstones hide the key from both sides.
 //
+// Snapshot discipline (DESIGN.md §9): all three inputs are pinned at
+// construction — the main-LSM iterator's snapshot, the device iterator's
+// merged view, and a copy of the Metadata Manager's key set for tie
+// arbitration. A rollback draining the device mid-scan therefore cannot
+// drop keys or flip a tie to a side whose copy was already retired; the
+// scan observes the authority map as of its creation.
+//
 // Exposes the standard lsm::Iterator surface: key() is the user key,
 // value() the encoded Value payload.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "core/metadata_manager.h"
 #include "devlsm/dev_lsm.h"
@@ -22,7 +31,9 @@ class HybridIterator : public lsm::Iterator {
   HybridIterator(std::unique_ptr<lsm::Iterator> main_iter,
                  std::unique_ptr<devlsm::DevLsm::Iterator> dev_iter,
                  MetadataManager* md)
-      : main_(std::move(main_iter)), dev_(std::move(dev_iter)), md_(md) {}
+      : main_(std::move(main_iter)),
+        dev_(std::move(dev_iter)),
+        md_snapshot_(md->SnapshotKeySet()) {}
 
   bool Valid() const override { return valid_; }
 
@@ -56,7 +67,8 @@ class HybridIterator : public lsm::Iterator {
 
   std::unique_ptr<lsm::Iterator> main_;
   std::unique_ptr<devlsm::DevLsm::Iterator> dev_;
-  MetadataManager* md_;
+  // Authority map as of iterator creation (see header comment).
+  std::unordered_set<std::string> md_snapshot_;
 
   bool valid_ = false;
   bool current_from_dev_ = false;

@@ -71,6 +71,11 @@ Status KvaccelDB::Open(const lsm::DbOptions& main_options,
   if (impl->options_.rollback != RollbackScheme::kDisabled) {
     impl->rollback_->Start(env.env);
   }
+  if (impl->options_.scrub.enabled) {
+    impl->scrubber_ = std::make_unique<Scrubber>(
+        impl->main_.get(), impl->detector_.get(), env.env, impl->options_);
+    impl->scrubber_->Start();
+  }
   *db = std::move(impl);
   return Status::OK();
 }
@@ -79,6 +84,7 @@ KvaccelDB::~KvaccelDB() { assert(closed_); }
 
 Status KvaccelDB::Close() {
   if (closed_) return Status::OK();
+  if (scrubber_ != nullptr) scrubber_->Stop();
   if (rollback_ != nullptr) rollback_->Stop();
   if (detector_ != nullptr) detector_->Stop();
   Status s = main_->Close();
@@ -149,6 +155,14 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
     if (s.ok()) {
       Nanos dev_start = env_->Now();
       s = DevPutWithRetry(entries);
+      // Kill point: crash after the compound command landed on the device
+      // but before the metadata records flip. The pairs are durable
+      // device-side with their host sequence numbers, so reopen's
+      // metadata-less drain recovers them — the window this site exists to
+      // prove (single-authority invariant across the flip).
+      if (s.ok() && sim::FaultAt(env_, "crash.redirect.mid")) {
+        s = Status::IOError("simulated crash");
+      }
       if (s.ok()) {
         kv_stats_.redirect_batch_latency.Add(env_->Now() - dev_start);
         std::vector<std::pair<std::string, uint64_t>> recs;

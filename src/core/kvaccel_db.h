@@ -17,6 +17,7 @@
 #include "core/config.h"
 #include "core/detector.h"
 #include "core/metadata_manager.h"
+#include "core/scrubber.h"
 #include "devlsm/dev_lsm.h"
 #include "lsm/db.h"
 #include "lsm/db_impl.h"
@@ -63,6 +64,8 @@ class KvaccelDB {
   devlsm::DevLsm* dev() { return dev_; }
   Detector* detector() { return detector_.get(); }
   MetadataManager* metadata() { return md_.get(); }
+  // Null unless KvaccelOptions::scrub.enabled.
+  Scrubber* scrubber() { return scrubber_.get(); }
   const KvaccelStats& kv_stats() const { return kv_stats_; }
   // Unified foreground-op stats (both paths) for the figures.
   const lsm::DbStats& stats() const { return agg_stats_; }
@@ -90,6 +93,7 @@ class KvaccelDB {
   std::unique_ptr<MetadataManager> md_;
   std::unique_ptr<Detector> detector_;
   std::unique_ptr<RollbackManager> rollback_;
+  std::unique_ptr<Scrubber> scrubber_;
 
   KvaccelStats kv_stats_;
   lsm::DbStats agg_stats_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -68,6 +69,25 @@ class MetadataManager {
     Charge(options_.md_delete_ns);
     stats_->md_deletes++;
     keys_.erase(key.ToString());
+  }
+
+  // One-shot copy of the key set, taken when a snapshot iterator is built:
+  // tie arbitration between the main-LSM and Dev-LSM cursors must use the
+  // authority map as of iterator creation, not live state, or a rollback
+  // completing mid-scan flips authority under the reader. Charged as one
+  // check (a real store would publish a versioned epoch pointer, not copy).
+  std::unordered_set<std::string> SnapshotKeySet() {
+    Charge(options_.md_check_ns);
+    stats_->md_checks++;
+    std::unordered_set<std::string> out;
+    out.reserve(keys_.size());
+    for (const auto& [key, seq] : keys_) out.insert(key);
+    return out;
+  }
+
+  // Uncharged dump of the table for offline integrity checking.
+  std::vector<std::pair<std::string, uint64_t>> Entries() const {
+    return {keys_.begin(), keys_.end()};
   }
 
   // Crash simulation: drops the volatile table (paper §VI-D).

@@ -486,7 +486,11 @@ uint64_t DevLsm::LogicalBytes() const {
 // ---------------- Iterator ----------------
 
 std::unique_ptr<DevLsm::Iterator> DevLsm::NewIterator() {
-  return std::make_unique<Iterator>(this);
+  // Opening the iterator pins the snapshot (one firmware command); batches
+  // then stream from the pinned view so later PUTs/resets don't shift it.
+  sim::SimLockGuard l(cmd_mu_);
+  ssd_->trace().Record(env_->Now(), ssd::nvme::Opcode::kKvIterOpen, nsid_, 0);
+  return std::make_unique<Iterator>(this, SnapshotLocked());
 }
 
 void DevLsm::Iterator::Seek(const Slice& user_key) {
@@ -512,8 +516,7 @@ void DevLsm::Iterator::FetchBatch(const Slice& start, bool inclusive) {
   sim::SimLockGuard l(dev->cmd_mu_);
   dev->ssd_->trace().Record(dev->env_->Now(),
                             ssd::nvme::Opcode::kKvIterNext, dev->nsid_, 0);
-  auto view_snapshot = dev->SnapshotLocked();
-  const MergedView& view = *view_snapshot;
+  const MergedView& view = *view_;  // pinned at open, not re-snapshotted
   auto it = std::lower_bound(
       view.begin(), view.end(), start.ToString(),
       [](const auto& a, const std::string& b) { return a.first < b; });

@@ -210,9 +210,16 @@ class DevLsm {
 
 // Host-side cursor over the device iterator protocol. Returns user keys and
 // decoded values; tombstones are surfaced (callers filter).
+//
+// The merged view is pinned when the iterator is opened (the device holds
+// the snapshot for the iterator handle's lifetime, as NVMe-KV iterators do).
+// Without this, a rollback completing between batches would make the
+// device's entries vanish mid-scan while the md snapshot still routes their
+// keys to the device — the hybrid reader would silently drop keys.
 class DevLsm::Iterator {
  public:
-  explicit Iterator(DevLsm* dev) : dev_(dev) {}
+  Iterator(DevLsm* dev, std::shared_ptr<const MergedView> view)
+      : dev_(dev), view_(std::move(view)) {}
 
   void SeekToFirst() { Seek(Slice()); }
   void Seek(const Slice& user_key);
@@ -226,6 +233,7 @@ class DevLsm::Iterator {
   void FetchBatch(const Slice& start_after, bool inclusive);
 
   DevLsm* dev_;
+  std::shared_ptr<const MergedView> view_;  // snapshot pinned at open
   std::vector<ScanEntry> buffer_;
   size_t pos_ = 0;
   bool exhausted_ = false;

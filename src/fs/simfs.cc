@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <filesystem>
+#include <fstream>
 
 #include "sim/fault.h"
 
@@ -166,6 +168,54 @@ void SimFs::MarkAllSynced() {
     inode->unsynced_logical = 0;
     inode->unsynced_physical = 0;
   }
+}
+
+Status SimFs::DumpToHostDir(const std::string& dir) const {
+  namespace stdfs = std::filesystem;
+  std::error_code ec;
+  stdfs::create_directories(dir, ec);
+  if (ec) return Status::IOError("create " + dir + ": " + ec.message());
+  std::ofstream index(stdfs::path(dir) / "KVX_INDEX",
+                      std::ios::binary | std::ios::trunc);
+  if (!index) return Status::IOError("open " + dir + "/KVX_INDEX");
+  for (const auto& [name, inode] : files_) {
+    // One index line per file: "<logical_size> <name>". Names are flat
+    // (no '/' or whitespace), so a space-delimited line is unambiguous.
+    index << inode->logical_size << ' ' << name << '\n';
+    std::ofstream out(stdfs::path(dir) / name,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("open " + dir + "/" + name);
+    out.write(inode->data.data(),
+              static_cast<std::streamsize>(inode->data.size()));
+    if (!out) return Status::IOError("write " + dir + "/" + name);
+  }
+  index.flush();
+  if (!index) return Status::IOError("write " + dir + "/KVX_INDEX");
+  return Status::OK();
+}
+
+Status SimFs::LoadFromHostDir(const std::string& dir) {
+  namespace stdfs = std::filesystem;
+  std::ifstream index(stdfs::path(dir) / "KVX_INDEX", std::ios::binary);
+  if (!index) return Status::NotFound(dir + "/KVX_INDEX");
+  uint64_t logical;
+  std::string name;
+  while (index >> logical >> name) {
+    std::ifstream in(stdfs::path(dir) / name,
+                     std::ios::binary | std::ios::ate);
+    if (!in) return Status::IOError("open " + dir + "/" + name);
+    auto size = static_cast<std::streamsize>(in.tellg());
+    std::string data(static_cast<size_t>(size), '\0');
+    in.seekg(0);
+    if (size > 0) in.read(data.data(), size);
+    if (!in) return Status::IOError("read " + dir + "/" + name);
+    auto inode = std::make_shared<Inode>();
+    inode->name = name;
+    inode->data = std::move(data);
+    inode->logical_size = logical;
+    files_[name] = std::move(inode);
+  }
+  return Status::OK();
 }
 
 std::vector<std::string> SimFs::GetChildren() const {

@@ -137,6 +137,14 @@ class SimFs {
   // written-back-but-unflushed tail (device write cache torn by the cut).
   void DropAllDirty();
 
+  // Host-directory round trip for offline tooling (kvaccel_check): dump
+  // writes every file's physical bytes to `<dir>/<name>` plus a KVX_INDEX
+  // recording logical sizes; load repopulates this SimFs from such a dump.
+  // Loaded files carry no extents or dirty state — reads are served from the
+  // inode page cache and device timing stays well-defined (LBA-clamped).
+  Status DumpToHostDir(const std::string& dir) const;
+  Status LoadFromHostDir(const std::string& dir);
+
   uint64_t free_sectors() const { return free_sectors_; }
   uint64_t total_sectors() const { return total_sectors_; }
   uint64_t writeback_chunk() const { return writeback_chunk_; }

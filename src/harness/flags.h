@@ -16,6 +16,10 @@
 //   --trace_out=FILE   write a Chrome trace-event JSON of the run (load in
 //                      Perfetto / chrome://tracing); empty = tracing off
 //   --json_out=FILE    write the machine-readable kvaccel-run-v1 report
+//   --nemesis_seed=N   nemesis schedule seed echoed into the report config
+//                      block (0 = no nemesis accompanied this run)
+//   --trace_dump_dir=D directory nemesis divergence traces are dumped to;
+//                      echoed into the report config block
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -96,6 +100,8 @@ struct BenchFlags {
   unsigned long long fault_seed = 1;
   std::string trace_out;  // empty = tracing disabled
   std::string json_out;   // empty = no JSON report
+  unsigned long long nemesis_seed = 0;  // 0 = no nemesis schedule
+  std::string trace_dump_dir;           // empty = no divergence dumps
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -122,6 +128,10 @@ struct BenchFlags {
         f.trace_out = arg + 12;
       } else if (strncmp(arg, "--json_out=", 11) == 0) {
         f.json_out = arg + 11;
+      } else if (strncmp(arg, "--nemesis_seed=", 15) == 0) {
+        f.nemesis_seed = ParseFlagUint64(arg + 15, "--nemesis_seed");
+      } else if (strncmp(arg, "--trace_dump_dir=", 17) == 0) {
+        f.trace_dump_dir = arg + 17;
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

@@ -113,6 +113,8 @@ std::string JsonReportString(const BenchConfig& config,
   w.Field("seed", config.workload.seed);
   w.Field("fault_profile", config.fault_profile);
   w.Field("fault_seed", config.fault_seed);
+  w.Field("nemesis_seed", config.nemesis_seed);
+  w.Field("trace_dump_dir", config.trace_dump_dir);
   w.EndObject();
 
   w.Key("runs");

@@ -203,6 +203,15 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
                          ks.redirect_batch_latency);
       snap->SetGauge("kvaccel.redirect.active",
                      kv->detector()->stall_detected() ? 1.0 : 0.0);
+      if (kv->scrubber() != nullptr) {
+        const core::ScrubStats& sc = kv->scrubber()->stats();
+        snap->SetCounter("scrub.files_scanned", sc.files_scanned);
+        snap->SetCounter("scrub.bytes_scanned", sc.bytes_scanned);
+        snap->SetCounter("scrub.passes", sc.passes);
+        snap->SetCounter("scrub.corruptions", sc.corruptions);
+        snap->SetCounter("scrub.escalations", sc.escalations);
+        snap->SetCounter("scrub.skipped_busy", sc.skipped_busy);
+      }
       const devlsm::DevLsmStats& ds = kv->dev()->stats();
       snap->SetCounter("devlsm.puts", ds.puts);
       snap->SetCounter("devlsm.gets", ds.gets);
@@ -438,6 +447,14 @@ RunResult RunBenchmark(const BenchConfig& config) {
     std::string trace_error;
     if (!tracer->WriteChromeTrace(config.trace_out, &trace_error)) {
       fprintf(stderr, "trace: %s\n", trace_error.c_str());
+    }
+  }
+  // Export the final on-"disk" image (everything is synced after Close) so
+  // kvaccel_check can verify the run's end state offline.
+  if (!config.db_dump_dir.empty()) {
+    Status ds = fs.DumpToHostDir(config.db_dump_dir);
+    if (!ds.ok()) {
+      fprintf(stderr, "db dump: %s\n", ds.ToString().c_str());
     }
   }
   return result;

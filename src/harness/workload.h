@@ -57,6 +57,13 @@ struct BenchConfig {
   // trace-event JSON here when it finishes (see DESIGN.md §8). Empty =
   // tracing fully disabled (no tracer object exists).
   std::string trace_out;
+  // Integrity knobs (DESIGN.md §9). nemesis_seed and trace_dump_dir are
+  // echoed into the kvaccel-run-v1 config block so a report names the exact
+  // nemesis schedule that accompanied the run; db_dump_dir exports the final
+  // SimFs image to a host directory for offline kvaccel_check.
+  uint64_t nemesis_seed = 0;
+  std::string trace_dump_dir;
+  std::string db_dump_dir;
 };
 
 struct RunResult {

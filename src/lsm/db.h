@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -62,6 +63,18 @@ struct BlockCacheStats {
   }
 };
 
+// One live SST as described by the current version — what the scrubber and
+// the integrity checker walk (DESIGN.md §9).
+struct SstFileInfo {
+  uint64_t number = 0;
+  int level = 0;
+  uint64_t logical_size = 0;
+  uint64_t num_entries = 0;
+  SequenceNumber max_seq = 0;
+  std::string smallest;  // internal keys
+  std::string largest;
+};
+
 // One entry of a sorted-batch ingestion (see DB::IngestSortedBatch).
 struct IngestEntry {
   std::string key;
@@ -117,6 +130,18 @@ class DB {
   // compaction fails unrecoverably the DB refuses further writes with this
   // status until reopened. Reads keep working.
   virtual Status GetBackgroundError() = 0;
+
+  // --- Integrity hooks (scrubber / checker, DESIGN.md §9) ---
+  // Every SST in the current version, L0 downward.
+  virtual std::vector<SstFileInfo> ListSstFiles() = 0;
+  // Re-reads every block of SST `number` with checksum verification on and
+  // cross-checks the file's contents against its version metadata (key
+  // order within range, entry count, max sequence). Returns NotFound when
+  // the file is no longer part of the current version (compacted away since
+  // it was listed — benign for an incremental scrubber), Corruption on any
+  // mismatch. `*bytes_read` (optional) reports the logical bytes scanned.
+  virtual Status VerifySstFile(uint64_t number,
+                               uint64_t* bytes_read = nullptr) = 0;
 
   virtual const DbStats& stats() const = 0;
   virtual DbStats& mutable_stats() = 0;

@@ -490,46 +490,23 @@ Status DbImpl::SearchSstsLocked(const ReadOptions& ropts,
   // mu_ NOT held here despite the name pattern: `version` is an immutable
   // snapshot; table opens/reads yield freely.
   //
-  // L0 first: every overlapping file is probed and the highest-sequence
-  // decider wins. Flushed L0 files respect newest-file-first, but
-  // bulk-ingested files carry historical sequences, so early-stopping on
-  // the first hit would be wrong (DESIGN.md §5 extension 3). The probes are
-  // bloom-guarded, so extra files rarely cost device reads.
+  // Every overlapping file in every level is probed and the highest-sequence
+  // decider wins. Level order does NOT imply sequence order here: rollback
+  // re-ingests device pairs at their historical host sequences (DESIGN.md §5
+  // extension 3), and compaction can carry such a file to L1+ while a stale
+  // WAL-replayed version of the same key is later flushed to L0 with a
+  // LOWER sequence — so neither "newest L0 file first" nor "L1 before L2"
+  // may stop at the first hit. Files that cannot beat the current best
+  // (max_seq <= *seq, seeded by the caller with any memtable hit) are
+  // skipped before any I/O; the rest are bloom-guarded, so extra probes
+  // rarely cost device reads.
   Slice user_key = lkey.user_key();
-  bool have = false;
+  SequenceNumber best = *seq;
   Status result = Status::NotFound("key absent");
-  for (const auto& f : version->files(0)) {
-    if (user_key.compare(ExtractUserKey(f->smallest)) < 0 ||
-        user_key.compare(ExtractUserKey(f->largest)) > 0) {
-      continue;
-    }
-    std::shared_ptr<SstReader> table;
-    Status s = GetTable(f->number, &table);
-    if (!s.ok()) return s;
-    bool found = false;
-    ValueType type;
-    Value v;
-    SequenceNumber s2 = 0;
-    s = table->Get(ropts, lkey.internal_key(), &found, &type, &v, &s2);
-    if (!s.ok()) return s;
-    if (found && (!have || s2 > *seq)) {
-      have = true;
-      *seq = s2;
-      if (type == ValueType::kValue) {
-        *value = std::move(v);
-        result = Status::OK();
-      } else {
-        result = Status::NotFound("tombstone");
-      }
-    }
-  }
-  if (have) return result;
-
-  // L1+ levels are disjoint and strictly older top-down: first hit wins.
   Status io_error;
   version->ForEachOverlapping(
-      user_key, [&](int level, const FileMetaPtr& f) {
-        if (level == 0) return true;  // already handled above
+      user_key, [&](int /*level*/, const FileMetaPtr& f) {
+        if (f->max_seq <= best) return true;
         std::shared_ptr<SstReader> table;
         Status s = GetTable(f->number, &table);
         if (!s.ok()) {
@@ -538,20 +515,26 @@ Status DbImpl::SearchSstsLocked(const ReadOptions& ropts,
         }
         bool found = false;
         ValueType type;
-        s = table->Get(ropts, lkey.internal_key(), &found, &type, value, seq);
+        Value v;
+        SequenceNumber s2 = 0;
+        s = table->Get(ropts, lkey.internal_key(), &found, &type, &v, &s2);
         if (!s.ok()) {
           io_error = s;
           return false;
         }
-        if (found) {
-          result = (type == ValueType::kValue)
-                       ? Status::OK()
-                       : Status::NotFound("tombstone");
-          return false;
+        if (found && s2 > best) {
+          best = s2;
+          if (type == ValueType::kValue) {
+            *value = std::move(v);
+            result = Status::OK();
+          } else {
+            result = Status::NotFound("tombstone");
+          }
         }
         return true;
       });
   if (!io_error.ok()) return io_error;
+  if (best > *seq) *seq = best;
   return result;
 }
 
@@ -598,39 +581,14 @@ Status DbImpl::GetWithSequence(const ReadOptions& ropts, const Slice& key,
       }
     }
   }
-  if (!hit) {
-    s = SearchSstsLocked(ropts, lkey, version, value, entry_seq);
-  } else {
-    // A bulk-ingested L0 file may hold a NEWER sequence for this key than
-    // the memtable entry (DESIGN.md §5 ext. 3: rollback ingests historical
-    // sequences that supersede stale memtable versions). Only files whose
-    // max_seq exceeds the memtable hit can shadow it; for normal flushed
-    // files the bloom filter rejects the probe immediately.
-    for (const auto& f : version->files(0)) {
-      if (f->max_seq <= *entry_seq) continue;
-      if (key.compare(ExtractUserKey(f->smallest)) < 0 ||
-          key.compare(ExtractUserKey(f->largest)) > 0) {
-        continue;
-      }
-      std::shared_ptr<SstReader> table;
-      Status ts = GetTable(f->number, &table);
-      if (!ts.ok()) break;
-      bool found = false;
-      ValueType type;
-      Value v;
-      SequenceNumber s2 = 0;
-      ts = table->Get(ropts, lkey.internal_key(), &found, &type, &v, &s2);
-      if (!ts.ok()) break;
-      if (found && s2 > *entry_seq) {
-        *entry_seq = s2;
-        if (type == ValueType::kValue) {
-          *value = std::move(v);
-          s = Status::OK();
-        } else {
-          s = Status::NotFound("tombstone");
-        }
-      }
-    }
+  // The SST sweep runs even on a memtable hit: a bulk-ingested file may hold
+  // a NEWER sequence for this key than a WAL-replayed memtable entry (see
+  // SearchSstsLocked). The memtable sequence floors the sweep, so files that
+  // cannot supersede it are skipped without I/O.
+  SequenceNumber mem_seq = *entry_seq;
+  Status sst = SearchSstsLocked(ropts, lkey, version, value, entry_seq);
+  if (!hit || *entry_seq > mem_seq || (!sst.ok() && !sst.IsNotFound())) {
+    s = sst;
   }
 
   Nanos now = env_->Now();
@@ -1400,6 +1358,81 @@ StallSignals DbImpl::GetStallSignals() {
 uint64_t DbImpl::TotalSstBytes() {
   SimLockGuard l(mu_);
   return versions_->current()->TotalBytes();
+}
+
+std::vector<SstFileInfo> DbImpl::ListSstFiles() {
+  SimLockGuard l(mu_);
+  auto version = versions_->current();
+  std::vector<SstFileInfo> out;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const auto& f : version->files(level)) {
+      SstFileInfo info;
+      info.number = f->number;
+      info.level = level;
+      info.logical_size = f->logical_size;
+      info.num_entries = f->num_entries;
+      info.max_seq = f->max_seq;
+      info.smallest = f->smallest;
+      info.largest = f->largest;
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+Status DbImpl::VerifySstFile(uint64_t number, uint64_t* bytes_read) {
+  if (bytes_read != nullptr) *bytes_read = 0;
+  FileMetaPtr meta;
+  {
+    SimLockGuard l(mu_);
+    auto version = versions_->current();
+    for (int level = 0; level < kNumLevels && meta == nullptr; level++) {
+      for (const auto& f : version->files(level)) {
+        if (f->number == number) {
+          meta = f;
+          break;
+        }
+      }
+    }
+  }
+  if (meta == nullptr) {
+    return Status::NotFound("file not in current version");
+  }
+  std::shared_ptr<SstReader> table;
+  Status s = GetTable(number, &table);
+  if (!s.ok()) return s;
+  // Scrub read: force CRC verification and skip the block cache so the scan
+  // exercises the media, not cached copies.
+  ReadOptions ropts;
+  ropts.verify_checksums = true;
+  ropts.fill_cache = false;
+  InternalKeyComparator icmp;
+  auto iter = table->NewIterator(ropts);
+  uint64_t entries = 0;
+  SequenceNumber max_seq = 0;
+  std::string prev_key;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    Slice key = iter->key();
+    if (!prev_key.empty() && icmp.Compare(Slice(prev_key), key) >= 0) {
+      return Status::Corruption("sst keys out of order");
+    }
+    if (icmp.Compare(key, Slice(meta->smallest)) < 0 ||
+        icmp.Compare(key, Slice(meta->largest)) > 0) {
+      return Status::Corruption("sst key outside recorded range");
+    }
+    max_seq = std::max(max_seq, ExtractSequence(key));
+    prev_key.assign(key.data(), key.size());
+    entries++;
+  }
+  if (!iter->status().ok()) return iter->status();
+  if (entries != meta->num_entries) {
+    return Status::Corruption("sst entry count mismatch");
+  }
+  if (entries > 0 && max_seq != meta->max_seq) {
+    return Status::Corruption("sst max sequence mismatch");
+  }
+  if (bytes_read != nullptr) *bytes_read = meta->logical_size;
+  return Status::OK();
 }
 
 void DbImpl::SetCompactionThreads(int n) {

@@ -46,6 +46,9 @@ class DbImpl : public DB {
 
   Status GetBackgroundError() override;
 
+  std::vector<SstFileInfo> ListSstFiles() override;
+  Status VerifySstFile(uint64_t number, uint64_t* bytes_read) override;
+
   const DbStats& stats() const override { return stats_; }
   DbStats& mutable_stats() override { return stats_; }
   BlockCacheStats GetBlockCacheStats() override;

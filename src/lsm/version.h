@@ -63,6 +63,13 @@ class VersionEdit {
   const std::vector<std::pair<int, uint64_t>>& deleted() const {
     return deleted_;
   }
+  // Pointer accessors (offline MANIFEST replay, check/db_checker.cc).
+  bool has_log_number() const { return has_log_number_; }
+  uint64_t log_number() const { return log_number_; }
+  bool has_next_file_number() const { return has_next_file_number_; }
+  uint64_t next_file_number() const { return next_file_number_; }
+  bool has_last_sequence() const { return has_last_sequence_; }
+  SequenceNumber last_sequence() const { return last_sequence_; }
 
  private:
   friend class VersionSet;

@@ -21,6 +21,9 @@
 //             crash.manifest.post_sync    MANIFEST synced, version not applied
 //             crash.compaction.mid        mid-way through a compaction
 //             crash.rollback.mid          mid-way through a rollback drain
+//             crash.redirect.mid          redirected batch durable on the
+//                                         device, metadata records not yet
+//                                         flipped
 //
 // Sites whose name starts with "crash." model whole-machine power loss: when
 // one fires the injector latches `crashed`, and while latched every device

@@ -29,6 +29,13 @@ namespace {
 using test::SimWorld;
 using test::TestKey;
 
+// The two seeds pin the whole schedule (fault draws and workload draws).
+// Every assertion below carries them plus the cycle index, so any failure in
+// a ctest log is reproducible by rerunning this test with the same binary —
+// and bisectable by editing exactly these two constants.
+constexpr uint64_t kMonkeyFaultSeed = 0xC0FFEE;
+constexpr uint64_t kMonkeyWorkloadSeed = 0xDECAF;
+
 TEST(CrashMonkeyTest, RandomizedCrashRecoverCycles) {
   const char* kSites[] = {
       "crash.wal.post_append",   "crash.wal.post_sync",
@@ -37,9 +44,12 @@ TEST(CrashMonkeyTest, RandomizedCrashRecoverCycles) {
   };
   SimWorld world;
   world.Run([&] {
-    sim::FaultInjector inj(&world.env, 0xC0FFEE);
+    SCOPED_TRACE(::testing::Message()
+                 << "fault_seed=0x" << std::hex << kMonkeyFaultSeed
+                 << " workload_seed=0x" << kMonkeyWorkloadSeed << std::dec);
+    sim::FaultInjector inj(&world.env, kMonkeyFaultSeed);
     world.env.set_fault_injector(&inj);
-    Random64 rng(0xDECAF);
+    Random64 rng(kMonkeyWorkloadSeed);
     lsm::DbOptions opts = test::SmallDbOptions();
     opts.wal_sync = true;
 

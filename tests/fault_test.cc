@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/db_checker.h"
 #include "common/random.h"
 #include "core/kvaccel_db.h"
 #include "lsm/db.h"
@@ -461,6 +462,15 @@ void RunCrashSiteTest(const std::string& site, uint64_t nth_hit) {
       EXPECT_EQ(v.logical_size(), 4096u) << key;
     }
     ASSERT_TRUE(db->Close().ok());
+    db.reset();
+
+    // Recovery returning the right values is necessary, not sufficient: the
+    // on-disk state itself must also pass the full consistency check
+    // (MANIFEST vs SSTs, level non-overlap, sequence monotonicity, WAL tail).
+    check::DbChecker checker(opts, world.MakeDbEnv());
+    check::CheckReport report = checker.Check();
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_GT(report.manifest_edits, 0) << "checker examined nothing";
   });
 }
 

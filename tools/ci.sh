@@ -28,6 +28,16 @@ run_pass() {
   # Observability suite, explicitly (tracer, metrics registry, run reports).
   echo "==== ${name}: ctest -L obs ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L obs
+  # Integrity suite, explicitly (model-oracle nemesis, consistency checker,
+  # online scrubber) — deterministic in both builds, all seeds pinned.
+  echo "==== ${name}: ctest -L check ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L check
+  # Nemesis smoke: 30 crash-recovery cycles on a pinned seed, every recovery
+  # verified against the model oracle. A failure prints the seed and dumps a
+  # trace replayable with --replay.
+  echo "==== ${name}: nemesis smoke (30 cycles) ===="
+  "${dir}/tools/kvaccel_nemesis" --cycles=30 --nemesis_seed=1317456661 \
+    --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
   # Run-artifact smoke: a traced KVACCEL run must produce a parseable Chrome
   # trace containing flush, compaction and stall events, plus a parseable
   # kvaccel-run-v1 JSON report. The report is validated with json.tool; the
@@ -39,9 +49,14 @@ run_pass() {
   "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
     --seconds=10 --scale=0.0625 \
     --trace_out="${obs_dir}/kvaccel_trace.json" \
-    --json_out="${obs_dir}/kvaccel_report.json" > /dev/null
+    --json_out="${obs_dir}/kvaccel_report.json" \
+    --db_dump_dir="${obs_dir}/kvaccel_db_image" > /dev/null
   python3 -m json.tool "${obs_dir}/kvaccel_report.json" > /dev/null
   python3 tools/check_trace.py "${obs_dir}/kvaccel_trace.json"
+  # The dumped end-of-run image must pass the offline consistency checker:
+  # manifest/SST cross-checks, block CRCs, L1+ non-overlap, WAL tail sanity.
+  echo "==== ${name}: kvaccel_check over dumped DB image ===="
+  "${dir}/tools/kvaccel_check" --db_dir="${obs_dir}/kvaccel_db_image"
 }
 
 # Short fillrandom on each system; the merged BENCH_smoke.json records the

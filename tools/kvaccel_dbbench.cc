@@ -26,6 +26,13 @@
 //                      Perfetto / chrome://tracing); off when omitted
 //   --json_out=FILE    write the machine-readable kvaccel-run-v1 report
 //                      (metrics snapshot + per-second series)
+//   --nemesis_seed=N   nemesis schedule seed echoed into the report config
+//                      block (0 = none; see tools/kvaccel_nemesis)
+//   --trace_dump_dir=D nemesis divergence-dump directory, echoed into the
+//                      report config block
+//   --db_dump_dir=D    export the final simulated file-system image to a
+//                      host directory after Close, for offline inspection
+//                      with tools/kvaccel_check
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,7 +72,8 @@ void Usage() {
           "  [--rollback=lazy|eager|disabled] [--no_slowdown] [--seed=N]\n"
           "  [--fault_profile=flaky-nvme|bitrot|power-cut|devlsm-dead]\n"
           "  [--fault_seed=N] [--series]\n"
-          "  [--trace_out=FILE] [--json_out=FILE]\n");
+          "  [--trace_out=FILE] [--json_out=FILE]\n"
+          "  [--nemesis_seed=N] [--trace_dump_dir=DIR] [--db_dump_dir=DIR]\n");
 }
 
 }  // namespace
@@ -149,6 +157,12 @@ int main(int argc, char** argv) {
       config.trace_out = v;
     } else if (FlagEq(argv[i], "--json_out", &v)) {
       json_out = v;
+    } else if (FlagEq(argv[i], "--nemesis_seed", &v)) {
+      config.nemesis_seed = ParseFlagUint64(v, "--nemesis_seed");
+    } else if (FlagEq(argv[i], "--trace_dump_dir", &v)) {
+      config.trace_dump_dir = v;
+    } else if (FlagEq(argv[i], "--db_dump_dir", &v)) {
+      config.db_dump_dir = v;
     } else if (strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;

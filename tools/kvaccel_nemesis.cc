@@ -1,0 +1,110 @@
+// kvaccel_nemesis: command-line driver for the model-oracle nemesis harness.
+//
+//   build/tools/kvaccel_nemesis --cycles=30 --nemesis_seed=1317456661
+//   build/tools/kvaccel_nemesis --replay=/tmp/dumps/nemesis-1317456661.trace
+//
+// Runs seeded crash-recovery cycles against a full KVACCEL stack and checks
+// every recovery against the in-memory model oracle (see src/check/nemesis.h
+// and DESIGN.md §9). The same seed replays the identical schedule, so a CI
+// failure is reproducible from the printed header alone; --replay does it
+// from a dumped divergence trace in one command.
+//
+// Flags:
+//   --nemesis_seed=N    schedule seed (default 0x5EED)
+//   --cycles=N          crash-recovery cycles (default 30)
+//   --ops_per_cycle=N   operations attempted per cycle (default 150)
+//   --key_space=N       key draw range (default 400)
+//   --value_size=N      value bytes (default 4096)
+//   --trace_dump_dir=D  dump the op trace here on divergence
+//   --replay=FILE       load the schedule from a dumped trace's header
+//                       (overrides the schedule flags above)
+//
+// Exit status: 0 = every cycle matched the oracle, 1 = divergence,
+// 2 = usage trouble.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "check/nemesis.h"
+#include "harness/flags.h"
+
+using namespace kvaccel;
+using harness::ParseFlagInt;
+using harness::ParseFlagUint64;
+
+namespace {
+
+void Usage() {
+  fprintf(stderr,
+          "usage: kvaccel_nemesis [--nemesis_seed=N] [--cycles=N]\n"
+          "  [--ops_per_cycle=N] [--key_space=N] [--value_size=N]\n"
+          "  [--trace_dump_dir=DIR] [--replay=TRACE_FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::NemesisOptions opts;
+  std::string replay;
+  std::string trace_dump_dir;
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (strncmp(arg, "--nemesis_seed=", 15) == 0) {
+      opts.seed = ParseFlagUint64(arg + 15, "--nemesis_seed");
+    } else if (strncmp(arg, "--cycles=", 9) == 0) {
+      opts.cycles =
+          static_cast<int>(ParseFlagInt(arg + 9, "--cycles", /*min_value=*/1));
+    } else if (strncmp(arg, "--ops_per_cycle=", 16) == 0) {
+      opts.ops_per_cycle = static_cast<int>(
+          ParseFlagInt(arg + 16, "--ops_per_cycle", /*min_value=*/1));
+    } else if (strncmp(arg, "--key_space=", 12) == 0) {
+      opts.key_space = ParseFlagUint64(arg + 12, "--key_space");
+    } else if (strncmp(arg, "--value_size=", 13) == 0) {
+      opts.value_size = static_cast<uint32_t>(
+          ParseFlagInt(arg + 13, "--value_size", /*min_value=*/1));
+    } else if (strncmp(arg, "--trace_dump_dir=", 17) == 0) {
+      trace_dump_dir = arg + 17;
+    } else if (strncmp(arg, "--replay=", 9) == 0) {
+      replay = arg + 9;
+    } else if (strcmp(arg, "--help") == 0) {
+      Usage();
+      return 0;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", arg);
+      Usage();
+      return 2;
+    }
+  }
+  if (!replay.empty()) {
+    Status s = check::ParseNemesisTrace(replay, &opts);
+    if (!s.ok()) {
+      fprintf(stderr, "replay %s: %s\n", replay.c_str(),
+              s.ToString().c_str());
+      return 2;
+    }
+    printf("replaying schedule from %s\n", replay.c_str());
+  }
+  opts.trace_dump_dir = trace_dump_dir;
+
+  printf("nemesis: seed=%llu cycles=%d ops_per_cycle=%d key_space=%llu "
+         "value_size=%u\n",
+         static_cast<unsigned long long>(opts.seed), opts.cycles,
+         opts.ops_per_cycle, static_cast<unsigned long long>(opts.key_space),
+         opts.value_size);
+
+  check::NemesisResult r = check::RunNemesis(opts);
+  printf("cycles=%d crashes=%d ops=%llu\n", r.cycles_run, r.crashes,
+         static_cast<unsigned long long>(r.ops_executed));
+  if (r.ok) {
+    printf("every recovery matched the model oracle\n");
+    return 0;
+  }
+  fprintf(stderr, "DIVERGENCE: %s\n", r.error.c_str());
+  if (!r.trace_path.empty()) {
+    fprintf(stderr, "trace dumped to %s — replay with --replay=%s\n",
+            r.trace_path.c_str(), r.trace_path.c_str());
+  } else {
+    fprintf(stderr, "re-run with --trace_dump_dir=DIR to dump the trace\n");
+  }
+  return 1;
+}
