@@ -37,6 +37,9 @@ struct AdocStats {
   uint64_t thread_decreases = 0;
   uint64_t buffer_increases = 0;
   uint64_t buffer_decreases = 0;
+  // Buffer growths vetoed because they would overrun the headroom to the
+  // hard pending-compaction stall threshold.
+  uint64_t buffer_growth_clamped = 0;
 };
 
 class AdocTuner {
@@ -54,6 +57,9 @@ class AdocTuner {
  private:
   void TuningLoop();
   void TuneOnce();
+  // Largest write-buffer size growth may reach without risking a straight
+  // run into the hard pending-compaction stall (see TuneOnce).
+  uint64_t SafeBufferCeiling(const lsm::StallSignals& sig) const;
 
   lsm::DB* db_;
   sim::SimEnv* env_;

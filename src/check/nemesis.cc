@@ -38,7 +38,8 @@ constexpr CrashSite kCrashSites[] = {
     {"crash.wal.post_append", 40}, {"crash.wal.post_sync", 40},
     {"crash.flush.mid", 6},        {"crash.manifest.pre_sync", 4},
     {"crash.manifest.post_sync", 4}, {"crash.compaction.mid", 4},
-    {"crash.rollback.mid", 8},     {"crash.redirect.mid", 3},
+    {"crash.subcompaction.mid", 8}, {"crash.rollback.mid", 8},
+    {"crash.redirect.mid", 3},
 };
 constexpr int kNumCrashSites =
     static_cast<int>(sizeof(kCrashSites) / sizeof(kCrashSites[0]));
@@ -73,7 +74,11 @@ lsm::DbOptions NemesisDbOptions() {
   o.l0_compaction_trigger = 4;
   o.l0_slowdown_writes_trigger = 4;
   o.l0_stop_writes_trigger = 5;
-  o.compaction_threads = 1;
+  // Two workers with an aggressive split threshold so range-partitioned
+  // subcompactions (and crash.subcompaction.mid) are exercised every cycle.
+  o.compaction_threads = 2;
+  o.max_subcompactions = 2;
+  o.max_subcompaction_input = 64 << 10;
   o.wal_sync = true;  // acknowledged <=> durable: the oracle's ground truth
   return o;
 }

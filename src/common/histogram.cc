@@ -44,8 +44,17 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
-  for (size_t i = 0; i < buckets_.size(); i++) {
+  // Layouts always match for histograms built here (one static bucket
+  // table); a mismatched layout (e.g. deserialized from a different build)
+  // must not index out of range: merge the shared prefix and fold the
+  // excess into the overflow bucket, preserving count/sum/min/max exactly
+  // and percentiles up to bucket resolution.
+  size_t shared = std::min(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < shared; i++) {
     buckets_[i] += other.buckets_[i];
+  }
+  for (size_t i = shared; i < other.buckets_.size(); i++) {
+    buckets_.back() += other.buckets_[i];
   }
 }
 

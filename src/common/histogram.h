@@ -25,6 +25,8 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  friend class HistogramTestPeer;  // truncates layouts to test Merge folding
+
   // Exponentially spaced bucket upper bounds (ratio ~1.1), 1 .. ~1e13.
   static const std::vector<uint64_t>& BucketLimits();
   static size_t BucketFor(uint64_t value);

@@ -28,16 +28,11 @@ Status KvaccelDB::Open(const lsm::DbOptions& main_options,
                        std::unique_ptr<KvaccelDB>* db) {
   auto impl = std::unique_ptr<KvaccelDB>(new KvaccelDB(kv_options, env));
 
-  // KVACCEL runs its Main-LSM without the slowdown mechanism: redirection
-  // replaces throttling (paper §VI-B).
-  lsm::DbOptions opts = main_options;
-  opts.enable_slowdown = false;
-  Status s = lsm::DB::Open(opts, env, &impl->main_);
-  if (!s.ok()) return s;
-
   // Single-device (hybrid split) by default; §V-D multi-device when a
   // second SSD is supplied. An external (device-owned) Dev-LSM survives a
-  // host crash/reopen, so redirected pairs can be recovered below.
+  // host crash/reopen, so redirected pairs can be recovered below. Resolved
+  // before the Main-LSM opens: its compactions need the elision guard from
+  // their very first job.
   if (kv_options.external_dev != nullptr) {
     impl->dev_ = kv_options.external_dev;
   } else {
@@ -47,6 +42,18 @@ Status KvaccelDB::Open(const lsm::DbOptions& main_options,
                                                         kv_options.dev);
     impl->dev_ = impl->owned_dev_.get();
   }
+
+  // KVACCEL runs its Main-LSM without the slowdown mechanism: redirection
+  // replaces throttling (paper §VI-B). While the Dev-LSM holds redirected
+  // pairs, Main-LSM compactions must not elide tombstones: a deleted key's
+  // older redirected version would otherwise be resurrected when recovery
+  // drains the device ordered by sequence number (§VI-D).
+  lsm::DbOptions opts = main_options;
+  opts.enable_slowdown = false;
+  devlsm::DevLsm* dev = impl->dev_;
+  opts.allow_tombstone_elision = [dev] { return dev->Empty(); };
+  Status s = lsm::DB::Open(opts, env, &impl->main_);
+  if (!s.ok()) return s;
   impl->md_ = std::make_unique<MetadataManager>(
       env.env, env.host_cpu, impl->options_, &impl->kv_stats_);
   impl->detector_ = std::make_unique<Detector>(

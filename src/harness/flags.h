@@ -20,6 +20,12 @@
 //                      block (0 = no nemesis accompanied this run)
 //   --trace_dump_dir=D directory nemesis divergence traces are dumped to;
 //                      echoed into the report config block
+//   --max_subcompactions=N  cap on range-partitioned subcompactions per job
+//                      (0 = DbOptions default; 1 disables splitting)
+//   --compaction_rate_limit=F  deep-compaction I/O cap as a fraction of
+//                      device NAND bandwidth, in (0, 1]; 0 = unlimited
+//   --nand_mbps=F      override the simulated device NAND bandwidth in MB/s
+//                      (ablation hook; 0 = preset 630 MB/s)
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -102,6 +108,9 @@ struct BenchFlags {
   std::string json_out;   // empty = no JSON report
   unsigned long long nemesis_seed = 0;  // 0 = no nemesis schedule
   std::string trace_dump_dir;           // empty = no divergence dumps
+  int max_subcompactions = 0;     // 0 = DbOptions default; 1 = disabled
+  double compaction_rate_limit = 0;  // fraction of NAND bandwidth; 0 = off
+  double nand_mbps = 0;           // 0 = device preset
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -132,6 +141,21 @@ struct BenchFlags {
         f.nemesis_seed = ParseFlagUint64(arg + 15, "--nemesis_seed");
       } else if (strncmp(arg, "--trace_dump_dir=", 17) == 0) {
         f.trace_dump_dir = arg + 17;
+      } else if (strncmp(arg, "--max_subcompactions=", 21) == 0) {
+        f.max_subcompactions = static_cast<int>(
+            ParseFlagInt(arg + 21, "--max_subcompactions"));
+      } else if (strncmp(arg, "--compaction_rate_limit=", 24) == 0) {
+        f.compaction_rate_limit =
+            ParseFlagDouble(arg + 24, "--compaction_rate_limit");
+        if (f.compaction_rate_limit > 1.0) {
+          fprintf(stderr,
+                  "invalid value for --compaction_rate_limit: %s "
+                  "(must be a fraction in [0, 1])\n",
+                  arg + 24);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--nand_mbps=", 12) == 0) {
+        f.nand_mbps = ParseFlagDouble(arg + 12, "--nand_mbps");
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

@@ -66,6 +66,11 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
   w->Field("cache_hits", r.cache_hits);
   w->Field("cache_misses", r.cache_misses);
   w->Field("cache_hit_rate", r.cache_hit_rate);
+  w->Field("compactions", r.compactions);
+  w->Field("split_compactions", r.split_compactions);
+  w->Field("subcompactions", r.subcompactions);
+  w->Field("intra_l0_compactions", r.intra_l0_compactions);
+  w->Field("compaction_throttle_seconds", r.compaction_throttle_seconds);
   w->EndObject();
 
   w->Key("per_second");
@@ -111,6 +116,8 @@ std::string JsonReportString(const BenchConfig& config,
   w.Field("writer_threads", config.workload.writer_threads);
   w.Field("batch_size", config.workload.batch_size);
   w.Field("seed", config.workload.seed);
+  w.Field("max_subcompactions", config.sut.max_subcompactions);
+  w.Field("compaction_rate_limit", config.sut.compaction_rate_limit);
   w.Field("fault_profile", config.fault_profile);
   w.Field("fault_seed", config.fault_seed);
   w.Field("nemesis_seed", config.nemesis_seed);

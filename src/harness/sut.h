@@ -31,6 +31,11 @@ struct SutConfig {
   bool enable_slowdown = true;  // RocksDB/ADOC variants (Figs 2-3)
   core::RollbackScheme rollback = core::RollbackScheme::kLazy;
   double scale = 1.0;
+  // Subcompaction width cap (DESIGN.md §10); 0 keeps the DbOptions default.
+  // 1 disables range-partitioned subcompactions entirely.
+  int max_subcompactions = 0;
+  // Deep-compaction I/O cap as a fraction of device NAND bandwidth; 0 = off.
+  double compaction_rate_limit = 0;
   // Ablation hook: adjust the DbOptions after the preset is built.
   std::function<void(lsm::DbOptions&)> db_tweak;
 };
@@ -43,6 +48,12 @@ class SystemUnderTest {
     s->config_ = config;
     lsm::DbOptions db_opts = PaperDbOptions(
         config.compaction_threads, config.enable_slowdown, config.scale);
+    if (config.max_subcompactions > 0) {
+      db_opts.max_subcompactions = config.max_subcompactions;
+    }
+    if (config.compaction_rate_limit > 0) {
+      db_opts.compaction_rate_limit = config.compaction_rate_limit;
+    }
     if (config.db_tweak) config.db_tweak(db_opts);
     Status st;
     switch (config.kind) {

@@ -142,6 +142,13 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
     snap->SetCounter("lsm.compaction.bytes_read", ms.compaction_bytes_read);
     snap->SetCounter("lsm.compaction.bytes_written",
                      ms.compaction_bytes_written);
+    snap->SetCounter("lsm.compaction.split_jobs", ms.split_compactions);
+    snap->SetCounter("lsm.compaction.subcompactions", ms.subcompaction_count);
+    snap->SetCounter("lsm.compaction.intra_l0", ms.intra_l0_compactions);
+    snap->SetCounter("lsm.compaction.throttle_ns", ms.compaction_throttle_ns);
+    snap->SetCounter("lsm.orphan_files_removed", ms.orphan_files_removed);
+    snap->SetGauge("lsm.compaction.queue_depth",
+                   sut->db()->GetStallSignals().compaction_queue_depth);
     snap->SetCounter("lsm.stall.events", ms.stall_events);
     snap->SetCounter("lsm.slowdown.events", ms.slowdown_events);
     snap->SetCounter("lsm.io_retries", ms.io_retries);
@@ -419,6 +426,13 @@ RunResult RunBenchmark(const BenchConfig& config) {
             static_cast<double>(fine_width) / kNanosPerSec;
       }
     }
+
+    result.compactions = ms.compaction_count;
+    result.split_compactions = ms.split_compactions;
+    result.subcompactions = ms.subcompaction_count;
+    result.intra_l0_compactions = ms.intra_l0_compactions;
+    result.compaction_throttle_seconds =
+        static_cast<double>(ms.compaction_throttle_ns) / kNanosPerSec;
 
     result.fault_injected = injector.total_fires();
     result.io_retries = ms.io_retries;

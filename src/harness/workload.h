@@ -122,6 +122,13 @@ struct RunResult {
   uint64_t cache_misses = 0;
   double cache_hit_rate = 0;  // hits / lookups, 0 when no lookups
 
+  // Compaction scheduler (Main-LSM, DESIGN.md §10).
+  uint64_t compactions = 0;             // jobs installed
+  uint64_t split_compactions = 0;       // jobs that ran range-partitioned
+  uint64_t subcompactions = 0;          // sub-ranges executed by split jobs
+  uint64_t intra_l0_compactions = 0;    // L0->L0 pressure-relief merges
+  double compaction_throttle_seconds = 0;  // time parked on the rate limiter
+
   // Full registry snapshot harvested at window end (obs/metrics.h); the
   // machine-readable superset of the scalar fields above.
   obs::MetricsSnapshot metrics;

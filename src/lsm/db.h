@@ -46,6 +46,9 @@ struct StallSignals {
   int l0_stop_trigger = 0;
   int max_write_buffer_number = 0;
   uint64_t hard_pending_limit = 0;
+  // Number of levels currently scoring >= 1.0, i.e. distinct compaction jobs
+  // the scheduler wants to run right now (obs: `lsm.compaction.queue_depth`).
+  int compaction_queue_depth = 0;
 };
 
 // Point-in-time view of the SST block cache (obs: `lsm.cache.*`).
@@ -155,6 +158,10 @@ class DB {
   virtual void SetWriteBufferSize(uint64_t bytes) = 0;
   virtual uint64_t write_buffer_size() const = 0;
   virtual void SetSlowdownEnabled(bool enabled) = 0;
+  // Width cap for range-partitioned subcompactions (DESIGN.md §10). The ADOC
+  // tuner moves this together with the thread budget.
+  virtual void SetMaxSubcompactions(int n) = 0;
+  virtual int max_subcompactions() const = 0;
 };
 
 }  // namespace kvaccel::lsm

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "sim/fault.h"
@@ -35,7 +36,8 @@ DbImpl::DbImpl(const DbOptions& options, const DbEnv& env)
       active_compaction_threads_(options.compaction_threads),
       write_buffer_size_(options.write_buffer_size),
       slowdown_enabled_(options.enable_slowdown),
-      max_compaction_workers_(std::max(8, options.compaction_threads)) {}
+      max_compaction_workers_(std::max(8, options.compaction_threads)),
+      max_subcompactions_(std::max(1, options.max_subcompactions)) {}
 
 DbImpl::~DbImpl() {
   // Close() must have run inside the simulation; assert-level check only.
@@ -66,8 +68,18 @@ Status DbImpl::OpenImpl() {
       tr_compact_.push_back(
           tracer_->RegisterTrack("lsm.compaction-" + std::to_string(i)));
     }
+    // Helper-actor lanes for range-partitioned subcompactions; sized at the
+    // worker pool so even every-worker-split jobs get distinct lanes.
+    for (int i = 0; i < max_compaction_workers_; i++) {
+      tr_subcompact_.push_back(
+          tracer_->RegisterTrack("lsm.subcompact-" + std::to_string(i)));
+    }
     wal_append_span_.Init(tracer_, tr_wal_, "wal.append", FromMicros(50));
     wal_sync_span_.Init(tracer_, tr_wal_, "wal.sync", FromMicros(50));
+  }
+  if (options_.compaction_rate_limit > 0 && denv_.ssd != nullptr) {
+    compaction_rate_bps_ =
+        options_.compaction_rate_limit * denv_.ssd->config().nand_bytes_per_sec;
   }
   block_cache_ =
       std::make_unique<BlockCache>(options_.block_cache_capacity);
@@ -78,6 +90,16 @@ Status DbImpl::OpenImpl() {
   if (denv_.fs->FileExists("CURRENT")) {
     s = versions_->Recover();
     if (!s.ok()) return s;
+    // The manifest's next-file counter lags any allocation that crashed
+    // before its LogAndApply — in particular WAL numbers, which are never
+    // recorded in an edit at all. Reusing such a number for the fresh WAL
+    // below would truncate a just-replayed log while its records still live
+    // only in the memtable; a second crash then loses acknowledged writes.
+    for (const std::string& name : denv_.fs->GetChildren()) {
+      if (name.size() != 10) continue;
+      if (name.substr(6) != ".log" && name.substr(6) != ".sst") continue;
+      versions_->MarkFileNumberUsed(strtoull(name.c_str(), nullptr, 10));
+    }
     // Replay WALs newer than the manifest's log number into the memtable.
     for (const std::string& name : denv_.fs->GetChildren()) {
       if (name.size() != 10 || name.substr(6) != ".log") continue;
@@ -101,6 +123,36 @@ Status DbImpl::OpenImpl() {
         }
       }
       if (!rs.ok()) return rs;
+    }
+    // A crash can strand SSTs a flush/compaction wrote but never installed
+    // (e.g. some sub-ranges of a split job finished, the atomic install did
+    // not) and WALs the manifest already superseded. Recovery is the only
+    // point where "referenced by nothing" is decidable without tracking
+    // in-flight writers, so reap them here.
+    std::vector<std::string> orphans;
+    auto version = versions_->current();
+    for (const std::string& name : denv_.fs->GetChildren()) {
+      if (name.size() != 10) continue;
+      uint64_t number = strtoull(name.c_str(), nullptr, 10);
+      if (name.substr(6) == ".sst") {
+        bool live = false;
+        for (int level = 0; level < kNumLevels && !live; level++) {
+          for (const auto& f : version->files(level)) {
+            if (f->number == number) {
+              live = true;
+              break;
+            }
+          }
+        }
+        if (!live) orphans.push_back(name);
+      } else if (name.substr(6) == ".log" &&
+                 number < versions_->log_number()) {
+        orphans.push_back(name);
+      }
+    }
+    for (const std::string& name : orphans) {
+      denv_.fs->DeleteFile(name);
+      stats_.orphan_files_removed++;
     }
   } else {
     s = versions_->Create();
@@ -951,7 +1003,8 @@ void DbImpl::CompactionThreadLoop(int worker_id) {
       bg_cv_.Wait(mu_);
       continue;
     }
-    std::unique_ptr<Compaction> c = versions_->PickCompaction();
+    std::unique_ptr<Compaction> c =
+        versions_->PickCompaction(AllowDeepCompactionLocked());
     if (c == nullptr) {
       bg_cv_.Wait(mu_);
       continue;
@@ -983,7 +1036,68 @@ void DbImpl::CompactionThreadLoop(int worker_id) {
   mu_.Unlock();
 }
 
+bool DbImpl::AllowDeepCompactionLocked() const {
+  // Slot reservation: while L0 pressure is building, hold the last free
+  // worker slot back for the L0->L1 (or intra-L0) job that becomes pickable
+  // the moment the current L0 work finishes. With nothing running there is
+  // nothing to wait for, so any job may start.
+  if (running_compactions_ == 0) return true;
+  if (running_compactions_ + 1 < active_compaction_threads_) return true;
+  return versions_->current()->NumLevelFiles(0) <
+         options_.l0_slowdown_writes_trigger;
+}
+
+void DbImpl::ThrottleCompactionIo(uint64_t bytes) {
+  if (compaction_rate_bps_ <= 0 || bytes == 0) return;
+  mu_.Lock();
+  double now = static_cast<double>(env_->Now());
+  double start = std::max(now, limiter_busy_until_ns_);
+  limiter_busy_until_ns_ =
+      start + static_cast<double>(bytes) * 1e9 / compaction_rate_bps_;
+  double wake = limiter_busy_until_ns_;
+  if (wake > now) stats_.compaction_throttle_ns +=
+      static_cast<uint64_t>(wake - now);
+  mu_.Unlock();
+  if (wake > now) env_->SleepUntil(static_cast<Nanos>(wake));
+}
+
 Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
+  // Deep-level jobs are subject to the shared rate limiter; L0 relief work
+  // (L0->L1, intra-L0) is exactly what un-gates stalled writers and runs
+  // unthrottled.
+  const bool throttled = c->level > 0;
+
+  // Elision verdict for the whole job, decided before any work starts.
+  // Intra-L0 merges only a subset of L0, so an older version of a deleted
+  // key may live in an L0 file outside the job. The options hook lets an
+  // external store (KVACCEL's Dev-LSM) veto elision while it holds redirected
+  // pairs that recovery would re-ingest at their original sequence numbers.
+  const bool elide_tombstones =
+      !c->is_intra_l0 && (options_.allow_tombstone_elision == nullptr ||
+                          options_.allow_tombstone_elision());
+
+  // Decide the split up front — it only depends on the (immutable) inputs.
+  std::vector<std::string> bounds;
+  {
+    SimLockGuard l(mu_);
+    uint64_t threshold = options_.max_subcompaction_input != 0
+                             ? options_.max_subcompaction_input
+                             : 2 * options_.target_file_size;
+    uint64_t input = c->InputBytes();
+    if (!c->is_intra_l0 && max_subcompactions_ > 1 &&
+        active_compaction_threads_ > 1 && threshold > 0 &&
+        input > threshold) {
+      int want = static_cast<int>(
+          std::min<uint64_t>(static_cast<uint64_t>(max_subcompactions_),
+                             (input + threshold - 1) / threshold));
+      if (want > 1) {
+        mu_.Unlock();
+        bounds = SubcompactionBoundaries(c, want);
+        mu_.Lock();
+      }
+    }
+  }
+
   std::vector<FileMetaPtr> outputs;
   std::vector<uint64_t> created;
   uint64_t read_bytes = 0;
@@ -992,8 +1106,16 @@ Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
     outputs.clear();
     read_bytes = 0;
     written_bytes = 0;
-    Status ws = DoCompactionWork(c, trace_track, &outputs, &created,
-                                 &read_bytes, &written_bytes);
+    Status ws;
+    if (!bounds.empty()) {
+      ws = RunSubcompactions(c, bounds, throttled, elide_tombstones,
+                             trace_track, &outputs, &created, &read_bytes,
+                             &written_bytes);
+    } else {
+      ws = DoCompactionWork(c, KeyRange{}, "crash.compaction.mid", throttled,
+                            elide_tombstones, trace_track, &outputs, &created,
+                            &read_bytes, &written_bytes);
+    }
     if (!ws.ok() && !sim::SimCrashed(env_)) {
       // Drop partial outputs so a retry (or reopened DB) starts clean.
       for (uint64_t n : created) denv_.fs->DeleteFile(SstName(n));
@@ -1003,22 +1125,26 @@ Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
   });
   if (!s.ok()) return s;
 
-  // Install the result. MANIFEST failures are not retried: a possibly
-  // half-appended edit must not be followed by a duplicate.
-  const int output_level = c->level + 1;
+  // Install the result — all sub-ranges in ONE VersionEdit. MANIFEST
+  // failures are not retried: a possibly half-appended edit must not be
+  // followed by a duplicate. Crash atomicity: either the edit is durable and
+  // every output is live, or none is and recovery reaps the strays.
   mu_.Lock();
   VersionEdit edit;
-  for (int which = 0; which < 2; which++) {
-    int level = c->level + which;
-    for (const auto& f : c->inputs[which]) {
-      edit.DeleteFile(level, f->number);
-    }
+  for (const auto& f : c->inputs[0]) edit.DeleteFile(c->level, f->number);
+  for (const auto& f : c->inputs[1]) {
+    edit.DeleteFile(c->output_level, f->number);
   }
-  for (const auto& meta : outputs) edit.AddFile(output_level, meta);
+  for (const auto& meta : outputs) edit.AddFile(c->output_level, meta);
   s = versions_->LogAndApply(&edit);
   stats_.compaction_count++;
   stats_.compaction_bytes_read += read_bytes;
   stats_.compaction_bytes_written += written_bytes;
+  if (c->is_intra_l0) stats_.intra_l0_compactions++;
+  if (!bounds.empty()) {
+    stats_.split_compactions++;
+    stats_.subcompaction_count += bounds.size() + 1;
+  }
   mu_.Unlock();
   if (!s.ok()) return s;
 
@@ -1031,12 +1157,138 @@ Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
   return Status::OK();
 }
 
-Status DbImpl::DoCompactionWork(Compaction* c, uint32_t trace_track,
+std::vector<std::string> DbImpl::SubcompactionBoundaries(Compaction* c,
+                                                         int want) {
+  // Candidate split points: the last user key of every data block of every
+  // input (the index is resident, so this costs no device I/O). Blocks are
+  // near-equal logical size, so evenly spaced candidates balance bytes.
+  std::vector<std::string> candidates;
+  std::string smallest_ukey;
+  bool has_smallest = false;
+  std::vector<std::string> block_keys;
+  for (const auto& side : c->inputs) {
+    for (const auto& f : side) {
+      Slice file_smallest = ExtractUserKey(f->smallest);
+      if (!has_smallest || file_smallest.compare(Slice(smallest_ukey)) < 0) {
+        smallest_ukey.assign(file_smallest.data(), file_smallest.size());
+        has_smallest = true;
+      }
+      std::shared_ptr<SstReader> table;
+      block_keys.clear();
+      if (GetTable(f->number, &table).ok()) {
+        table->AppendBlockBoundaries(&block_keys);
+        for (const std::string& ikey : block_keys) {
+          candidates.push_back(ExtractUserKey(ikey).ToString());
+        }
+      } else {
+        // Degraded: fall back to the file's own range end; the split is
+        // coarser but still valid.
+        candidates.push_back(ExtractUserKey(f->largest).ToString());
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // A boundary at (or before) the global smallest user key yields an empty
+  // first range; drop such candidates.
+  while (!candidates.empty() && has_smallest &&
+         candidates.front() <= smallest_ukey) {
+    candidates.erase(candidates.begin());
+  }
+  if (candidates.empty()) return {};
+  std::vector<std::string> bounds;
+  size_t n = candidates.size();
+  if (n <= static_cast<size_t>(want - 1)) {
+    bounds = std::move(candidates);
+  } else {
+    for (int i = 1; i < want; i++) {
+      bounds.push_back(candidates[i * n / want]);
+    }
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  }
+  return bounds;
+}
+
+Status DbImpl::RunSubcompactions(Compaction* c,
+                                 const std::vector<std::string>& bounds,
+                                 bool throttled, bool elide_tombstones,
+                                 uint32_t trace_track,
+                                 std::vector<FileMetaPtr>* outputs,
+                                 std::vector<uint64_t>* created,
+                                 uint64_t* read_bytes_out,
+                                 uint64_t* written_bytes_out) {
+  const size_t k = bounds.size() + 1;
+  struct Sub {
+    KeyRange range;
+    std::vector<FileMetaPtr> outputs;
+    std::vector<uint64_t> created;
+    uint64_t read = 0;
+    uint64_t written = 0;
+    Status status;
+  };
+  std::vector<Sub> subs(k);
+  for (size_t i = 0; i < k; i++) {
+    if (i > 0) {
+      subs[i].range.begin = bounds[i - 1];
+      subs[i].range.has_begin = true;
+    }
+    if (i < bounds.size()) {
+      subs[i].range.end = bounds[i];
+      subs[i].range.has_end = true;
+    }
+  }
+  // Helpers run every range but the last; this worker runs the last range
+  // itself, so a k-way split occupies exactly k actors.
+  std::vector<sim::SimEnv::Thread*> helpers;
+  for (size_t i = 0; i + 1 < k; i++) {
+    Sub* sub = &subs[i];
+    uint32_t track = trace_track;
+    if (tracer_ != nullptr && !tr_subcompact_.empty()) {
+      SimLockGuard l(mu_);
+      track = tr_subcompact_[next_subtrack_++ % tr_subcompact_.size()];
+    }
+    helpers.push_back(env_->Spawn(
+        "lsm-subcompact-" + std::to_string(i),
+        [this, c, sub, throttled, elide_tombstones, track] {
+          Nanos start = tracer_ != nullptr ? env_->Now() : 0;
+          sub->status = DoCompactionWork(
+              c, sub->range, "crash.subcompaction.mid", throttled,
+              elide_tombstones, track, &sub->outputs, &sub->created,
+              &sub->read, &sub->written);
+          if (tracer_ != nullptr) {
+            tracer_->Complete(track, "subcompaction", start, env_->Now());
+          }
+        }));
+  }
+  Sub* tail = &subs[k - 1];
+  tail->status = DoCompactionWork(c, tail->range, "crash.subcompaction.mid",
+                                  throttled, elide_tombstones, trace_track,
+                                  &tail->outputs, &tail->created, &tail->read,
+                                  &tail->written);
+  for (auto* t : helpers) env_->Join(t);
+
+  // Merge in range order (deterministic): keep the first failure, but always
+  // account every created file so a failed attempt's cleanup sees them all.
+  Status s;
+  for (Sub& sub : subs) {
+    if (s.ok() && !sub.status.ok()) s = sub.status;
+    created->insert(created->end(), sub.created.begin(), sub.created.end());
+    outputs->insert(outputs->end(), sub.outputs.begin(), sub.outputs.end());
+    *read_bytes_out += sub.read;
+    *written_bytes_out += sub.written;
+  }
+  return s;
+}
+
+Status DbImpl::DoCompactionWork(Compaction* c, const KeyRange& range,
+                                const char* crash_site, bool throttled,
+                                bool elide_tombstones, uint32_t trace_track,
                                 std::vector<FileMetaPtr>* outputs,
                                 std::vector<uint64_t>* created,
                                 uint64_t* read_bytes_out,
                                 uint64_t* written_bytes_out) {
-  const int output_level = c->level + 1;
+  const int output_level = c->output_level;
   ReadOptions ropts;
   ropts.fill_cache = false;  // compaction reads must not wipe the cache
   // Compaction verifies block CRCs: rewriting a corrupt block into a new SST
@@ -1074,6 +1326,22 @@ Status DbImpl::DoCompactionWork(Compaction* c, uint32_t trace_track,
       }
     }
     return true;
+  };
+  // Rolled-back (ingested) data re-enters L0 at its ORIGINAL sequence
+  // numbers, so — unlike a plain LSM — a level above this job may hold an
+  // OLDER version of a key. A deep job must therefore keep any tombstone
+  // whose key also appears above it; an L0 job's inputs already contain
+  // every L0/L1 copy, so the scan range is empty there.
+  auto key_above_job = [&](const Slice& user_key) {
+    for (int level = 0; level < c->level; level++) {
+      for (const auto& f : version->files(level)) {
+        if (user_key.compare(ExtractUserKey(f->smallest)) >= 0 &&
+            user_key.compare(ExtractUserKey(f->largest)) <= 0) {
+          return true;
+        }
+      }
+    }
+    return false;
   };
 
   std::unique_ptr<SstBuilder> builder;
@@ -1119,6 +1387,10 @@ Status DbImpl::DoCompactionWork(Compaction* c, uint32_t trace_track,
   auto write_batch_out = [&]() -> Status {
     if (batch.empty()) return Status::OK();
     const uint64_t bytes = batch_bytes;
+    // Rate limiter: pace the job at its aggregate device traffic (the batch
+    // is read once and written once) so deep compactions can't starve host
+    // writes of bandwidth.
+    if (throttled) ThrottleCompactionIo(2 * bytes);
     Nanos merge_start = 0;
     if (tracer_ != nullptr) {
       merge_start = env_->Now();
@@ -1164,12 +1436,24 @@ Status DbImpl::DoCompactionWork(Compaction* c, uint32_t trace_track,
     return Status::OK();
   };
 
-  for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
-    if (sim::FaultAt(env_, "crash.compaction.mid")) {
+  // Position at the first entry of the sub-range: (begin, max-seq) sorts
+  // before every version of `begin`, so all versions of a boundary key land
+  // in exactly one sub-range.
+  if (range.has_begin) {
+    std::string seek_key;
+    AppendInternalKey(&seek_key, range.begin, kMaxSequenceNumber,
+                      kValueTypeForSeek);
+    merged.Seek(seek_key);
+  } else {
+    merged.SeekToFirst();
+  }
+  for (; merged.Valid(); merged.Next()) {
+    if (sim::FaultAt(env_, crash_site)) {
       return Status::IOError("simulated crash");
     }
     Slice ikey = merged.key();
     Slice ukey = ExtractUserKey(ikey);
+    if (range.has_end && ukey.compare(Slice(range.end)) >= 0) break;
     Slice val = merged.value();
 
     uint64_t entry_logical = ikey.size();
@@ -1186,8 +1470,8 @@ Status DbImpl::DoCompactionWork(Compaction* c, uint32_t trace_track,
     last_user_key.assign(ukey.data(), ukey.size());
     has_last = true;
 
-    if (ExtractValueType(ikey) == ValueType::kDeletion &&
-        is_base_level_for(ukey)) {
+    if (elide_tombstones && ExtractValueType(ikey) == ValueType::kDeletion &&
+        is_base_level_for(ukey) && !key_above_job(ukey)) {
       continue;  // tombstone has nothing left to hide
     }
 
@@ -1352,6 +1636,7 @@ StallSignals DbImpl::GetStallSignals() {
   sig.l0_stop_trigger = options_.l0_stop_writes_trigger;
   sig.max_write_buffer_number = options_.max_write_buffer_number;
   sig.hard_pending_limit = options_.hard_pending_compaction_bytes_limit;
+  sig.compaction_queue_depth = versions_->CompactionQueueDepth();
   return sig;
 }
 
@@ -1438,7 +1723,18 @@ Status DbImpl::VerifySstFile(uint64_t number, uint64_t* bytes_read) {
 void DbImpl::SetCompactionThreads(int n) {
   SimLockGuard l(mu_);
   active_compaction_threads_ = std::clamp(n, 1, max_compaction_workers_);
+  // Wake everything that keys off the budget: parked workers (a grow must
+  // un-park them), idle-waiters and stalled writers (a shrink changes what
+  // "idle" and the deep-job slot reservation mean, and a waiter blocked on
+  // work_done_cv_ with an empty queue must re-evaluate rather than hang).
   bg_cv_.NotifyAll();
+  work_done_cv_.NotifyAll();
+  stall_cv_.NotifyAll();
+}
+
+void DbImpl::SetMaxSubcompactions(int n) {
+  SimLockGuard l(mu_);
+  max_subcompactions_ = std::clamp(n, 1, 64);
 }
 
 void DbImpl::SetWriteBufferSize(uint64_t bytes) {

@@ -60,6 +60,8 @@ class DbImpl : public DB {
   void SetWriteBufferSize(uint64_t bytes) override;
   uint64_t write_buffer_size() const override { return write_buffer_size_; }
   void SetSlowdownEnabled(bool enabled) override { slowdown_enabled_ = enabled; }
+  void SetMaxSubcompactions(int n) override;
+  int max_subcompactions() const override { return max_subcompactions_; }
 
  private:
   struct ImmEntry {
@@ -92,23 +94,56 @@ class DbImpl : public DB {
   bool SlowdownConditionLocked() const;
   Status SwitchMemtableLocked();
 
+  // Half-open user-key slice of a compaction's key space; an unset bound is
+  // unbounded. Sub-ranges of a split job partition the space (DESIGN.md §10).
+  struct KeyRange {
+    std::string begin, end;
+    bool has_begin = false;
+    bool has_end = false;
+  };
+
   // --- Background work ---
   void FlushThreadLoop();
   void CompactionThreadLoop(int worker_id);
   Status FlushImmToL0(const ImmEntry& imm);
+  // mu_ held. False withholds the last free worker slot from deep-level jobs
+  // while L0 pressure is building (priority scheduler, DESIGN.md §10).
+  bool AllowDeepCompactionLocked() const;
   // `trace_track` is the worker's compaction track (unused when tracing is
   // off): sub-phase spans land on the worker that runs them.
   Status RunCompaction(Compaction* c, uint32_t trace_track);
   // Builds the L0 SST file for `imm` and fills `meta`; retryable — the
   // caller deletes the partial file between attempts.
   Status BuildL0Sst(const ImmEntry& imm, uint64_t number, FileMetaData* meta);
-  // Merge phase of a compaction: produces output SSTs without touching the
-  // version set. `created` records every file number written so a failed
-  // attempt can be cleaned up and retried.
-  Status DoCompactionWork(Compaction* c, uint32_t trace_track,
+  // Merge phase of a compaction restricted to `range`: produces output SSTs
+  // without touching the version set. `created` records every file number
+  // written so a failed attempt can be cleaned up and retried. `crash_site`
+  // names the per-entry fault-injection point; `throttled` subjects the
+  // range's I/O to the shared compaction rate limiter; `elide_tombstones`
+  // is the per-JOB elision verdict (options_.allow_tombstone_elision and the
+  // intra-L0 rule), evaluated once before any sub-range starts so a device
+  // drain completing mid-job cannot flip it between sub-ranges.
+  Status DoCompactionWork(Compaction* c, const KeyRange& range,
+                          const char* crash_site, bool throttled,
+                          bool elide_tombstones, uint32_t trace_track,
                           std::vector<FileMetaPtr>* outputs,
                           std::vector<uint64_t>* created,
                           uint64_t* read_bytes, uint64_t* written_bytes);
+  // User keys splitting `c`'s key space into up to `want` sub-ranges, chosen
+  // evenly from the inputs' index-block boundaries. May return fewer (never
+  // more than want-1); empty means the job cannot usefully be split.
+  std::vector<std::string> SubcompactionBoundaries(Compaction* c, int want);
+  // Runs the sub-ranges defined by `bounds` as parallel actors and merges
+  // their results in range order (deterministic).
+  Status RunSubcompactions(Compaction* c, const std::vector<std::string>& bounds,
+                           bool throttled, bool elide_tombstones,
+                           uint32_t trace_track,
+                           std::vector<FileMetaPtr>* outputs,
+                           std::vector<uint64_t>* created,
+                           uint64_t* read_bytes, uint64_t* written_bytes);
+  // Charges `bytes` against the shared compaction-bytes rate limiter and
+  // sleeps (virtual time) until the reservation's slot. mu_ must NOT be held.
+  void ThrottleCompactionIo(uint64_t bytes);
   // Runs `fn`, retrying transient device errors (IOError/Busy/TryAgain) up
   // to options_.max_io_retries times with exponential virtual-time backoff.
   // mu_ must NOT be held.
@@ -161,6 +196,13 @@ class DbImpl : public DB {
   uint64_t write_buffer_size_;
   bool slowdown_enabled_;
   int max_compaction_workers_;
+  int max_subcompactions_;
+
+  // Shared compaction-bytes rate limiter (deep jobs only): classic
+  // busy-until accumulator — a reservation starts at max(now, busy_until)
+  // and pushes busy_until forward by bytes/rate. 0 rate = disabled.
+  double compaction_rate_bps_ = 0;
+  double limiter_busy_until_ns_ = 0;
 
   int running_compactions_ = 0;
   bool flush_running_ = false;
@@ -181,6 +223,10 @@ class DbImpl : public DB {
   uint32_t tr_stall_ = 0;
   uint32_t tr_slowdown_ = 0;
   std::vector<uint32_t> tr_compact_;  // one track per compaction worker
+  // Track pool for subcompaction helper actors; helpers borrow slots
+  // round-robin (next_subtrack_) since split jobs come and go.
+  std::vector<uint32_t> tr_subcompact_;
+  size_t next_subtrack_ = 0;
   obs::CoalescingSpan wal_append_span_;
   obs::CoalescingSpan wal_sync_span_;
 };

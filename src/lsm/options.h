@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/units.h"
 
@@ -46,6 +47,27 @@ struct DbOptions {
   // the device idle for whole seconds during the merge phase. Smaller chunks
   // pipeline the phases more finely (see bench_ablation_merge_overlap).
   uint64_t compaction_io_chunk = 1ull << 30;
+  // RocksDB-style subcompactions (DESIGN.md §10): a picked job whose input
+  // exceeds max_subcompaction_input is split at file/index-block boundaries
+  // into up to max_subcompactions disjoint key ranges, each merged by its own
+  // simulated actor. Requires compaction_threads > 1 to take effect; all
+  // sub-range outputs still install atomically in one VersionEdit.
+  int max_subcompactions = 4;
+  uint64_t max_subcompaction_input = 0;  // 0 = auto: 2 * target_file_size
+  // Aggregate compaction-I/O rate limit for levels below L0, as a fraction of
+  // the device's NAND bandwidth (GenericRateLimiter analogue). 0 disables.
+  // L0->L1 and intra-L0 jobs are exempt: they are exactly the work that
+  // un-gates stalled writers, so throttling them would be self-defeating.
+  double compaction_rate_limit = 0.0;
+  // External-store guard for tombstone elision. Compaction normally drops a
+  // tombstone once no level below the output can hold the key — but a
+  // collaborating external store (KVACCEL's Dev-LSM) may hold an OLDER
+  // version of a deleted key that recovery later re-ingests ordered by
+  // sequence number; eliding the tombstone first would resurrect it. When
+  // set, a compaction job elides tombstones only if this returns true at the
+  // start of the job (KVACCEL wires it to "the Dev-LSM is empty"). Unset =
+  // always allowed.
+  std::function<bool()> allow_tombstone_elision;
 
   // --- Table / cache ---
   uint64_t block_size = 16 << 10;          // logical bytes per data block

@@ -95,6 +95,14 @@ class SstReader : public std::enable_shared_from_this<SstReader> {
   Slice smallest() const { return smallest_; }
   Slice largest() const { return largest_; }
 
+  // Appends the last internal key of every data block — natural split points
+  // for range-partitioned subcompactions (blocks are near-equal logical
+  // size, so evenly spaced boundaries balance bytes). Costs no device I/O:
+  // the index is resident from Open.
+  void AppendBlockBoundaries(std::vector<std::string>* keys) const {
+    for (const auto& [last_key, handle] : index_) keys->push_back(last_key);
+  }
+
  private:
   friend class SstIterator;
   SstReader(const DbOptions& options, uint64_t file_number, BlockCache* cache)

@@ -35,6 +35,16 @@ struct DbStats {
   uint64_t compaction_bytes_read = 0;
   uint64_t compaction_bytes_written = 0;
 
+  // Subcompactions & priority scheduler (DESIGN.md §10).
+  uint64_t split_compactions = 0;     // jobs that ran range-partitioned
+  uint64_t subcompaction_count = 0;   // sub-ranges executed by split jobs
+  uint64_t intra_l0_compactions = 0;  // L0->L0 pressure-relief merges
+  // Virtual ns compaction actors spent waiting on the shared compaction-bytes
+  // rate limiter (only deep jobs are subject to it).
+  uint64_t compaction_throttle_ns = 0;
+  // Stranded files (uninstalled SSTs, superseded WALs) removed at recovery.
+  uint64_t orphan_files_removed = 0;
+
   uint64_t writes_total = 0;
   uint64_t write_bytes_total = 0;  // logical
   uint64_t reads_total = 0;

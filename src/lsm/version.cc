@@ -384,57 +384,116 @@ uint64_t VersionSet::EstimatedPendingCompactionBytes() const {
   return pending;
 }
 
-std::unique_ptr<Compaction> VersionSet::PickCompaction() {
-  int level;
-  double score = MaxCompactionScore(&level);
-  if (score < 1.0) return nullptr;
-
-  auto c = std::make_unique<Compaction>();
-  c->level = level;
-
-  if (level == 0) {
-    // L0->L1 is serialized (paper §II-A event 2): bail if anything in L0 or
-    // L1 is already compacting.
-    for (const auto& f : current_->files(0)) {
-      if (f->being_compacted) return nullptr;
-    }
-    for (const auto& f : current_->files(1)) {
-      if (f->being_compacted) return nullptr;
-    }
-    c->inputs[0] = current_->files(0);
-    if (c->inputs[0].empty()) return nullptr;
-    // Key range of all inputs determines the L1 overlap.
-    std::string smallest = c->inputs[0][0]->smallest;
-    std::string largest = c->inputs[0][0]->largest;
-    for (const auto& f : c->inputs[0]) {
-      if (CompareUserKeys(f->smallest, smallest) < 0) smallest = f->smallest;
-      if (CompareUserKeys(f->largest, largest) > 0) largest = f->largest;
-    }
-    c->inputs[1] = current_->OverlappingInputs(1, smallest, largest);
-  } else {
-    const auto& files = current_->files(level);
-    if (files.empty()) return nullptr;
-    size_t n = files.size();
-    bool picked = false;
-    for (size_t attempt = 0; attempt < n; attempt++) {
-      size_t idx = (compact_cursor_[level] + attempt) % n;
-      const FileMetaPtr& f = files[idx];
-      if (f->being_compacted) continue;
-      auto overlaps =
-          current_->OverlappingInputs(level + 1, f->smallest, f->largest);
-      bool busy = false;
-      for (const auto& o : overlaps) busy = busy || o->being_compacted;
-      if (busy) continue;
-      c->inputs[0] = {f};
-      c->inputs[1] = std::move(overlaps);
-      compact_cursor_[level] = (idx + 1) % n;
-      picked = true;
-      break;
-    }
-    if (!picked) return nullptr;
+int VersionSet::CompactionQueueDepth() const {
+  int depth = 0;
+  if (current_->NumLevelFiles(0) >= options_.l0_compaction_trigger) depth++;
+  for (int level = 1; level < kNumLevels - 1; level++) {
+    if (current_->LevelBytes(level) >= MaxBytesForLevel(level)) depth++;
   }
+  return depth;
+}
+
+std::unique_ptr<Compaction> VersionSet::PickL0Compaction() const {
+  // L0->L1 is serialized (paper §II-A event 2): bail if anything in L0 or
+  // L1 is already compacting.
+  for (const auto& f : current_->files(0)) {
+    if (f->being_compacted) return nullptr;
+  }
+  for (const auto& f : current_->files(1)) {
+    if (f->being_compacted) return nullptr;
+  }
+  auto c = std::make_unique<Compaction>();
+  c->level = 0;
+  c->output_level = 1;
+  c->inputs[0] = current_->files(0);
+  if (c->inputs[0].empty()) return nullptr;
+  // Key range of all inputs determines the L1 overlap.
+  std::string smallest = c->inputs[0][0]->smallest;
+  std::string largest = c->inputs[0][0]->largest;
+  for (const auto& f : c->inputs[0]) {
+    if (CompareUserKeys(f->smallest, smallest) < 0) smallest = f->smallest;
+    if (CompareUserKeys(f->largest, largest) > 0) largest = f->largest;
+  }
+  c->inputs[1] = current_->OverlappingInputs(1, smallest, largest);
   c->MarkBeingCompacted(true);
   return c;
+}
+
+std::unique_ptr<Compaction> VersionSet::PickIntraL0Compaction() const {
+  // Only worthwhile once the file count threatens the slowdown trigger; the
+  // output is still one L0 file, so below that this is wasted write amp.
+  if (current_->NumLevelFiles(0) < options_.l0_slowdown_writes_trigger) {
+    return nullptr;
+  }
+  auto c = std::make_unique<Compaction>();
+  c->level = 0;
+  c->output_level = 0;
+  c->is_intra_l0 = true;
+  for (const auto& f : current_->files(0)) {
+    if (!f->being_compacted) c->inputs[0].push_back(f);
+  }
+  if (c->inputs[0].size() < 2) return nullptr;
+  c->MarkBeingCompacted(true);
+  return c;
+}
+
+std::unique_ptr<Compaction> VersionSet::PickLevelCompaction(int level) {
+  const auto& files = current_->files(level);
+  if (files.empty()) return nullptr;
+  auto c = std::make_unique<Compaction>();
+  c->level = level;
+  c->output_level = level + 1;
+  size_t n = files.size();
+  for (size_t attempt = 0; attempt < n; attempt++) {
+    size_t idx = (compact_cursor_[level] + attempt) % n;
+    const FileMetaPtr& f = files[idx];
+    if (f->being_compacted) continue;
+    auto overlaps =
+        current_->OverlappingInputs(level + 1, f->smallest, f->largest);
+    bool busy = false;
+    for (const auto& o : overlaps) busy = busy || o->being_compacted;
+    if (busy) continue;
+    c->inputs[0] = {f};
+    c->inputs[1] = std::move(overlaps);
+    compact_cursor_[level] = (idx + 1) % n;
+    c->MarkBeingCompacted(true);
+    return c;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Compaction> VersionSet::PickCompaction(bool allow_deep) {
+  // Priority 1: L0->L1 whenever L0 is at its trigger, even if a deeper level
+  // scores higher — L0 depth is what gates writer stalls.
+  if (current_->NumLevelFiles(0) >= options_.l0_compaction_trigger) {
+    auto c = PickL0Compaction();
+    if (c != nullptr) return c;
+    // Priority 2: L0->L1 is blocked on busy inputs while pressure keeps
+    // building. Merge the idle L0 files among themselves (RocksDB intra-L0)
+    // to cut the file count the slowdown/stop triggers watch.
+    c = PickIntraL0Compaction();
+    if (c != nullptr) return c;
+  }
+  if (!allow_deep) return nullptr;
+  // Priority 3: deeper levels in descending score order (round-robin within
+  // a level via compact_cursor_), so the most oversubscribed level drains
+  // first instead of whichever level a FIFO scan happened to hit.
+  std::vector<std::pair<double, int>> ranked;
+  for (int level = 1; level < kNumLevels - 1; level++) {
+    double score = static_cast<double>(current_->LevelBytes(level)) /
+                   static_cast<double>(MaxBytesForLevel(level));
+    if (score >= 1.0) ranked.emplace_back(score, level);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // tie: shallower level first
+            });
+  for (const auto& [score, level] : ranked) {
+    auto c = PickLevelCompaction(level);
+    if (c != nullptr) return c;
+  }
+  return nullptr;
 }
 
 }  // namespace kvaccel::lsm

@@ -113,9 +113,15 @@ class Version {
   std::vector<std::vector<FileMetaPtr>> files_;
 };
 
-// A picked compaction: inputs_[0] from `level`, inputs_[1] from `level+1`.
+// A picked compaction: inputs_[0] from `level`, inputs_[1] from
+// `output_level`. Normally output_level == level + 1; an intra-L0
+// pressure-relief job (DESIGN.md §10) has level == output_level == 0 and an
+// empty inputs_[1] — it merges idle L0 files among themselves to cut the file
+// count the stop trigger watches while the real L0->L1 job is busy.
 struct Compaction {
   int level = 0;
+  int output_level = 1;
+  bool is_intra_l0 = false;
   std::vector<FileMetaPtr> inputs[2];
 
   uint64_t InputBytes() const {
@@ -150,6 +156,13 @@ class VersionSet {
   std::shared_ptr<const Version> current() const { return current_; }
 
   uint64_t NewFileNumber() { return next_file_number_++; }
+  // Recovery guard: the counter is durable only as of the last manifest
+  // write, but WAL numbers are allocated without one. A reopened DB must
+  // bump past every file it finds on disk, or a fresh WAL can reuse (and
+  // truncate) a live log whose contents exist nowhere else yet.
+  void MarkFileNumberUsed(uint64_t number) {
+    if (number >= next_file_number_) next_file_number_ = number + 1;
+  }
   SequenceNumber last_sequence() const { return last_sequence_; }
   void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
   uint64_t log_number() const { return log_number_; }
@@ -160,10 +173,17 @@ class VersionSet {
   double MaxCompactionScore(int* level) const;
   // RocksDB-style estimate of bytes compaction still must move.
   uint64_t EstimatedPendingCompactionBytes() const;
+  // Number of levels currently scoring >= 1.0 (distinct runnable jobs).
+  int CompactionQueueDepth() const;
 
-  // Picks a compaction (or nullptr if nothing to do / inputs busy). The
-  // returned compaction's files are marked being_compacted.
-  std::unique_ptr<Compaction> PickCompaction();
+  // Picks a compaction by priority (or nullptr if nothing to do / inputs
+  // busy): (1) L0->L1 whenever L0 is at its trigger — L0 depth is what gates
+  // writer stalls; (2) intra-L0 relief when L0->L1 is blocked on busy inputs
+  // and pressure keeps building; (3) deeper levels in descending score order,
+  // only when `allow_deep` (the worker loop withholds the last free slot from
+  // deep jobs under L0 pressure). The returned compaction's files are marked
+  // being_compacted.
+  std::unique_ptr<Compaction> PickCompaction(bool allow_deep = true);
 
   // Target size of a level (level >= 1).
   uint64_t MaxBytesForLevel(int level) const;
@@ -171,6 +191,9 @@ class VersionSet {
  private:
   Status ReplayManifest(const std::string& manifest_name);
   std::shared_ptr<Version> BuildAfter(const VersionEdit& edit) const;
+  std::unique_ptr<Compaction> PickL0Compaction() const;
+  std::unique_ptr<Compaction> PickIntraL0Compaction() const;
+  std::unique_ptr<Compaction> PickLevelCompaction(int level);
 
   const DbOptions& options_;
   fs::SimFs* fs_;

@@ -20,6 +20,8 @@
 //             crash.manifest.pre_sync     MANIFEST record appended, not synced
 //             crash.manifest.post_sync    MANIFEST synced, version not applied
 //             crash.compaction.mid        mid-way through a compaction
+//             crash.subcompaction.mid     mid-way through one sub-range of a
+//                                         range-partitioned compaction
 //             crash.rollback.mid          mid-way through a rollback drain
 //             crash.redirect.mid          redirected batch durable on the
 //                                         device, metadata records not yet

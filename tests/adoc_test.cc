@@ -110,5 +110,77 @@ TEST(AdocTest, GrowsBufferWhenThreadsSaturated) {
   });
 }
 
+// With a tight hard pending-compaction limit, the "absorb the burst with a
+// bigger batch" move would steer straight into the hard stall, so every
+// growth attempt must be vetoed (and counted) instead of applied.
+TEST(AdocTest, ClampsBufferGrowthAgainstHardPendingLimit) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 1;
+    // Headroom to the hard limit is at most 512 KiB; split across the two
+    // queueable write buffers and halved for safety, the ceiling lands
+    // below the current 256 KiB buffer — growth must always clamp.
+    opts.hard_pending_compaction_bytes_limit = 512 << 10;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    AdocOptions aopts = SmallAdocOptions();
+    aopts.max_compaction_threads = 1;  // thread knob pinned: buffer path only
+    AdocTuner tuner(db.get(), &world.env, opts, aopts);
+    tuner.Start();
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    EXPECT_GT(tuner.stats().buffer_growth_clamped, 0u);
+    EXPECT_EQ(tuner.stats().buffer_increases, 0u);
+    EXPECT_EQ(db->write_buffer_size(), 256u << 10);
+    tuner.Stop();
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+// Calm decay moves one knob per calm window, in LIFO order: the buffer
+// (grown last) must be fully back at its floor before the first thread
+// decrease happens.
+TEST(AdocTest, CalmDecayShrinksBufferBeforeThreads) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 1;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    AdocOptions aopts = SmallAdocOptions();
+    aopts.max_compaction_threads = 2;  // saturates fast, then buffer grows
+    aopts.calm_periods_to_decay = 2;
+    AdocTuner tuner(db.get(), &world.env, opts, aopts);
+    tuner.Start();
+
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put({}, TestKey(i), Value::Synthetic(i, 4096)).ok());
+    }
+    ASSERT_GT(db->compaction_threads(), 1);
+    ASSERT_GT(db->write_buffer_size(), aopts.min_write_buffer);
+    int peak_threads = db->compaction_threads();
+
+    ASSERT_TRUE(db->FlushAll().ok());
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    // Walk calm time in small steps and catch the first thread decrease:
+    // by then the buffer knob must already have decayed all the way down.
+    bool threads_decayed = false;
+    for (int step = 0; step < 400 && !threads_decayed; step++) {
+      world.env.SleepFor(FromMillis(10));
+      if (db->compaction_threads() < peak_threads) {
+        threads_decayed = true;
+        EXPECT_EQ(db->write_buffer_size(), aopts.min_write_buffer)
+            << "thread knob decayed before the buffer knob finished";
+      }
+    }
+    EXPECT_TRUE(threads_decayed);
+    EXPECT_GT(tuner.stats().buffer_decreases, 0u);
+    tuner.Stop();
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
 }  // namespace
 }  // namespace kvaccel::adoc

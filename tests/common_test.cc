@@ -15,6 +15,19 @@
 #include "common/value.h"
 
 namespace kvaccel {
+
+// Shrinks a histogram's bucket vector in place, simulating a layout from a
+// build with a shorter bucket table (the case Merge must fold, not overrun).
+class HistogramTestPeer {
+ public:
+  static void TruncateBuckets(Histogram* h, size_t n) {
+    uint64_t folded = 0;
+    for (size_t i = n; i < h->buckets_.size(); i++) folded += h->buckets_[i];
+    h->buckets_.resize(n);
+    h->buckets_.back() += folded;  // keep count_ consistent with buckets_
+  }
+};
+
 namespace {
 
 TEST(StatusTest, OkByDefault) {
@@ -325,6 +338,37 @@ TEST(HistogramTest, MergeDisjointRangesKeepsTails) {
   // range contributed entirely by `hi`.
   EXPECT_LT(lo.Percentile(50), 1000);
   EXPECT_GT(lo.Percentile(99), 50000);
+}
+
+TEST(HistogramTest, MergeMismatchedLayoutFoldsIntoOverflow) {
+  // `other` has a shorter bucket table than `a` (merge of a longer table
+  // into a shorter one): the shared prefix merges bucket-by-bucket and
+  // count/sum/min/max stay exact.
+  Histogram a, shorter;
+  for (int i = 1; i <= 500; i++) a.Add(i);
+  for (int i = 1; i <= 500; i++) shorter.Add(i * 1000);
+  HistogramTestPeer::TruncateBuckets(&shorter, 8);
+  a.Merge(shorter);
+  EXPECT_EQ(a.Count(), 1000u);
+  EXPECT_EQ(a.Min(), 1u);
+  EXPECT_EQ(a.Max(), 500000u);
+  // Everything `shorter` folded into its 8th bucket lands in `a`'s 8th
+  // bucket, far below the true values — the median degrades gracefully
+  // instead of Merge indexing out of range.
+  EXPECT_GT(a.Percentile(99), a.Percentile(1));
+
+  // The opposite direction: merging a longer table into a truncated one
+  // must fold the excess into the overflow (last) bucket, preserving count.
+  Histogram b, full;
+  for (int i = 1; i <= 100; i++) b.Add(i);
+  HistogramTestPeer::TruncateBuckets(&b, 4);
+  for (int i = 0; i < 50; i++) full.Add(1000000);
+  b.Merge(full);
+  EXPECT_EQ(b.Count(), 150u);
+  EXPECT_EQ(b.Max(), 1000000u);
+  // The folded tail keeps high percentiles inside the (truncated) table's
+  // top bucket rather than losing the samples.
+  EXPECT_GT(b.Percentile(99), 0.0);
 }
 
 TEST(ValueTest, InlineRoundTrip) {

@@ -1,0 +1,257 @@
+// Range-partitioned subcompactions (DESIGN.md §10): output equivalence with
+// splitting on vs off, crash recovery at crash.subcompaction.mid with no
+// orphan SSTs left behind, report determinism with splits enabled, and the
+// worker park/shutdown accounting around SetCompactionThreads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "check/db_checker.h"
+#include "common/random.h"
+#include "harness/report_json.h"
+#include "harness/workload.h"
+#include "lsm/db.h"
+#include "sim/fault.h"
+#include "tests/test_util.h"
+
+namespace kvaccel {
+namespace {
+
+using test::SimWorld;
+using test::TestKey;
+
+// Seeded put/overwrite/delete mix sized to push several L0->L1 jobs past the
+// split threshold (SmallDbOptions: 2 * 256 KiB). Appends the surviving state
+// into `model`.
+void RunMixedWorkload(lsm::DB* db, std::map<std::string, uint64_t>* model) {
+  Random64 rng(0x5CA1AB1E);
+  for (int i = 0; i < 1500; i++) {
+    std::string key = TestKey(rng.Uniform(500));
+    if (rng.Uniform(10) == 0) {
+      ASSERT_TRUE(db->Delete({}, key).ok());
+      model->erase(key);
+    } else {
+      uint64_t seed = 1 + i;
+      ASSERT_TRUE(db->Put({}, key, Value::Synthetic(seed, 4096)).ok());
+      (*model)[key] = seed;
+    }
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+}
+
+std::map<std::string, uint64_t> DumpDb(lsm::DB* db) {
+  std::map<std::string, uint64_t> out;
+  auto it = db->NewIterator({});
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out[it->key().ToString()] = Value::DecodeOrDie(it->value()).seed();
+  }
+  EXPECT_TRUE(it->status().ok());
+  return out;
+}
+
+// The split decision must be invisible in the output: the same workload run
+// with subcompactions on and off yields the same live key/value set, and
+// both on-disk images pass the full consistency check.
+TEST(SubcompactionTest, OutputEquivalentWithSplittingOnAndOff) {
+  std::map<std::string, uint64_t> model_split, model_plain;
+  std::map<std::string, uint64_t> dump_split, dump_plain;
+
+  {
+    SimWorld world;
+    lsm::DbOptions opts = test::SmallDbOptions();  // max_subcompactions = 4
+    world.Run([&] {
+      std::unique_ptr<lsm::DB> db;
+      ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+      RunMixedWorkload(db.get(), &model_split);
+      EXPECT_GT(db->stats().split_compactions, 0u)
+          << "workload never exercised the split path";
+      EXPECT_GE(db->stats().subcompaction_count,
+                2 * db->stats().split_compactions);
+      dump_split = DumpDb(db.get());
+      ASSERT_TRUE(db->Close().ok());
+      db.reset();
+      check::DbChecker checker(opts, world.MakeDbEnv());
+      check::CheckReport report = checker.Check();
+      EXPECT_TRUE(report.ok()) << report.ToString();
+    });
+  }
+  {
+    SimWorld world;
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.max_subcompactions = 1;  // force every job down the single-range path
+    world.Run([&] {
+      std::unique_ptr<lsm::DB> db;
+      ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+      RunMixedWorkload(db.get(), &model_plain);
+      EXPECT_EQ(db->stats().split_compactions, 0u);
+      EXPECT_EQ(db->stats().subcompaction_count, 0u);
+      dump_plain = DumpDb(db.get());
+      ASSERT_TRUE(db->Close().ok());
+      db.reset();
+      check::DbChecker checker(opts, world.MakeDbEnv());
+      check::CheckReport report = checker.Check();
+      EXPECT_TRUE(report.ok()) << report.ToString();
+    });
+  }
+
+  EXPECT_EQ(model_split, model_plain);  // same deterministic workload
+  EXPECT_EQ(dump_split, model_split);
+  EXPECT_EQ(dump_plain, model_plain);
+  EXPECT_EQ(dump_split, dump_plain);
+}
+
+// Crash mid-way through one sub-range: all of the job's outputs must vanish
+// (the single VersionEdit never installed), recovery must serve every
+// acknowledged write, and the first reopen must reap every stranded SST —
+// verified by a second reopen finding nothing left to remove.
+TEST(SubcompactionTest, CrashMidSubcompactionRecoversWithNoOrphans) {
+  SimWorld world;
+  world.Run([&] {
+    sim::FaultInjector inj(&world.env, 0xD1ED);
+    world.env.set_fault_injector(&inj);
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.wal_sync = true;
+
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+
+    sim::FaultRule rule;
+    rule.nth_hit = 120;
+    rule.max_fires = 1;
+    inj.Arm("crash.subcompaction.mid", rule);
+
+    std::map<std::string, uint64_t> acked;
+    bool crashed = false;
+    for (int i = 0; i < 500 && !crashed; i++) {
+      std::string key = TestKey(i % 120);
+      uint64_t seed = 1000 + i;
+      Status s = db->Put({}, key, Value::Synthetic(seed, 4096));
+      if (s.ok()) {
+        acked[key] = seed;
+      } else {
+        crashed = true;
+      }
+      if (!db->GetBackgroundError().ok()) crashed = true;
+    }
+    EXPECT_EQ(inj.fires("crash.subcompaction.mid"), 1u)
+        << "crash site never reached";
+    inj.Disarm("crash.subcompaction.mid");
+
+    (void)db->Close();  // the machine is "dead": tolerate errors
+    db.reset();
+    world.fs->DropAllDirty();
+    inj.ClearCrash();
+
+    // First reopen: recovery replays the WAL and reaps stranded files.
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    for (const auto& [key, seed] : acked) {
+      Value v;
+      ASSERT_TRUE(db->Get({}, key, &v).ok()) << key;
+      EXPECT_GE(v.seed(), seed) << key;
+      EXPECT_EQ(v.logical_size(), 4096u) << key;
+    }
+    ASSERT_TRUE(db->Close().ok());
+    db.reset();
+
+    check::DbChecker checker(opts, world.MakeDbEnv());
+    check::CheckReport report = checker.Check();
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_GT(report.manifest_edits, 0);
+
+    // Second reopen: a clean image has nothing stranded, so the first one
+    // must have removed every orphan the crash left behind.
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    EXPECT_EQ(db->stats().orphan_files_removed, 0u)
+        << "first recovery left orphan files behind";
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+// Two identical-seed dbbench runs with subcompactions enabled produce
+// byte-identical kvaccel-run-v1 reports (ISSUE acceptance: the split actors
+// must not introduce scheduling nondeterminism).
+TEST(SubcompactionTest, IdenticalSeedRunsProduceByteIdenticalReports) {
+  harness::BenchConfig c;
+  c.scale = 0.03125;
+  c.sut.kind = harness::SystemKind::kRocksDB;
+  c.sut.compaction_threads = 4;
+  c.sut.max_subcompactions = 4;
+  // Shrink the split threshold so the short run reliably range-partitions.
+  c.sut.db_tweak = [](lsm::DbOptions& o) { o.max_subcompaction_input = 64 << 10; };
+  c.workload.type = harness::WorkloadConfig::Type::kFillRandom;
+  c.workload.duration = FromSecs(5);
+
+  harness::RunResult r1 = harness::RunBenchmark(c);
+  harness::RunResult r2 = harness::RunBenchmark(c);
+  EXPECT_GT(r1.split_compactions, 0u) << "run never split a compaction";
+  EXPECT_GT(r1.subcompactions, 0u);
+
+  std::string report1 = harness::JsonReportString(c, {r1});
+  std::string report2 = harness::JsonReportString(c, {r2});
+  EXPECT_EQ(report1, report2);
+  EXPECT_NE(report1.find("\"schema\":\"kvaccel-run-v1\""), std::string::npos);
+  EXPECT_NE(report1.find("\"split_compactions\""), std::string::npos);
+}
+
+// Shrinking the thread budget parks workers; growing it must wake them
+// (satellite 1: SetCompactionThreads used to skip the notify, leaving grown
+// budgets undiscovered until an unrelated wakeup). A wedged worker shows up
+// here as a simulated-deadlock failure in WaitForCompactionIdle or Close.
+TEST(CompactionWorkersTest, ParkedWorkerResumesAfterBudgetGrows) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.compaction_threads = 4;
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+
+    db->SetCompactionThreads(1);
+    EXPECT_EQ(db->compaction_threads(), 1);
+    // Build a compaction backlog under the lone worker.
+    for (int i = 0; i < 600; i++) {
+      ASSERT_TRUE(
+          db->Put({}, TestKey(i % 200), Value::Synthetic(i, 4096)).ok());
+    }
+    // Grow the budget back: the three parked workers must wake and help
+    // drain the queue rather than sleep until the next flush notify.
+    db->SetCompactionThreads(4);
+    ASSERT_TRUE(db->FlushAll().ok());
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    EXPECT_GT(db->stats().compaction_count, 0u);
+
+    Value v;
+    ASSERT_TRUE(db->Get({}, TestKey(199), &v).ok());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(CompactionWorkersTest, ShrinkDuringBacklogDoesNotWedgeWaiters) {
+  SimWorld world;
+  world.Run([&] {
+    lsm::DbOptions opts = test::SmallDbOptions();
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+
+    // Shrink while jobs are (likely) in flight, then wait for idle: the
+    // waiter must see the queue drain even though the worker that finishes
+    // last may be one that is about to park.
+    for (int i = 0; i < 400; i++) {
+      ASSERT_TRUE(
+          db->Put({}, TestKey(i % 150), Value::Synthetic(i, 4096)).ok());
+    }
+    db->SetCompactionThreads(1);
+    ASSERT_TRUE(db->FlushAll().ok());
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+
+    // And a shrink with an already-empty queue must leave Close clean.
+    db->SetCompactionThreads(2);
+    ASSERT_TRUE(db->WaitForCompactionIdle().ok());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace kvaccel

@@ -41,6 +41,7 @@ TEST(CrashMonkeyTest, RandomizedCrashRecoverCycles) {
       "crash.wal.post_append",   "crash.wal.post_sync",
       "crash.flush.mid",         "crash.manifest.pre_sync",
       "crash.manifest.post_sync", "crash.compaction.mid",
+      "crash.subcompaction.mid",
   };
   SimWorld world;
   world.Run([&] {
@@ -66,7 +67,7 @@ TEST(CrashMonkeyTest, RandomizedCrashRecoverCycles) {
     uint64_t next_seed = 1;
     int crashes = 0;
     for (int cycle = 0; cycle < kCycles; cycle++) {
-      const char* site = kSites[rng.Uniform(6)];
+      const char* site = kSites[rng.Uniform(sizeof(kSites) / sizeof(kSites[0]))];
       sim::FaultRule rule;
       rule.nth_hit = 1 + rng.Uniform(40);
       rule.max_fires = 1;

@@ -409,14 +409,79 @@ TEST(PowerCutTest, SstAndManifestSurviveTornPowerCut) {
   });
 }
 
+// Regression: the manifest's next-file counter is durable only as of the
+// last LogAndApply, but WAL numbers are allocated without one. A reopen
+// after a crash that outran every manifest write used to recycle the
+// just-replayed WAL's number for its fresh log, truncating the only durable
+// copy of the replayed records; a second crash before the next flush then
+// lost acknowledged writes (nemesis seed 1317456661, cycle 17).
+TEST(PowerCutTest, ReplayedWalSurvivesSecondCrashBeforeFlush) {
+  SimWorld world;
+  world.Run([&] {
+    sim::FaultInjector inj(&world.env, 0xBADC0DE);
+    world.env.set_fault_injector(&inj);
+    lsm::DbOptions opts = test::SmallDbOptions();
+    opts.wal_sync = true;
+    sim::FaultRule rule;
+    rule.nth_hit = 1;
+    rule.max_fires = 1;
+    std::map<std::string, uint64_t> acked;
+
+    // Session 1: fill the memtable until the first flush starts and crash
+    // inside it, so neither the flush nor any manifest edit lands.
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    inj.Arm("crash.flush.mid", rule);
+    for (int i = 0; i < 400; i++) {
+      uint64_t seed = 1000 + i;
+      Status s = db->Put({}, TestKey(i), Value::Synthetic(seed, 4096));
+      if (!s.ok()) break;
+      acked[TestKey(i)] = seed;
+      if (!db->GetBackgroundError().ok()) break;
+    }
+    EXPECT_EQ(inj.fires("crash.flush.mid"), 1u) << "first flush never ran";
+    (void)db->Close();
+    db.reset();
+    world.fs->DropAllDirty();
+    inj.ClearCrash();
+
+    // Session 2: recovery replays the old WAL into the memtable and opens a
+    // fresh log, whose number must not collide with the replayed one. Crash
+    // the first flush again so nothing advances the manifest.
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    inj.Arm("crash.flush.mid", rule);
+    for (int i = 0; i < 400; i++) {
+      Status s = db->Put({}, TestKey(500 + i), Value::Synthetic(i, 4096));
+      if (!s.ok() || !db->GetBackgroundError().ok()) break;
+    }
+    EXPECT_EQ(inj.fires("crash.flush.mid"), 1u) << "second flush never ran";
+    (void)db->Close();
+    db.reset();
+    world.fs->DropAllDirty();
+    inj.ClearCrash();
+
+    // Session 3: every write acknowledged in session 1 must still be there.
+    ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
+    for (const auto& [key, seed] : acked) {
+      Value v;
+      ASSERT_TRUE(db->Get({}, key, &v).ok()) << key;
+      EXPECT_EQ(v.seed(), seed) << key;
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Named crash points: kill, recover, verify
 // ---------------------------------------------------------------------------
 
 // Arms `site` to fire on its nth hit while a write workload runs, then
 // executes the crash protocol (close, drop page cache, clear latch, reopen)
-// and verifies every acknowledged write survived.
-void RunCrashSiteTest(const std::string& site, uint64_t nth_hit) {
+// and verifies every acknowledged write survived. `max_subcompactions`
+// pins the split width: 1 forces every job down the single-range path
+// (site crash.compaction.mid), >1 exercises crash.subcompaction.mid.
+void RunCrashSiteTest(const std::string& site, uint64_t nth_hit,
+                      int max_subcompactions = 0) {
   SCOPED_TRACE(site);
   SimWorld world;
   world.Run([&] {
@@ -424,6 +489,7 @@ void RunCrashSiteTest(const std::string& site, uint64_t nth_hit) {
     world.env.set_fault_injector(&inj);
     lsm::DbOptions opts = test::SmallDbOptions();
     opts.wal_sync = true;  // every acknowledged write is durable
+    if (max_subcompactions > 0) opts.max_subcompactions = max_subcompactions;
     std::unique_ptr<lsm::DB> db;
     ASSERT_TRUE(lsm::DB::Open(opts, world.MakeDbEnv(), &db).ok());
 
@@ -479,7 +545,12 @@ TEST(CrashPointTest, WalPostSync) { RunCrashSiteTest("crash.wal.post_sync", 53);
 TEST(CrashPointTest, FlushMid) { RunCrashSiteTest("crash.flush.mid", 20); }
 TEST(CrashPointTest, ManifestPreSync) { RunCrashSiteTest("crash.manifest.pre_sync", 2); }
 TEST(CrashPointTest, ManifestPostSync) { RunCrashSiteTest("crash.manifest.post_sync", 2); }
-TEST(CrashPointTest, CompactionMid) { RunCrashSiteTest("crash.compaction.mid", 100); }
+TEST(CrashPointTest, CompactionMid) {
+  RunCrashSiteTest("crash.compaction.mid", 100, /*max_subcompactions=*/1);
+}
+TEST(CrashPointTest, SubcompactionMid) {
+  RunCrashSiteTest("crash.subcompaction.mid", 100, /*max_subcompactions=*/4);
+}
 
 // ---------------------------------------------------------------------------
 // KVACCEL: Dev-LSM degradation and crash recovery

@@ -212,6 +212,114 @@ TEST_F(VersionSetTest, MaxBytesForLevelGrowsByMultiplier) {
   });
 }
 
+// ---------------- Priority compaction scheduler ----------------
+
+TEST_F(VersionSetTest, PickCompactionPrefersL0OverHigherScoringDeepLevel) {
+  Run([&](VersionSet& vs) {
+    VersionEdit e;
+    // L0 at its trigger (SmallDbOptions: 4 files) ...
+    e.AddFile(0, File(10, "aaa", "zzz"));
+    e.AddFile(0, File(11, "aaa", "zzz"));
+    e.AddFile(0, File(12, "aaa", "zzz"));
+    e.AddFile(0, File(13, "aaa", "zzz"));
+    // ... while L1 holds 5x its 1 MB budget — FIFO or pure score order
+    // would drain L1 first and let L0 depth stall writers.
+    for (int i = 0; i < 5; i++) {
+      std::string lo(1, static_cast<char>('b' + 2 * i));
+      std::string hi(1, static_cast<char>('c' + 2 * i));
+      e.AddFile(1, File(20 + i, lo, hi, 1 << 20));
+    }
+    ASSERT_TRUE(vs.LogAndApply(&e).ok());
+
+    auto c = vs.PickCompaction();
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->level, 0);
+    EXPECT_EQ(c->output_level, 1);
+    EXPECT_FALSE(c->is_intra_l0);
+    EXPECT_EQ(c->inputs[0].size(), 4u);
+  });
+}
+
+TEST_F(VersionSetTest, PickCompactionIntraL0WhenL0ToL1Busy) {
+  Run([&](VersionSet& vs) {
+    VersionEdit e1;
+    for (int i = 0; i < 4; i++) e1.AddFile(0, File(10 + i, "aaa", "zzz"));
+    ASSERT_TRUE(vs.LogAndApply(&e1).ok());
+
+    // The L0->L1 job takes the current four files and marks them busy.
+    auto running = vs.PickCompaction();
+    ASSERT_NE(running, nullptr);
+    EXPECT_EQ(running->level, 0);
+    EXPECT_FALSE(running->is_intra_l0);
+
+    // While it runs, flushes keep landing. Below the slowdown trigger
+    // (SmallDbOptions: 8) intra-L0 is wasted write amp, so nothing runs.
+    VersionEdit e2;
+    for (int i = 0; i < 3; i++) e2.AddFile(0, File(20 + i, "aaa", "zzz"));
+    ASSERT_TRUE(vs.LogAndApply(&e2).ok());
+    EXPECT_EQ(vs.PickCompaction(), nullptr);
+
+    // One more flush crosses the trigger: the idle files merge among
+    // themselves (intra-L0) instead of waiting behind the busy job.
+    VersionEdit e3;
+    e3.AddFile(0, File(23, "aaa", "zzz"));
+    ASSERT_TRUE(vs.LogAndApply(&e3).ok());
+    auto relief = vs.PickCompaction();
+    ASSERT_NE(relief, nullptr);
+    EXPECT_TRUE(relief->is_intra_l0);
+    EXPECT_EQ(relief->level, 0);
+    EXPECT_EQ(relief->output_level, 0);
+    EXPECT_EQ(relief->inputs[0].size(), 4u);  // only the non-busy files
+    EXPECT_TRUE(relief->inputs[1].empty());
+  });
+}
+
+TEST_F(VersionSetTest, PickCompactionWithholdsDeepJobsWhenAsked) {
+  Run([&](VersionSet& vs) {
+    VersionEdit e;
+    e.AddFile(1, File(20, "bbb", "ccc", 2 << 20));  // 2x the L1 budget
+    ASSERT_TRUE(vs.LogAndApply(&e).ok());
+
+    // allow_deep=false is the worker loop reserving its last slot for L0.
+    EXPECT_EQ(vs.PickCompaction(/*allow_deep=*/false), nullptr);
+    auto c = vs.PickCompaction(/*allow_deep=*/true);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->level, 1);
+    EXPECT_EQ(c->output_level, 2);
+  });
+}
+
+TEST_F(VersionSetTest, PickCompactionRanksDeepLevelsByScore) {
+  Run([&](VersionSet& vs) {
+    VersionEdit e;
+    // L1 at 2x its budget, L2 at 3x (base 1 MB, multiplier 10 -> 10 MB):
+    // the more oversubscribed level must drain first.
+    e.AddFile(1, File(20, "bbb", "ccc", 2 << 20));
+    for (int i = 0; i < 3; i++) {
+      std::string lo(1, static_cast<char>('d' + 2 * i));
+      std::string hi(1, static_cast<char>('e' + 2 * i));
+      e.AddFile(2, File(30 + i, lo, hi, 10 << 20));
+    }
+    ASSERT_TRUE(vs.LogAndApply(&e).ok());
+
+    auto c = vs.PickCompaction();
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->level, 2);
+  });
+}
+
+TEST_F(VersionSetTest, CompactionQueueDepthCountsRunnableLevels) {
+  Run([&](VersionSet& vs) {
+    EXPECT_EQ(vs.CompactionQueueDepth(), 0);
+    VersionEdit e;
+    for (int i = 0; i < 4; i++) e.AddFile(0, File(10 + i, "aaa", "zzz"));
+    e.AddFile(1, File(20, "bbb", "ccc", 2 << 20));
+    e.AddFile(2, File(30, "ddd", "eee", 11 << 20));
+    ASSERT_TRUE(vs.LogAndApply(&e).ok());
+    EXPECT_EQ(vs.CompactionQueueDepth(), 3);
+  });
+}
+
 TEST_F(VersionSetTest, RecoverRestoresState) {
   world_.Run([&] {
     {

@@ -21,6 +21,11 @@ run_pass() {
   # this is deterministic in both the plain and sanitized builds.
   echo "==== ${name}: ctest -L faults ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L faults
+  # Compaction suite, explicitly: subcompaction output equivalence,
+  # crash.subcompaction.mid recovery, report determinism with splits on,
+  # worker park/resume accounting and the priority-scheduler unit tests.
+  echo "==== ${name}: ctest -L compaction ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L compaction
   # Faulty-run smoke: the bench must complete under an armed fault profile.
   echo "==== ${name}: dbbench fault smoke ===="
   "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
@@ -71,9 +76,57 @@ bench_smoke() {
       --seconds=10 --scale=0.0625 \
       --json_out="${out_dir}/smoke_${sys}.json" > /dev/null
   done
+  # Subcompaction A/B at 4 compaction threads: same seed and workload, split
+  # width 4 vs 1. The deterministic simulation makes this a hard gate, not a
+  # statistical one: with splitting on, total write-stall virtual time must
+  # be strictly lower (ISSUE acceptance for the range-partitioned path).
+  echo "==== bench smoke: subcompaction A/B (threads=4) ===="
+  local sub
+  for sub in 1 4; do
+    "${dir}/tools/kvaccel_dbbench" --system=rocksdb --workload=fillrandom \
+      --seconds=20 --scale=0.0625 --threads=4 --writer_threads=4 \
+      --batch_size=8 --max_subcompactions="${sub}" \
+      --json_out="${out_dir}/smoke_sub${sub}.json" > /dev/null
+  done
+  python3 - "${out_dir}/smoke_sub1.json" "${out_dir}/smoke_sub4.json" <<'EOF'
+import json, sys
+off = json.load(open(sys.argv[1]))["runs"][0]["summary"]
+on = json.load(open(sys.argv[2]))["runs"][0]["summary"]
+assert on["split_compactions"] > 0, "subcompaction run never split a job"
+assert on["stalled_seconds"] < off["stalled_seconds"], (
+    f"subcompactions on stalled {on['stalled_seconds']}s, "
+    f"off {off['stalled_seconds']}s — no strict win")
+print(f"subcompaction A/B: stalled {off['stalled_seconds']:.2f}s -> "
+      f"{on['stalled_seconds']:.2f}s with {on['split_compactions']} split jobs")
+EOF
+  # KVACCEL-vs-seed guard: the fresh kvaccel run's stall-time fraction must
+  # not regress past the committed BENCH_smoke.json (tolerant: skipped when
+  # no baseline entry exists, e.g. on a schema change).
+  python3 - "${out_dir}/smoke_kvaccel.json" BENCH_smoke.json <<'EOF'
+import json, sys, os
+fresh = json.load(open(sys.argv[1]))
+run = fresh["runs"][0]
+frac = run["summary"]["stalled_seconds"] / max(run["seconds"], 1e-9)
+if not os.path.exists(sys.argv[2]):
+    print("no committed BENCH_smoke.json; skipping stall-fraction guard")
+    sys.exit(0)
+base = json.load(open(sys.argv[2]))
+entry = base.get("systems", {}).get(run["name"])
+if entry is None or "stalled_seconds" not in entry:
+    print(f"no baseline for {run['name']}; skipping stall-fraction guard")
+    sys.exit(0)
+base_frac = entry["stalled_seconds"] / base.get("config", {}).get("seconds", 10)
+slack = 0.02  # absolute stall-fraction slack for timing drift
+assert frac <= base_frac + slack, (
+    f"kvaccel stall fraction regressed: {frac:.4f} vs baseline "
+    f"{base_frac:.4f} (+{slack} slack)")
+print(f"kvaccel stall fraction {frac:.4f} vs baseline {base_frac:.4f}: ok")
+EOF
   python3 tools/merge_smoke.py BENCH_smoke.json \
     "${out_dir}/smoke_rocksdb.json" "${out_dir}/smoke_adoc.json" \
-    "${out_dir}/smoke_kvaccel.json"
+    "${out_dir}/smoke_kvaccel.json" \
+    "rocksdb4-nosub=${out_dir}/smoke_sub1.json" \
+    "rocksdb4-sub=${out_dir}/smoke_sub4.json"
 }
 
 mode="${1:-all}"
@@ -83,13 +136,18 @@ case "${mode}" in
     bench_smoke build
     ;;
   sanitize) run_pass "sanitize" build-asan -DKVACCEL_SANITIZE=ON ;;
+  bench)
+    cmake -B build -S .
+    cmake --build build -j "${JOBS}"
+    bench_smoke build
+    ;;
   all)
     run_pass "plain" build
     bench_smoke build
     run_pass "sanitize" build-asan -DKVACCEL_SANITIZE=ON
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|sanitize|all]" >&2
+    echo "usage: tools/ci.sh [plain|sanitize|bench|all]" >&2
     exit 2
     ;;
 esac

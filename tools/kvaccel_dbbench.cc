@@ -33,6 +33,13 @@
 //   --db_dump_dir=D    export the final simulated file-system image to a
 //                      host directory after Close, for offline inspection
 //                      with tools/kvaccel_check
+//   --max_subcompactions=N  cap on range-partitioned subcompactions per
+//                      compaction job (0 = DbOptions default; 1 disables
+//                      splitting entirely)
+//   --compaction_rate_limit=F  deep-compaction I/O cap as a fraction of
+//                      device NAND bandwidth, in (0, 1]; 0 = unlimited
+//   --nand_mbps=F      override the simulated NAND bandwidth in MB/s
+//                      (ablation hook; 0 = preset 630 MB/s)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,7 +80,9 @@ void Usage() {
           "  [--fault_profile=flaky-nvme|bitrot|power-cut|devlsm-dead]\n"
           "  [--fault_seed=N] [--series]\n"
           "  [--trace_out=FILE] [--json_out=FILE]\n"
-          "  [--nemesis_seed=N] [--trace_dump_dir=DIR] [--db_dump_dir=DIR]\n");
+          "  [--nemesis_seed=N] [--trace_dump_dir=DIR] [--db_dump_dir=DIR]\n"
+          "  [--max_subcompactions=N] [--compaction_rate_limit=F]\n"
+          "  [--nand_mbps=F]\n");
 }
 
 }  // namespace
@@ -163,6 +172,18 @@ int main(int argc, char** argv) {
       config.trace_dump_dir = v;
     } else if (FlagEq(argv[i], "--db_dump_dir", &v)) {
       config.db_dump_dir = v;
+    } else if (FlagEq(argv[i], "--max_subcompactions", &v)) {
+      config.sut.max_subcompactions =
+          static_cast<int>(ParseFlagInt(v, "--max_subcompactions"));
+    } else if (FlagEq(argv[i], "--compaction_rate_limit", &v)) {
+      config.sut.compaction_rate_limit =
+          ParseFlagDouble(v, "--compaction_rate_limit");
+      if (config.sut.compaction_rate_limit > 1.0) {
+        fprintf(stderr, "--compaction_rate_limit must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--nand_mbps", &v)) {
+      config.nand_mbps = ParseFlagDouble(v, "--nand_mbps");
     } else if (strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -204,6 +225,13 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(r.cache_hits),
          static_cast<unsigned long long>(r.cache_misses),
          r.cache_hit_rate * 100.0);
+  printf("compactions       : %llu jobs (%llu split into %llu subcompactions, "
+         "%llu intra-L0), %.1f s throttled\n",
+         static_cast<unsigned long long>(r.compactions),
+         static_cast<unsigned long long>(r.split_compactions),
+         static_cast<unsigned long long>(r.subcompactions),
+         static_cast<unsigned long long>(r.intra_l0_compactions),
+         r.compaction_throttle_seconds);
   if (config.sut.kind == SystemKind::kKvaccel) {
     printf("kvaccel           : %llu redirected writes (%llu batches), "
            "%llu rollbacks, %llu detector checks\n",

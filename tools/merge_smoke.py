@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
 """Merge per-system kvaccel-run-v1 reports into BENCH_smoke.json.
 
-Usage: merge_smoke.py OUT.json REPORT.json...
+Usage: merge_smoke.py OUT.json [LABEL=]REPORT.json...
 
 Each input is one dbbench --json_out report (one run). The output maps each
 system name to the smoke signals CI tracks across commits: write throughput,
-total stalled seconds and P99 put latency.
+total stalled seconds, P99 put latency and the compaction-shape counters.
+
+By default a run is keyed by its report name (e.g. "RocksDB(4)"). Two runs
+of the same system/thread count collide on that name, so an input may be
+prefixed with an explicit label — "rocksdb4-nosub=path.json" — which becomes
+the key instead.
 """
 import json
 import sys
@@ -13,12 +18,16 @@ import sys
 
 def main():
     if len(sys.argv) < 3:
-        print("usage: merge_smoke.py OUT.json REPORT.json...", file=sys.stderr)
+        print("usage: merge_smoke.py OUT.json [LABEL=]REPORT.json...",
+              file=sys.stderr)
         return 2
     out_path = sys.argv[1]
 
     merged = {"schema": "kvaccel-bench-smoke-v1", "systems": {}}
-    for path in sys.argv[2:]:
+    for arg in sys.argv[2:]:
+        label, sep, path = arg.partition("=")
+        if not sep:
+            label, path = None, arg
         with open(path, "rb") as f:
             report = json.load(f)
         if report.get("schema") != "kvaccel-run-v1":
@@ -26,12 +35,17 @@ def main():
             return 1
         for run in report.get("runs", []):
             s = run["summary"]
-            merged["systems"][run["name"]] = {
+            merged["systems"][label or run["name"]] = {
                 "write_kops": s["write_kops"],
                 "write_mbps": s["write_mbps"],
                 "stalled_seconds": s["stalled_seconds"],
                 "stall_events": s["stall_events"],
                 "put_p99_us": s["put_p99_us"],
+                "compactions": s["compactions"],
+                "split_compactions": s["split_compactions"],
+                "subcompactions": s["subcompactions"],
+                "intra_l0_compactions": s["intra_l0_compactions"],
+                "compaction_throttle_seconds": s["compaction_throttle_seconds"],
             }
         merged.setdefault("config", report.get("config"))
 
