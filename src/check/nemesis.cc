@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -14,6 +15,7 @@
 #include "common/random.h"
 #include "common/value.h"
 #include "core/kvaccel_db.h"
+#include "core/sharded_kvaccel_db.h"
 #include "devlsm/dev_lsm.h"
 #include "fs/simfs.h"
 #include "lsm/db.h"
@@ -95,21 +97,70 @@ core::KvaccelOptions NemesisKvOptions(devlsm::DevLsm* dev) {
   return o;
 }
 
+// Uniform handle over the two engines the schedule can drive. shards == 1
+// keeps the plain KvaccelDB path (and its exact virtual-time schedule);
+// the branches below are host-side only, so they cost no virtual time.
+struct NemesisDb {
+  std::unique_ptr<core::KvaccelDB> single;
+  std::unique_ptr<core::ShardedKvaccelDB> sharded;
+
+  bool open() const { return single != nullptr || sharded != nullptr; }
+  void reset() {
+    single.reset();
+    sharded.reset();
+  }
+  Status Put(const Slice& k, const Value& v) {
+    return sharded ? sharded->Put({}, k, v) : single->Put({}, k, v);
+  }
+  Status Delete(const Slice& k) {
+    return sharded ? sharded->Delete({}, k) : single->Delete({}, k);
+  }
+  Status Write(lsm::WriteBatch* b) {
+    return sharded ? sharded->Write({}, b) : single->Write({}, b);
+  }
+  Status Get(const Slice& k, Value* v) {
+    return sharded ? sharded->Get({}, k, v) : single->Get({}, k, v);
+  }
+  std::unique_ptr<lsm::Iterator> NewIterator() {
+    return sharded ? sharded->NewIterator({}) : single->NewIterator({});
+  }
+  Status Close() { return sharded ? sharded->Close() : single->Close(); }
+  Status BackgroundError() {
+    if (sharded) {
+      for (int i = 0; i < sharded->num_shards(); i++) {
+        Status s = sharded->shard(i)->main()->GetBackgroundError();
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    }
+    return single->main()->GetBackgroundError();
+  }
+};
+
 }  // namespace
 
 NemesisResult RunNemesis(const NemesisOptions& opt) {
   NemesisResult result;
   std::ostringstream trace;
+  const int shards = std::max(1, opt.shards);
   trace << "nemesis-trace-v1 seed=" << opt.seed << " cycles=" << opt.cycles
         << " ops_per_cycle=" << opt.ops_per_cycle
         << " key_space=" << opt.key_space << " value_size=" << opt.value_size
-        << " corrupt_model_at_cycle=" << opt.corrupt_model_at_cycle << "\n";
+        << " corrupt_model_at_cycle=" << opt.corrupt_model_at_cycle
+        << " shards=" << shards << "\n";
 
   sim::SimEnv env;
   ssd::SsdConfig ssd_config;
   ssd_config.capacity_bytes = 2ull << 30;
+  ssd_config.num_namespaces = shards;
   ssd::HybridSsd ssd(&env, ssd_config);
-  fs::SimFs fs(&ssd, 0);
+  // One file system per shard namespace; they model the device, so they
+  // outlive every simulated host reboot (only their dirty pages die).
+  std::vector<std::unique_ptr<fs::SimFs>> shard_fs;
+  for (int i = 0; i < shards; i++) {
+    shard_fs.push_back(std::make_unique<fs::SimFs>(&ssd, i));
+  }
+  fs::SimFs& fs = *shard_fs[0];
   sim::CpuPool host_cpu(&env, "host", 8);
   sim::FaultInjector inj(&env, opt.seed);
   env.set_fault_injector(&inj);
@@ -117,12 +168,32 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
   env.Spawn("nemesis-main", [&] {
     Random64 rng(opt.seed);
     lsm::DbOptions db_opts = NemesisDbOptions();
-    devlsm::DevLsm dev(&ssd, 0, NemesisKvOptions(nullptr).dev);
-    core::KvaccelOptions kv_opts = NemesisKvOptions(&dev);
+    // Dev-LSMs likewise survive reboots, one per shard namespace.
+    std::vector<std::unique_ptr<devlsm::DevLsm>> devs;
+    for (int i = 0; i < shards; i++) {
+      devs.push_back(std::make_unique<devlsm::DevLsm>(
+          &ssd, i, NemesisKvOptions(nullptr).dev));
+    }
+    core::KvaccelOptions kv_opts = NemesisKvOptions(devs[0].get());
     lsm::DbEnv denv{&env, &ssd, &fs, &host_cpu};
+    core::ShardingOptions sharding;
+    sharding.num_shards = shards;
+    for (auto& f : shard_fs) sharding.external_fs.push_back(f.get());
+    for (auto& d : devs) sharding.external_devs.push_back(d.get());
+    core::ShardEnv senv{&env, &ssd, &host_cpu};
 
-    std::unique_ptr<core::KvaccelDB> db;
-    Status s = core::KvaccelDB::Open(db_opts, kv_opts, denv, &db);
+    auto open_db = [&](NemesisDb* out) -> Status {
+      if (shards > 1) {
+        core::KvaccelOptions kv = kv_opts;
+        kv.external_dev = nullptr;  // the router attaches external_devs
+        return core::ShardedKvaccelDB::Open(db_opts, kv, sharding, senv,
+                                            &out->sharded);
+      }
+      return core::KvaccelDB::Open(db_opts, kv_opts, denv, &out->single);
+    };
+
+    NemesisDb db;
+    Status s = open_db(&db);
     if (!s.ok()) {
       result.ok = false;
       result.error = "initial open failed: " + s.ToString();
@@ -145,6 +216,18 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
       rule.nth_hit = 1 + rng.Uniform(site.max_nth);
       rule.max_fires = 1;
       inj.Arm(site.name, rule);
+      // Sharded runs arm a second kill site alongside the rollback one: the
+      // sites are env-global, so with several shards flushing independently
+      // the machine can die while one shard is mid-rollback and another is
+      // mid-flush — whichever site trips first kills the whole box.
+      bool dual = shards > 1 && strcmp(site.name, "crash.rollback.mid") == 0;
+      uint64_t dual_nth = 0;
+      if (dual) {
+        sim::FaultRule second;
+        second.nth_hit = dual_nth = 1 + rng.Uniform(6);
+        second.max_fires = 1;
+        inj.Arm("crash.flush.mid", second);
+      }
       // Some cycles also see transient device-put failures, exercising the
       // retry/fallback path underneath the crash schedule.
       bool transient = rng.Uniform(4) == 0;
@@ -154,8 +237,9 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
         inj.Arm("devlsm.put.transient", t);
       }
       trace << "cycle=" << cycle << " site=" << site.name
-            << " nth=" << rule.nth_hit << " transient=" << (transient ? 1 : 0)
-            << "\n";
+            << " nth=" << rule.nth_hit << " transient=" << (transient ? 1 : 0);
+      if (dual) trace << " dual=crash.flush.mid nth2=" << dual_nth;
+      trace << "\n";
 
       std::map<std::string, Ambiguous> ambiguous;
       // Records pre-op state for every key of a write op, so a failure can
@@ -176,7 +260,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
           Ambiguous a;
           note_pre(key, &a);
           a.post = value;
-          Status ps = db->Put({}, key, value);
+          Status ps = db.Put(key, value);
           trace << "op=" << op << " put k=" << key << " s=" << seed << " -> "
                 << (ps.ok() ? "ok" : "err") << "\n";
           if (ps.ok()) {
@@ -191,7 +275,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
           Ambiguous a;
           note_pre(key, &a);
           a.post_is_delete = true;
-          Status ds = db->Delete({}, key);
+          Status ds = db.Delete(key);
           trace << "op=" << op << " del k=" << key << " -> "
                 << (ds.ok() ? "ok" : "err") << "\n";
           if (ds.ok()) {
@@ -222,7 +306,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
             }
             batch_amb[key] = a;
           }
-          Status bs = db->Write({}, &batch);
+          Status bs = db.Write(&batch);
           trace << " -> " << (bs.ok() ? "ok" : "err") << "\n";
           if (bs.ok()) {
             // Replay into the model in batch order (later entries win).
@@ -243,7 +327,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
           std::string key = NemKey(rng.Uniform(opt.key_space));
           Value got, want;
           bool want_present = model.Get(key, &want);
-          Status gs = db->Get({}, key, &got);
+          Status gs = db.Get(key, &got);
           trace << "op=" << op << " get k=" << key << " -> "
                 << (gs.ok() ? "hit" : gs.IsNotFound() ? "miss" : "err")
                 << "\n";
@@ -271,7 +355,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
         } else if (draw < 95) {
           // --- seek + short scan-verify ---
           std::string start = NemKey(rng.Uniform(opt.key_space));
-          auto it = db->NewIterator({});
+          auto it = db.NewIterator();
           it->Seek(start);
           auto mit = model.live().lower_bound(start);
           int matched = 0;
@@ -303,30 +387,38 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
           }
         } else {
           // --- forced rollback (drain Dev-LSM into Main-LSM) ---
-          Status rs = db->RollbackNow();
-          trace << "op=" << op << " rollback -> " << (rs.ok() ? "ok" : "err")
-                << "\n";
+          // Sharded mode rolls back one seeded-random shard, so concurrent
+          // drains on other shards keep running under the armed kill sites.
+          int rb_shard =
+              db.sharded ? static_cast<int>(rng.Uniform(shards)) : 0;
+          Status rs = db.sharded ? db.sharded->RollbackShardNow(rb_shard)
+                                 : db.single->RollbackNow();
+          trace << "op=" << op << " rollback";
+          if (db.sharded) trace << " shard=" << rb_shard;
+          trace << " -> " << (rs.ok() ? "ok" : "err") << "\n";
           // State-preserving either way: a mid-drain crash leaves every
           // unreset pair on the device for the reopen drain.
           if (!rs.ok()) crashed = true;
         }
-        if (inj.crashed() || !db->main()->GetBackgroundError().ok()) {
+        if (inj.crashed() || !db.BackgroundError().ok()) {
           crashed = true;  // background thread hit the kill point
         }
       }
       inj.Disarm(site.name);
+      if (dual) inj.Disarm("crash.flush.mid");
       if (transient) inj.Disarm("devlsm.put.transient");
       if (!result.ok) break;
       if (crashed) result.crashes++;
       trace << (crashed ? "crash" : "clean") << " cycle=" << cycle << "\n";
 
       // Crash protocol: the machine is dead — close tolerating errors, lose
-      // the page cache, clear the latch, reopen (which drains the device).
-      (void)db->Close();
+      // every shard's page cache, clear the latch, reopen (which drains
+      // every shard's device).
+      (void)db.Close();
       db.reset();
-      fs.DropAllDirty();
+      for (auto& f : shard_fs) f->DropAllDirty();
       inj.ClearCrash();
-      s = core::KvaccelDB::Open(db_opts, kv_opts, denv, &db);
+      s = open_db(&db);
       if (!s.ok()) {
         diverge("cycle " + U64(cycle) +
                 " recovery open failed: " + s.ToString());
@@ -346,7 +438,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
       for (uint64_t k = 0; k < opt.key_space && result.ok; k++) {
         std::string key = NemKey(k);
         Value got;
-        Status gs = db->Get({}, key, &got);
+        Status gs = db.Get(key, &got);
         if (!gs.ok() && !gs.IsNotFound()) {
           diverge("cycle " + U64(cycle) + " recovered get " + key +
                   " failed: " + gs.ToString());
@@ -397,8 +489,10 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
       if (!result.ok) break;
 
       // --- full hybrid-iterator walk: exact key order and values ---
+      // (In sharded mode this walks the cross-shard merging iterator, so it
+      // verifies global key order across every shard's recovered state.)
       {
-        auto it = db->NewIterator({});
+        auto it = db.NewIterator();
         it->SeekToFirst();
         auto mit = model.live().begin();
         uint64_t pos = 0;
@@ -440,7 +534,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
       }
       result.cycles_run++;
     }
-    if (db != nullptr) (void)db->Close();
+    if (db.open()) (void)db.Close();
   });
   env.Run();
 
@@ -491,6 +585,8 @@ Status ParseNemesisTrace(const std::string& path, NemesisOptions* out) {
       out->value_size = static_cast<uint32_t>(value);
     } else if (name == "corrupt_model_at_cycle") {
       out->corrupt_model_at_cycle = static_cast<int>(value);
+    } else if (name == "shards") {
+      out->shards = static_cast<int>(value);
     }  // unknown keys: forward compatibility, ignore
   }
   return Status::OK();

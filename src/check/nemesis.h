@@ -28,6 +28,13 @@ struct NemesisOptions {
   int ops_per_cycle = 150;
   uint64_t key_space = 400;
   uint32_t value_size = 4096;
+  // > 1 runs the schedule against a ShardedKvaccelDB (one namespace, WAL and
+  // Detector per shard, fair-share arbiter on). Crash cycles may arm a
+  // second kill site so the machine can die while one shard is mid-rollback
+  // and another mid-flush; recovery verifies every shard's acked writes and
+  // the cross-shard iterator order. 1 = the plain single-shard stack,
+  // byte-compatible with earlier schedules.
+  int shards = 1;
   // When non-empty: on divergence, write the op trace to
   // <trace_dump_dir>/nemesis-<seed>.trace on the host file system.
   std::string trace_dump_dir;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/histogram.h"
 #include "common/units.h"
@@ -64,6 +65,18 @@ struct KvaccelOptions {
   // simulated host reboot (the device outlives the host process). Not owned.
   devlsm::DevLsm* external_dev = nullptr;
 
+  // --- Sharded-engine hooks (DESIGN.md §11). Both optional; unset =
+  // standalone single-shard behavior. ---
+  // Redirect admission control: called with the batch's logical bytes before
+  // a redirect; returning false forces the host (stalling) path. The sharded
+  // router wires this to the global-vs-per-shard Dev-LSM capacity budget so
+  // shards compete for redirect space instead of one filling the device.
+  std::function<bool(uint64_t bytes)> redirect_admission;
+  // Device-bandwidth arbitration for the redirect DMA: called with the
+  // compound command's payload bytes before the device put; blocks in
+  // virtual time until the reservation is granted and returns the ns queued.
+  std::function<Nanos(uint64_t bytes)> redirect_arbiter;
+
   // Online scrubber (DESIGN.md §9): a low-priority actor that re-reads SST
   // blocks with checksum verification during idle bandwidth. Off by default
   // so existing benchmarks/tests keep their exact virtual-time schedules.
@@ -87,6 +100,10 @@ struct KvaccelStats {
   // Redirected groups: one PutCompound command per batch (tentpole path).
   uint64_t redirected_batches = 0;
   Histogram redirect_batch_latency;  // ns per redirected batch (device RTT)
+  // Sharded engine: redirects refused by the capacity budget (the batch
+  // took the host path instead) and time queued on the bandwidth arbiter.
+  uint64_t redirect_admission_rejects = 0;
+  uint64_t redirect_arbiter_wait_ns = 0;
   uint64_t dev_reads = 0;           // Gets answered by Dev-LSM
   uint64_t main_reads = 0;
   uint64_t rollbacks = 0;

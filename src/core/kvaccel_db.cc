@@ -140,7 +140,15 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
   if (count == 0) return Status::OK();
   Nanos start = env_->Now();
   Status s;
-  if (ShouldRedirect()) {
+  bool redirect = ShouldRedirect();
+  if (redirect && options_.redirect_admission &&
+      !options_.redirect_admission(batch->LogicalSize())) {
+    // Sharded engine: this shard's slice of the Dev-LSM capacity budget is
+    // exhausted — compete fairly by falling back to the host path.
+    kv_stats_.redirect_admission_rejects++;
+    redirect = false;
+  }
+  if (redirect) {
     // Stall path: serve the whole batch from the key-value interface as one
     // compound command. Pairs land on the device first; only then do the
     // metadata records flip, so a concurrent reader never chases a record to
@@ -159,6 +167,13 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
           bp.tombstone = (type == lsm::ValueType::kDeletion);
           entries.push_back(std::move(bp));
         });
+    if (s.ok() && options_.redirect_arbiter) {
+      // Reserve the redirect DMA's bandwidth on the shared-device arbiter
+      // before issuing the command, so a compaction-heavy neighbor shard
+      // cannot monopolize the link ahead of this stalled shard's escape path.
+      kv_stats_.redirect_arbiter_wait_ns += static_cast<uint64_t>(
+          options_.redirect_arbiter(batch->LogicalSize()));
+    }
     if (s.ok()) {
       Nanos dev_start = env_->Now();
       s = DevPutWithRetry(entries);

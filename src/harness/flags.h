@@ -26,6 +26,17 @@
 //                      device NAND bandwidth, in (0, 1]; 0 = unlimited
 //   --nand_mbps=F      override the simulated device NAND bandwidth in MB/s
 //                      (ablation hook; 0 = preset 630 MB/s)
+//   --shards=N         KVACCEL only: shard-per-core engine with N shards,
+//                      one SSD namespace/WAL/memtable/Detector each
+//                      (default 1 = the plain single-shard facade)
+//   --tenants=N        carve the key space into N per-tenant slices with at
+//                      least one writer each; per-tenant p50/p99 reported
+//   --shard_partition=hash|range  key-to-shard mapping (default hash)
+//   --redirect_policy=global|per_shard  how shards compete for the Dev-LSM
+//                      redirect capacity budget (default global)
+//   --arbiter_share=F  fair-share device-bandwidth arbiter serving rate as a
+//                      fraction of NAND bandwidth in [0, 1]; 0 disables
+//                      (default 1.0)
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -111,6 +122,11 @@ struct BenchFlags {
   int max_subcompactions = 0;     // 0 = DbOptions default; 1 = disabled
   double compaction_rate_limit = 0;  // fraction of NAND bandwidth; 0 = off
   double nand_mbps = 0;           // 0 = device preset
+  int shards = 1;                 // sharded KVACCEL engine; 1 = plain facade
+  int tenants = 1;                // key-space slices with dedicated writers
+  std::string shard_partition = "hash";    // hash | range
+  std::string redirect_policy = "global";  // global | per_shard
+  double arbiter_share = 1.0;     // fraction of NAND bandwidth; 0 = off
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -156,6 +172,39 @@ struct BenchFlags {
         }
       } else if (strncmp(arg, "--nand_mbps=", 12) == 0) {
         f.nand_mbps = ParseFlagDouble(arg + 12, "--nand_mbps");
+      } else if (strncmp(arg, "--shards=", 9) == 0) {
+        f.shards =
+            static_cast<int>(ParseFlagInt(arg + 9, "--shards", /*min_value=*/1));
+      } else if (strncmp(arg, "--tenants=", 10) == 0) {
+        f.tenants = static_cast<int>(
+            ParseFlagInt(arg + 10, "--tenants", /*min_value=*/1));
+      } else if (strncmp(arg, "--shard_partition=", 18) == 0) {
+        f.shard_partition = arg + 18;
+        if (f.shard_partition != "hash" && f.shard_partition != "range") {
+          fprintf(stderr,
+                  "invalid value for --shard_partition: '%s' "
+                  "(expected hash or range)\n",
+                  arg + 18);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--redirect_policy=", 18) == 0) {
+        f.redirect_policy = arg + 18;
+        if (f.redirect_policy != "global" && f.redirect_policy != "per_shard") {
+          fprintf(stderr,
+                  "invalid value for --redirect_policy: '%s' "
+                  "(expected global or per_shard)\n",
+                  arg + 18);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--arbiter_share=", 16) == 0) {
+        f.arbiter_share = ParseFlagDouble(arg + 16, "--arbiter_share");
+        if (f.arbiter_share > 1.0) {
+          fprintf(stderr,
+                  "invalid value for --arbiter_share: %s "
+                  "(must be a fraction in [0, 1])\n",
+                  arg + 16);
+          exit(2);
+        }
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

@@ -71,7 +71,47 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
   w->Field("subcompactions", r.subcompactions);
   w->Field("intra_l0_compactions", r.intra_l0_compactions);
   w->Field("compaction_throttle_seconds", r.compaction_throttle_seconds);
+  if (!r.shards.empty()) {
+    w->Field("shard_fairness_ratio", r.shard_fairness_ratio);
+  }
   w->EndObject();
+
+  if (!r.shards.empty()) {
+    w->Key("shards");
+    w->BeginArray();
+    for (const ShardSummary& s : r.shards) {
+      w->BeginObject();
+      w->Field("shard", s.shard);
+      w->Field("writes", s.writes);
+      w->Field("write_kops", s.write_kops);
+      w->Field("put_p50_us", s.put_p50_us);
+      w->Field("put_p99_us", s.put_p99_us);
+      w->Field("redirected_writes", s.redirected_writes);
+      w->Field("redirect_admission_rejects", s.redirect_admission_rejects);
+      w->Field("rollbacks", s.rollbacks);
+      w->Field("stalled_seconds", s.stalled_seconds);
+      w->Field("arbiter_grants", s.arbiter_grants);
+      w->Field("arbiter_granted_bytes", s.arbiter_granted_bytes);
+      w->Field("arbiter_throttles", s.arbiter_throttles);
+      w->Field("arbiter_throttle_seconds", s.arbiter_throttle_seconds);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
+
+  if (!r.tenants.empty()) {
+    w->Key("tenants");
+    w->BeginArray();
+    for (const TenantSummary& t : r.tenants) {
+      w->BeginObject();
+      w->Field("tenant", t.tenant);
+      w->Field("ops", t.ops);
+      w->Field("put_p50_us", t.put_p50_us);
+      w->Field("put_p99_us", t.put_p99_us);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
 
   w->Key("per_second");
   w->BeginObject();
@@ -118,6 +158,17 @@ std::string JsonReportString(const BenchConfig& config,
   w.Field("seed", config.workload.seed);
   w.Field("max_subcompactions", config.sut.max_subcompactions);
   w.Field("compaction_rate_limit", config.sut.compaction_rate_limit);
+  w.Field("shards", config.sut.shards);
+  w.Field("tenants", config.workload.tenants);
+  w.Field("shard_partition",
+          config.sut.shard_partition == core::ShardPartition::kRange
+              ? "range"
+              : "hash");
+  w.Field("redirect_policy",
+          config.sut.redirect_policy == core::RedirectBudgetPolicy::kPerShard
+              ? "per_shard"
+              : "global");
+  w.Field("arbiter_share", config.sut.arbiter_share);
   w.Field("fault_profile", config.fault_profile);
   w.Field("fault_seed", config.fault_seed);
   w.Field("nemesis_seed", config.nemesis_seed);

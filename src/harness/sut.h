@@ -9,6 +9,7 @@
 
 #include "adoc/adoc_tuner.h"
 #include "core/kvaccel_db.h"
+#include "core/sharded_kvaccel_db.h"
 #include "harness/presets.h"
 #include "lsm/db.h"
 
@@ -36,6 +37,14 @@ struct SutConfig {
   int max_subcompactions = 0;
   // Deep-compaction I/O cap as a fraction of device NAND bandwidth; 0 = off.
   double compaction_rate_limit = 0;
+  // Sharded engine (KVACCEL only, DESIGN.md §11): > 1 opens a
+  // ShardedKvaccelDB with one namespace/WAL/memtable/Detector per shard.
+  int shards = 1;
+  core::ShardPartition shard_partition = core::ShardPartition::kHash;
+  core::RedirectBudgetPolicy redirect_policy =
+      core::RedirectBudgetPolicy::kGlobal;
+  // Fair-share arbiter serving rate as a fraction of NAND bandwidth; 0 = off.
+  double arbiter_share = 1.0;
   // Ablation hook: adjust the DbOptions after the preset is built.
   std::function<void(lsm::DbOptions&)> db_tweak;
 };
@@ -81,7 +90,18 @@ class SystemUnderTest {
         if (config.rollback == core::RollbackScheme::kDisabled) {
           kv_opts.dev.compaction_enabled = false;
         }
-        st = core::KvaccelDB::Open(db_opts, kv_opts, env, &s->kvaccel_);
+        if (config.shards > 1) {
+          core::ShardingOptions sharding;
+          sharding.num_shards = config.shards;
+          sharding.partition = config.shard_partition;
+          sharding.redirect_policy = config.redirect_policy;
+          sharding.arbiter_share = config.arbiter_share;
+          core::ShardEnv senv{env.env, env.ssd, env.host_cpu};
+          st = core::ShardedKvaccelDB::Open(db_opts, kv_opts, sharding, senv,
+                                            &s->sharded_);
+        } else {
+          st = core::KvaccelDB::Open(db_opts, kv_opts, env, &s->kvaccel_);
+        }
         break;
       }
     }
@@ -91,54 +111,86 @@ class SystemUnderTest {
   }
 
   Status Put(const Slice& key, const Value& value) {
+    if (sharded_) return sharded_->Put({}, key, value);
     return kvaccel_ ? kvaccel_->Put({}, key, value)
                     : db_->Put({}, key, value);
   }
   // Batched write: the whole batch takes one trip down the write pipeline
   // (one Controller decision for KVACCEL, one group-commit slot otherwise).
   Status Write(lsm::WriteBatch* batch) {
+    if (sharded_) return sharded_->Write({}, batch);
     return kvaccel_ ? kvaccel_->Write({}, batch) : db_->Write({}, batch);
   }
   Status Delete(const Slice& key) {
+    if (sharded_) return sharded_->Delete({}, key);
     return kvaccel_ ? kvaccel_->Delete({}, key) : db_->Delete({}, key);
   }
   Status Get(const Slice& key, Value* value) {
+    if (sharded_) return sharded_->Get({}, key, value);
     return kvaccel_ ? kvaccel_->Get({}, key, value)
                     : db_->Get({}, key, value);
   }
   std::unique_ptr<lsm::Iterator> NewIterator(
       const lsm::ReadOptions& ropts = {}) {
+    if (sharded_) return sharded_->NewIterator(ropts);
     return kvaccel_ ? kvaccel_->NewIterator(ropts) : db_->NewIterator(ropts);
   }
 
   Status FlushAll() {
+    if (sharded_) return sharded_->FlushAll();
     return kvaccel_ ? kvaccel_->FlushAll() : db_->FlushAll();
   }
   Status WaitForCompactionIdle() {
+    if (sharded_) return sharded_->WaitForCompactionIdle();
     return kvaccel_ ? kvaccel_->WaitForCompactionIdle()
                     : db_->WaitForCompactionIdle();
   }
   Status Close() {
     if (tuner_ != nullptr) tuner_->Stop();
+    if (sharded_) return sharded_->Close();
     return kvaccel_ ? kvaccel_->Close() : db_->Close();
   }
 
   // Foreground-op stats (unified view for KVACCEL; DB stats otherwise).
+  // For a sharded SUT this is the cross-shard aggregate, recomputed per call.
   const lsm::DbStats& stats() const {
+    if (sharded_) return sharded_->AggregateStats();
     return kvaccel_ ? kvaccel_->stats() : db_->stats();
   }
   // The Main-LSM's internal stats (stall/slowdown regions, background work).
   const lsm::DbStats& main_stats() const {
+    if (sharded_) return sharded_->AggregateMainStats();
     return kvaccel_ ? kvaccel_->main()->stats() : db_->stats();
+  }
+  bool is_kvaccel() const { return kvaccel_ != nullptr || sharded_ != nullptr; }
+  // Facade-level KVACCEL counters: single shard's, or the fleet aggregate.
+  core::KvaccelStats kvaccel_stats() const {
+    if (sharded_) return sharded_->AggregateKvStats();
+    return kvaccel_ ? kvaccel_->kv_stats() : core::KvaccelStats{};
+  }
+  lsm::BlockCacheStats cache_stats() {
+    if (sharded_) return sharded_->AggregateBlockCacheStats();
+    return db()->GetBlockCacheStats();
+  }
+  devlsm::DevLsmStats devlsm_stats() const {
+    if (sharded_) return sharded_->AggregateDevStats();
+    return kvaccel_ ? kvaccel_->dev()->stats() : devlsm::DevLsmStats{};
   }
 
   SystemKind kind() const { return config_.kind; }
   std::string name() const {
-    return std::string(SystemName(config_.kind)) + "(" +
-           std::to_string(config_.compaction_threads) + ")";
+    std::string n = std::string(SystemName(config_.kind)) + "(" +
+                    std::to_string(config_.compaction_threads) + ")";
+    if (config_.shards > 1) n += "x" + std::to_string(config_.shards);
+    return n;
   }
-  lsm::DB* db() { return kvaccel_ ? kvaccel_->main() : db_.get(); }
+  // Representative DB for cache/SST introspection: shard 0 when sharded.
+  lsm::DB* db() {
+    if (sharded_) return sharded_->shard(0)->main();
+    return kvaccel_ ? kvaccel_->main() : db_.get();
+  }
   core::KvaccelDB* kvaccel() { return kvaccel_.get(); }
+  core::ShardedKvaccelDB* sharded() { return sharded_.get(); }
   adoc::AdocTuner* tuner() { return tuner_.get(); }
 
  private:
@@ -147,6 +199,7 @@ class SystemUnderTest {
   SutConfig config_;
   std::unique_ptr<lsm::DB> db_;
   std::unique_ptr<core::KvaccelDB> kvaccel_;
+  std::unique_ptr<core::ShardedKvaccelDB> sharded_;
   std::unique_ptr<adoc::AdocTuner> tuner_;
 };
 

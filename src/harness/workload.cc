@@ -63,13 +63,22 @@ struct Shared {
   uint64_t reads_done = 0;
   uint64_t scan_ops_done = 0;
   KeyReservoir reservoir{1 << 16};
+  // Per-tenant foreground accounting (index = tenant id; size >= 1).
+  std::vector<Histogram> tenant_latency;
+  std::vector<uint64_t> tenant_ops;
   bool stop = false;
 };
 
-void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
+void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
+                int tenant) {
   Random64 rng(thread_seed);
   uint64_t value_seed = thread_seed << 32;
   const int batch_size = std::max(1, wl.batch_size);
+  // Tenant t draws from its contiguous key-space slice; with one tenant the
+  // slice is the whole space and the draw sequence is unchanged.
+  const uint64_t span =
+      std::max<uint64_t>(1, wl.key_space / std::max(1, wl.tenants));
+  const uint64_t base = static_cast<uint64_t>(tenant) * span;
   lsm::WriteBatch batch;
   std::vector<uint64_t> drawn;
   drawn.reserve(batch_size);
@@ -77,13 +86,18 @@ void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
     batch.Clear();
     drawn.clear();
     for (int i = 0; i < batch_size; i++) {
-      uint64_t k = rng.Uniform(wl.key_space);
+      uint64_t k = base + rng.Uniform(span);
       batch.Put(MakeKey(k, wl.key_size),
                 Value::Synthetic(value_seed++, wl.value_size));
       drawn.push_back(k);
     }
+    Nanos op_start = sh->env->Now();
     Status s = sh->sut->Write(&batch);
     if (!s.ok()) break;  // e.g. file system full: end of useful run
+    sh->tenant_ops[static_cast<size_t>(tenant)] +=
+        static_cast<uint64_t>(batch_size);
+    sh->tenant_latency[static_cast<size_t>(tenant)].Add(
+        static_cast<uint64_t>(sh->env->Now() - op_start));
     sh->writes_done += static_cast<uint64_t>(batch_size);
     for (uint64_t k : drawn) sh->reservoir.Offer(k, &rng);
   }
@@ -186,10 +200,11 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
                    ssd->firmware()->busy_seconds());
   });
 
-  if (sut->kvaccel() != nullptr) {
-    core::KvaccelDB* kv = sut->kvaccel();
-    registry->AddSource([kv](obs::MetricsSnapshot* snap) {
-      const core::KvaccelStats& ks = kv->kv_stats();
+  if (sut->is_kvaccel()) {
+    registry->AddSource([sut](obs::MetricsSnapshot* snap) {
+      // Single shard: the facade's own counters. Sharded: fleet aggregates
+      // under the same names, so dashboards read both the same way.
+      core::KvaccelStats ks = sut->kvaccel_stats();
       snap->SetCounter("kvaccel.detector.checks", ks.detector_checks);
       snap->SetCounter("kvaccel.redirect.writes", ks.redirected_writes);
       snap->SetCounter("kvaccel.redirect.batches", ks.redirected_batches);
@@ -208,9 +223,23 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
                        ks.device_unhealthy_events);
       snap->SetHistogram("kvaccel.redirect.batch_latency_ns",
                          ks.redirect_batch_latency);
-      snap->SetGauge("kvaccel.redirect.active",
-                     kv->detector()->stall_detected() ? 1.0 : 0.0);
-      if (kv->scrubber() != nullptr) {
+      snap->SetCounter("kvaccel.redirect.admission_rejects",
+                       ks.redirect_admission_rejects);
+      snap->SetCounter("kvaccel.redirect.arbiter_wait_ns",
+                       ks.redirect_arbiter_wait_ns);
+      // Sharded: how many shards' Detectors currently see a stall.
+      double active = 0;
+      if (sut->sharded() != nullptr) {
+        core::ShardedKvaccelDB* shd = sut->sharded();
+        for (int i = 0; i < shd->num_shards(); i++) {
+          if (shd->shard(i)->detector()->stall_detected()) active += 1;
+        }
+      } else if (sut->kvaccel()->detector()->stall_detected()) {
+        active = 1;
+      }
+      snap->SetGauge("kvaccel.redirect.active", active);
+      core::KvaccelDB* kv = sut->kvaccel();
+      if (kv != nullptr && kv->scrubber() != nullptr) {
         const core::ScrubStats& sc = kv->scrubber()->stats();
         snap->SetCounter("scrub.files_scanned", sc.files_scanned);
         snap->SetCounter("scrub.bytes_scanned", sc.bytes_scanned);
@@ -219,7 +248,7 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
         snap->SetCounter("scrub.escalations", sc.escalations);
         snap->SetCounter("scrub.skipped_busy", sc.skipped_busy);
       }
-      const devlsm::DevLsmStats& ds = kv->dev()->stats();
+      devlsm::DevLsmStats ds = sut->devlsm_stats();
       snap->SetCounter("devlsm.puts", ds.puts);
       snap->SetCounter("devlsm.gets", ds.gets);
       snap->SetCounter("devlsm.deletes", ds.deletes);
@@ -230,6 +259,39 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
       snap->SetCounter("devlsm.bulk_scans", ds.bulk_scans);
       snap->SetCounter("devlsm.scan_chunks", ds.scan_chunks);
       snap->SetCounter("devlsm.resets", ds.resets);
+    });
+  }
+
+  // Per-shard roll-up (DESIGN.md §11): dotted shard.<i>.* names so the flat
+  // snapshot sorts all of one shard's metrics together.
+  if (sut->sharded() != nullptr) {
+    core::ShardedKvaccelDB* shd = sut->sharded();
+    registry->AddSource([shd](obs::MetricsSnapshot* snap) {
+      for (int i = 0; i < shd->num_shards(); i++) {
+        const std::string p = "shard." + std::to_string(i) + ".";
+        core::KvaccelDB* kv = shd->shard(i);
+        const lsm::DbStats& fg = kv->stats();
+        snap->SetCounter(p + "lsm.writes_total", fg.writes_total);
+        snap->SetCounter(p + "lsm.write_bytes_total", fg.write_bytes_total);
+        snap->SetCounter(p + "lsm.stall.events",
+                         kv->main()->stats().stall_events);
+        snap->SetHistogram(p + "db.put_latency_ns", fg.put_latency);
+        const core::KvaccelStats& ks = kv->kv_stats();
+        snap->SetCounter(p + "kvaccel.redirect.writes", ks.redirected_writes);
+        snap->SetCounter(p + "kvaccel.redirect.admission_rejects",
+                         ks.redirect_admission_rejects);
+        snap->SetCounter(p + "kvaccel.redirect.arbiter_wait_ns",
+                         ks.redirect_arbiter_wait_ns);
+        snap->SetCounter(p + "kvaccel.rollback.count", ks.rollbacks);
+        if (shd->arbiter() != nullptr) {
+          const sim::FairShareArbiter::ClientStats& cs =
+              shd->arbiter()->client_stats(i);
+          snap->SetCounter(p + "arbiter.grants", cs.grants);
+          snap->SetCounter(p + "arbiter.granted_bytes", cs.granted_bytes);
+          snap->SetCounter(p + "arbiter.throttles", cs.throttles);
+          snap->SetCounter(p + "arbiter.throttle_ns", cs.throttle_ns);
+        }
+      }
     });
   }
 
@@ -261,10 +323,17 @@ RunResult RunBenchmark(const BenchConfig& config) {
   obs::MetricsRegistry registry;
   ssd::SsdConfig ssd_config = PaperSsdConfig(config.scale);
   if (config.nand_mbps > 0) ssd_config.nand_bytes_per_sec = config.nand_mbps * 1e6;
+  // Sharded engine: one SSD namespace per shard; the router builds one SimFs
+  // per namespace itself, so no world-level file system exists (two SimFs on
+  // one namespace would both think they own its LBA space).
+  const bool sharded =
+      config.sut.kind == SystemKind::kKvaccel && config.sut.shards > 1;
+  if (sharded) ssd_config.num_namespaces = config.sut.shards;
   ssd::HybridSsd ssd(&env, ssd_config);
-  fs::SimFs fs(&ssd, 0);
+  std::unique_ptr<fs::SimFs> fs;
+  if (!sharded) fs = std::make_unique<fs::SimFs>(&ssd, 0);
   sim::CpuPool host_cpu(&env, "host", 8);  // Table II: usage limited to 8
-  lsm::DbEnv denv{&env, &ssd, &fs, &host_cpu};
+  lsm::DbEnv denv{&env, &ssd, fs.get(), &host_cpu};
 
   sim::FaultInjector injector(&env, config.fault_seed);
   if (!config.fault_profile.empty()) {
@@ -279,6 +348,10 @@ RunResult RunBenchmark(const BenchConfig& config) {
   RunResult result;
   Shared sh;
   sh.env = &env;
+  sh.tenant_latency.resize(
+      static_cast<size_t>(std::max(1, config.workload.tenants)));
+  sh.tenant_ops.resize(
+      static_cast<size_t>(std::max(1, config.workload.tenants)), 0);
 
   env.Spawn("bench-main", [&] {
     std::unique_ptr<SystemUnderTest> sut;
@@ -322,10 +395,13 @@ RunResult RunBenchmark(const BenchConfig& config) {
       return t == 0 ? wl.seed + 1 : wl.seed + 1 + 7919ull * t;
     };
     auto spawn_writers = [&](std::vector<sim::SimEnv::Thread*>* out) {
-      for (int t = 0; t < std::max(1, wl.writer_threads); t++) {
+      // At least one writer per tenant so every tenant's stream is live.
+      int writers = std::max({1, wl.writer_threads, wl.tenants});
+      for (int t = 0; t < writers; t++) {
+        int tenant = wl.tenants > 1 ? t % wl.tenants : 0;
         out->push_back(env.Spawn(
             "writer" + std::to_string(t),
-            [&, t] { WriterLoop(wl, &sh, writer_seed(t)); }));
+            [&, t, tenant] { WriterLoop(wl, &sh, writer_seed(t), tenant); }));
       }
     };
 
@@ -437,8 +513,8 @@ RunResult RunBenchmark(const BenchConfig& config) {
     result.fault_injected = injector.total_fires();
     result.io_retries = ms.io_retries;
     result.background_errors = ms.background_errors;
-    if (sut->kvaccel() != nullptr) {
-      const core::KvaccelStats& ks = sut->kvaccel()->kv_stats();
+    if (sut->is_kvaccel()) {
+      core::KvaccelStats ks = sut->kvaccel_stats();
       result.redirected_writes = ks.redirected_writes;
       result.rollbacks = ks.rollbacks;
       result.detector_checks = ks.detector_checks;
@@ -446,7 +522,66 @@ RunResult RunBenchmark(const BenchConfig& config) {
       result.dev_retries = ks.dev_retries;
       result.fallback_writes = ks.fallback_writes;
     }
-    lsm::BlockCacheStats cache = sut->db()->GetBlockCacheStats();
+
+    // Per-shard breakdown + fairness headline (DESIGN.md §11).
+    if (sut->sharded() != nullptr) {
+      core::ShardedKvaccelDB* shd = sut->sharded();
+      uint64_t min_writes = 0, max_writes = 0;
+      for (int i = 0; i < shd->num_shards(); i++) {
+        core::KvaccelDB* kv = shd->shard(i);
+        const lsm::DbStats& sfg = kv->stats();
+        ShardSummary ss;
+        ss.shard = i;
+        ss.writes = sfg.writes_total;
+        ss.write_kops =
+            static_cast<double>(sfg.writes_total) / result.seconds / 1e3;
+        ss.put_p50_us = sfg.put_latency.Percentile(50) / 1e3;
+        ss.put_p99_us = sfg.put_latency.Percentile(99) / 1e3;
+        const core::KvaccelStats& ks = kv->kv_stats();
+        ss.redirected_writes = ks.redirected_writes;
+        ss.redirect_admission_rejects = ks.redirect_admission_rejects;
+        ss.rollbacks = ks.rollbacks;
+        sim::IntervalRecorder sr = kv->main()->stats().stall_regions;
+        sr.CloseAt(t1);
+        for (const auto& iv : sr.intervals()) {
+          if (iv.end <= t0 || iv.start >= t1) continue;
+          ss.stalled_seconds +=
+              ToSecs(std::min(iv.end, t1) - std::max(iv.start, t0));
+        }
+        if (shd->arbiter() != nullptr) {
+          const sim::FairShareArbiter::ClientStats& cs =
+              shd->arbiter()->client_stats(i);
+          ss.arbiter_grants = cs.grants;
+          ss.arbiter_granted_bytes = cs.granted_bytes;
+          ss.arbiter_throttles = cs.throttles;
+          ss.arbiter_throttle_seconds =
+              static_cast<double>(cs.throttle_ns) / kNanosPerSec;
+        }
+        if (i == 0 || ss.writes < min_writes) min_writes = ss.writes;
+        if (i == 0 || ss.writes > max_writes) max_writes = ss.writes;
+        result.shards.push_back(ss);
+      }
+      if (min_writes > 0) {
+        result.shard_fairness_ratio = static_cast<double>(max_writes) /
+                                      static_cast<double>(min_writes);
+      }
+    }
+
+    // Per-tenant breakdown.
+    if (wl.tenants > 1) {
+      for (int t = 0; t < wl.tenants; t++) {
+        TenantSummary ts;
+        ts.tenant = t;
+        ts.ops = sh.tenant_ops[static_cast<size_t>(t)];
+        ts.put_p50_us =
+            sh.tenant_latency[static_cast<size_t>(t)].Percentile(50) / 1e3;
+        ts.put_p99_us =
+            sh.tenant_latency[static_cast<size_t>(t)].Percentile(99) / 1e3;
+        result.tenants.push_back(ts);
+      }
+    }
+
+    lsm::BlockCacheStats cache = sut->cache_stats();
     result.cache_hits = cache.hits;
     result.cache_misses = cache.misses;
     result.cache_hit_rate = cache.hit_rate();
@@ -454,6 +589,18 @@ RunResult RunBenchmark(const BenchConfig& config) {
     // live component state.
     result.metrics = registry.Snapshot();
     sut->Close();
+    // Sharded: the per-shard file systems die with the SUT, so the offline
+    // image (one subdirectory per shard) must be exported before it goes.
+    if (sut->sharded() != nullptr && !config.db_dump_dir.empty()) {
+      core::ShardedKvaccelDB* shd = sut->sharded();
+      for (int i = 0; i < shd->num_shards(); i++) {
+        Status ds = shd->shard_fs(i)->DumpToHostDir(
+            config.db_dump_dir + "/shard" + std::to_string(i));
+        if (!ds.ok()) {
+          fprintf(stderr, "db dump: %s\n", ds.ToString().c_str());
+        }
+      }
+    }
   });
 
   env.Run();
@@ -464,9 +611,10 @@ RunResult RunBenchmark(const BenchConfig& config) {
     }
   }
   // Export the final on-"disk" image (everything is synced after Close) so
-  // kvaccel_check can verify the run's end state offline.
-  if (!config.db_dump_dir.empty()) {
-    Status ds = fs.DumpToHostDir(config.db_dump_dir);
+  // kvaccel_check can verify the run's end state offline. Sharded runs
+  // exported per shard inside the simulation (no world-level fs exists).
+  if (!config.db_dump_dir.empty() && fs != nullptr) {
+    Status ds = fs->DumpToHostDir(config.db_dump_dir);
     if (!ds.ok()) {
       fprintf(stderr, "db dump: %s\n", ds.ToString().c_str());
     }

@@ -34,6 +34,11 @@ struct WorkloadConfig {
   int writer_threads = 1;
   // Entries per WriteBatch each writer submits per operation.
   int batch_size = 1;
+  // Multi-tenant mode: tenants > 1 carves the key space into equal
+  // contiguous slices, one per tenant, and tags each writer with a tenant
+  // (writer t serves tenant t % tenants; at least one writer per tenant is
+  // spawned). Per-tenant op counts and latency percentiles are reported.
+  int tenants = 1;
   // seekrandom (workload D): bulk-filled bytes, then seek_ops range queries.
   uint64_t preload_bytes = 20ull << 30;  // paper: 20 GB (scaled by runner)
   uint64_t seek_ops = 60000;
@@ -64,6 +69,32 @@ struct BenchConfig {
   uint64_t nemesis_seed = 0;
   std::string trace_dump_dir;
   std::string db_dump_dir;
+};
+
+// Per-shard slice of a sharded run (DESIGN.md §11).
+struct ShardSummary {
+  int shard = 0;
+  uint64_t writes = 0;           // foreground writes routed to this shard
+  double write_kops = 0;
+  double put_p50_us = 0;
+  double put_p99_us = 0;
+  uint64_t redirected_writes = 0;
+  uint64_t redirect_admission_rejects = 0;
+  uint64_t rollbacks = 0;
+  double stalled_seconds = 0;
+  // Fair-share device-bandwidth arbiter accounting for this shard's client.
+  uint64_t arbiter_grants = 0;
+  uint64_t arbiter_granted_bytes = 0;
+  uint64_t arbiter_throttles = 0;
+  double arbiter_throttle_seconds = 0;
+};
+
+// Per-tenant slice of a multi-tenant run.
+struct TenantSummary {
+  int tenant = 0;
+  uint64_t ops = 0;
+  double put_p50_us = 0;
+  double put_p99_us = 0;
 };
 
 struct RunResult {
@@ -128,6 +159,14 @@ struct RunResult {
   uint64_t subcompactions = 0;          // sub-ranges executed by split jobs
   uint64_t intra_l0_compactions = 0;    // L0->L0 pressure-relief merges
   double compaction_throttle_seconds = 0;  // time parked on the rate limiter
+
+  // Sharded engine (DESIGN.md §11): one entry per shard, plus the fairness
+  // headline — max/min per-shard foreground-write throughput (0 when any
+  // shard saw no writes; 1.0 = perfectly even).
+  std::vector<ShardSummary> shards;
+  double shard_fairness_ratio = 0;
+  // Multi-tenant runs: one entry per tenant (empty when tenants <= 1).
+  std::vector<TenantSummary> tenants;
 
   // Full registry snapshot harvested at window end (obs/metrics.h); the
   // machine-readable superset of the scalar fields above.

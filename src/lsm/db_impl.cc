@@ -1048,7 +1048,20 @@ bool DbImpl::AllowDeepCompactionLocked() const {
 }
 
 void DbImpl::ThrottleCompactionIo(uint64_t bytes) {
-  if (compaction_rate_bps_ <= 0 || bytes == 0) return;
+  if (bytes == 0) return;
+  if (options_.compaction_io_arbiter) {
+    // Shared-device fair-share path: the arbiter blocks until the
+    // reservation is granted; the queue time still lands in this DB's
+    // throttle accounting so per-shard reports stay comparable.
+    Nanos waited = options_.compaction_io_arbiter(bytes);
+    if (waited > 0) {
+      mu_.Lock();
+      stats_.compaction_throttle_ns += static_cast<uint64_t>(waited);
+      mu_.Unlock();
+    }
+    return;
+  }
+  if (compaction_rate_bps_ <= 0) return;
   mu_.Lock();
   double now = static_cast<double>(env_->Now());
   double start = std::max(now, limiter_busy_until_ns_);

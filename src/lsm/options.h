@@ -59,6 +59,13 @@ struct DbOptions {
   // L0->L1 and intra-L0 jobs are exempt: they are exactly the work that
   // un-gates stalled writers, so throttling them would be self-defeating.
   double compaction_rate_limit = 0.0;
+  // Shared-device bandwidth arbitration (sharded engine, DESIGN.md §11).
+  // When set, deep-compaction I/O reserves bandwidth through this callback —
+  // typically one client slot of a sim::FairShareArbiter shared by every
+  // shard on the device — instead of the per-DB compaction_rate_limit
+  // bucket. The callback blocks in virtual time until the reservation is
+  // granted and returns the ns spent queued (accounted as throttle time).
+  std::function<Nanos(uint64_t bytes)> compaction_io_arbiter;
   // External-store guard for tombstone elision. Compaction normally drops a
   // tombstone once no level below the output can hold the key — but a
   // collaborating external store (KVACCEL's Dev-LSM) may hold an OLDER

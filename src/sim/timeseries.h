@@ -55,6 +55,17 @@ class TimeSeries {
   double total() const { return total_; }
   const std::vector<double>& buckets() const { return buckets_; }
 
+  // Bucket-wise accumulation of another series (shard roll-ups). Bucket
+  // widths must match; mismatched series would mis-align instants.
+  void MergeFrom(const TimeSeries& other) {
+    if (other.bucket_width_ != bucket_width_ || other.buckets_.empty()) return;
+    EnsureBucket(other.buckets_.size() - 1);
+    for (size_t b = 0; b < other.buckets_.size(); b++) {
+      buckets_[b] += other.buckets_[b];
+    }
+    total_ += other.total_;
+  }
+
   // Sum of bucket values over the instants covered by [start, end), at bucket
   // granularity (buckets whose start lies in the range).
   double SumBetween(Nanos start, Nanos end) const {

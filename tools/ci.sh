@@ -37,6 +37,11 @@ run_pass() {
   # online scrubber) — deterministic in both builds, all seeds pinned.
   echo "==== ${name}: ctest -L check ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L check
+  # Shard suite, explicitly: routing invariants (boundary keys in exactly one
+  # shard), cross-shard iterator order, per-shard crash recovery, arbiter
+  # fairness, sharded report determinism and the sharded nemesis smoke.
+  echo "==== ${name}: ctest -L shard ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L shard
   # Nemesis smoke: 30 crash-recovery cycles on a pinned seed, every recovery
   # verified against the model oracle. A failure prints the seed and dumps a
   # trace replayable with --replay.
@@ -122,11 +127,43 @@ assert frac <= base_frac + slack, (
     f"{base_frac:.4f} (+{slack} slack)")
 print(f"kvaccel stall fraction {frac:.4f} vs baseline {base_frac:.4f}: ok")
 EOF
+  # Sharded-engine A/B: same seed and workload, shards=1 vs shards=4. Three
+  # hard gates on the deterministic simulation: aggregate fillrandom
+  # throughput with 4 shards must be >= the single-shard run, the max/min
+  # per-shard throughput ratio must stay within 2x on the uniform workload,
+  # and a same-seed rerun of the sharded bench must be byte-identical.
+  echo "==== bench smoke: sharded A/B (shards=1 vs shards=4) ===="
+  local sh
+  for sh in 1 4; do
+    "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+      --seconds=10 --scale=0.0625 --writer_threads=4 --batch_size=4 \
+      --shards="${sh}" \
+      --json_out="${out_dir}/smoke_shards${sh}.json" > /dev/null
+  done
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=10 --scale=0.0625 --writer_threads=4 --batch_size=4 \
+    --shards=4 --json_out="${out_dir}/smoke_shards4_rerun.json" > /dev/null
+  cmp "${out_dir}/smoke_shards4.json" "${out_dir}/smoke_shards4_rerun.json" \
+    || { echo "sharded bench is nondeterministic across same-seed runs"; exit 1; }
+  python3 - "${out_dir}/smoke_shards1.json" "${out_dir}/smoke_shards4.json" <<'EOF'
+import json, sys
+one = json.load(open(sys.argv[1]))["runs"][0]
+four = json.load(open(sys.argv[2]))["runs"][0]
+k1, k4 = one["summary"]["write_kops"], four["summary"]["write_kops"]
+assert k4 >= k1, f"shards=4 aggregate {k4} kops < shards=1 {k1} kops"
+ratio = four["summary"]["shard_fairness_ratio"]
+assert 1.0 <= ratio <= 2.0, f"per-shard fairness ratio {ratio} outside [1, 2]"
+shards = four["shards"]
+assert len(shards) == 4 and all(s["writes"] > 0 for s in shards)
+print(f"sharded A/B: {k1:.1f} -> {k4:.1f} kops, fairness ratio {ratio:.2f}")
+EOF
   python3 tools/merge_smoke.py BENCH_smoke.json \
     "${out_dir}/smoke_rocksdb.json" "${out_dir}/smoke_adoc.json" \
     "${out_dir}/smoke_kvaccel.json" \
     "rocksdb4-nosub=${out_dir}/smoke_sub1.json" \
-    "rocksdb4-sub=${out_dir}/smoke_sub4.json"
+    "rocksdb4-sub=${out_dir}/smoke_sub4.json" \
+    "kvaccel-shards1=${out_dir}/smoke_shards1.json" \
+    "kvaccel-shards4=${out_dir}/smoke_shards4.json"
 }
 
 mode="${1:-all}"

@@ -40,6 +40,16 @@
 //                      device NAND bandwidth, in (0, 1]; 0 = unlimited
 //   --nand_mbps=F      override the simulated NAND bandwidth in MB/s
 //                      (ablation hook; 0 = preset 630 MB/s)
+//   --shards=N         KVACCEL only: shard-per-core engine with N shards,
+//                      one SSD namespace/WAL/memtable/Detector each
+//                      (default 1 = plain single-shard facade)
+//   --tenants=N        carve the key space into N per-tenant slices with at
+//                      least one writer each; per-tenant p50/p99 reported
+//   --shard_partition=hash|range  key-to-shard mapping (default hash)
+//   --redirect_policy=global|per_shard  Dev-LSM capacity competition policy
+//                      (default global)
+//   --arbiter_share=F  fair-share bandwidth arbiter serving rate as a
+//                      fraction of NAND bandwidth in [0, 1]; 0 disables
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,7 +92,9 @@ void Usage() {
           "  [--trace_out=FILE] [--json_out=FILE]\n"
           "  [--nemesis_seed=N] [--trace_dump_dir=DIR] [--db_dump_dir=DIR]\n"
           "  [--max_subcompactions=N] [--compaction_rate_limit=F]\n"
-          "  [--nand_mbps=F]\n");
+          "  [--nand_mbps=F] [--shards=N] [--tenants=N]\n"
+          "  [--shard_partition=hash|range]\n"
+          "  [--redirect_policy=global|per_shard] [--arbiter_share=F]\n");
 }
 
 }  // namespace
@@ -184,6 +196,36 @@ int main(int argc, char** argv) {
       }
     } else if (FlagEq(argv[i], "--nand_mbps", &v)) {
       config.nand_mbps = ParseFlagDouble(v, "--nand_mbps");
+    } else if (FlagEq(argv[i], "--shards", &v)) {
+      config.sut.shards =
+          static_cast<int>(ParseFlagInt(v, "--shards", /*min_value=*/1));
+    } else if (FlagEq(argv[i], "--tenants", &v)) {
+      config.workload.tenants =
+          static_cast<int>(ParseFlagInt(v, "--tenants", /*min_value=*/1));
+    } else if (FlagEq(argv[i], "--shard_partition", &v)) {
+      if (strcmp(v, "hash") == 0) {
+        config.sut.shard_partition = core::ShardPartition::kHash;
+      } else if (strcmp(v, "range") == 0) {
+        config.sut.shard_partition = core::ShardPartition::kRange;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--redirect_policy", &v)) {
+      if (strcmp(v, "global") == 0) {
+        config.sut.redirect_policy = core::RedirectBudgetPolicy::kGlobal;
+      } else if (strcmp(v, "per_shard") == 0) {
+        config.sut.redirect_policy = core::RedirectBudgetPolicy::kPerShard;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--arbiter_share", &v)) {
+      config.sut.arbiter_share = ParseFlagDouble(v, "--arbiter_share");
+      if (config.sut.arbiter_share > 1.0) {
+        fprintf(stderr, "--arbiter_share must be in [0, 1]\n");
+        return 2;
+      }
     } else if (strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -192,6 +234,11 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  if (config.sut.shards > 1 && config.sut.kind != SystemKind::kKvaccel) {
+    fprintf(stderr, "--shards>1 requires --system=kvaccel\n");
+    return 2;
   }
 
   RunResult r = RunBenchmark(config);
@@ -239,6 +286,27 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(r.redirected_batches),
            static_cast<unsigned long long>(r.rollbacks),
            static_cast<unsigned long long>(r.detector_checks));
+  }
+  if (!r.shards.empty()) {
+    for (const ShardSummary& s : r.shards) {
+      printf("shard %-3d         : %.1f Kops/s, p50 %.1f us, p99 %.1f us, "
+             "%llu redirected (%llu rejected), %.1f s stalled, "
+             "arbiter %llu/%llu grants throttled (%.2f s)\n",
+             s.shard, s.write_kops, s.put_p50_us, s.put_p99_us,
+             static_cast<unsigned long long>(s.redirected_writes),
+             static_cast<unsigned long long>(s.redirect_admission_rejects),
+             s.stalled_seconds,
+             static_cast<unsigned long long>(s.arbiter_throttles),
+             static_cast<unsigned long long>(s.arbiter_grants),
+             s.arbiter_throttle_seconds);
+    }
+    printf("shard fairness    : max/min throughput ratio %.2f\n",
+           r.shard_fairness_ratio);
+  }
+  for (const TenantSummary& t : r.tenants) {
+    printf("tenant %-2d         : %llu ops, p50 %.1f us, p99 %.1f us\n",
+           t.tenant, static_cast<unsigned long long>(t.ops), t.put_p50_us,
+           t.put_p99_us);
   }
   if (!config.fault_profile.empty()) {
     printf("faults            : profile %s (seed %llu): %llu injected, "

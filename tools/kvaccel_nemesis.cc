@@ -15,6 +15,10 @@
 //   --ops_per_cycle=N   operations attempted per cycle (default 150)
 //   --key_space=N       key draw range (default 400)
 //   --value_size=N      value bytes (default 4096)
+//   --shards=N          run against a ShardedKvaccelDB with N shards; crash
+//                       cycles may arm dual kill sites (mid-rollback on one
+//                       shard, mid-flush on another) and recovery checks
+//                       cross-shard iterator order (default 1 = plain stack)
 //   --trace_dump_dir=D  dump the op trace here on divergence
 //   --replay=FILE       load the schedule from a dumped trace's header
 //                       (overrides the schedule flags above)
@@ -38,7 +42,7 @@ void Usage() {
   fprintf(stderr,
           "usage: kvaccel_nemesis [--nemesis_seed=N] [--cycles=N]\n"
           "  [--ops_per_cycle=N] [--key_space=N] [--value_size=N]\n"
-          "  [--trace_dump_dir=DIR] [--replay=TRACE_FILE]\n");
+          "  [--shards=N] [--trace_dump_dir=DIR] [--replay=TRACE_FILE]\n");
 }
 
 }  // namespace
@@ -62,6 +66,9 @@ int main(int argc, char** argv) {
     } else if (strncmp(arg, "--value_size=", 13) == 0) {
       opts.value_size = static_cast<uint32_t>(
           ParseFlagInt(arg + 13, "--value_size", /*min_value=*/1));
+    } else if (strncmp(arg, "--shards=", 9) == 0) {
+      opts.shards =
+          static_cast<int>(ParseFlagInt(arg + 9, "--shards", /*min_value=*/1));
     } else if (strncmp(arg, "--trace_dump_dir=", 17) == 0) {
       trace_dump_dir = arg + 17;
     } else if (strncmp(arg, "--replay=", 9) == 0) {
@@ -87,10 +94,10 @@ int main(int argc, char** argv) {
   opts.trace_dump_dir = trace_dump_dir;
 
   printf("nemesis: seed=%llu cycles=%d ops_per_cycle=%d key_space=%llu "
-         "value_size=%u\n",
+         "value_size=%u shards=%d\n",
          static_cast<unsigned long long>(opts.seed), opts.cycles,
          opts.ops_per_cycle, static_cast<unsigned long long>(opts.key_space),
-         opts.value_size);
+         opts.value_size, opts.shards);
 
   check::NemesisResult r = check::RunNemesis(opts);
   printf("cycles=%d crashes=%d ops=%llu\n", r.cycles_run, r.crashes,

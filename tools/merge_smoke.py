@@ -35,7 +35,7 @@ def main():
             return 1
         for run in report.get("runs", []):
             s = run["summary"]
-            merged["systems"][label or run["name"]] = {
+            entry = {
                 "write_kops": s["write_kops"],
                 "write_mbps": s["write_mbps"],
                 "stalled_seconds": s["stalled_seconds"],
@@ -47,6 +47,23 @@ def main():
                 "intra_l0_compactions": s["intra_l0_compactions"],
                 "compaction_throttle_seconds": s["compaction_throttle_seconds"],
             }
+            # Sharded runs carry per-shard rollups (.get: absent on reports
+            # from before the sharded engine, and on shards=1 runs).
+            if run.get("shards"):
+                entry["shard_fairness_ratio"] = s.get("shard_fairness_ratio")
+                entry["shards"] = [
+                    {
+                        "shard": sh["shard"],
+                        "write_kops": sh["write_kops"],
+                        "put_p99_us": sh["put_p99_us"],
+                        "redirected_writes": sh["redirected_writes"],
+                        "arbiter_throttles": sh.get("arbiter_throttles", 0),
+                        "arbiter_throttle_seconds":
+                            sh.get("arbiter_throttle_seconds", 0.0),
+                    }
+                    for sh in run["shards"]
+                ]
+            merged["systems"][label or run["name"]] = entry
         merged.setdefault("config", report.get("config"))
 
     if not merged["systems"]:
