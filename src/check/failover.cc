@@ -1,0 +1,91 @@
+#include "check/failover.h"
+
+namespace kvaccel::check {
+
+Status PromoteNode(const lsm::DbOptions& main_options,
+                   const core::KvaccelOptions& kv_options,
+                   const core::ReplNode& node, sim::SimEnv* env,
+                   FailoverReport* report,
+                   std::unique_ptr<core::KvaccelDB>* promoted) {
+  FailoverReport local;
+  FailoverReport* rep = report != nullptr ? report : &local;
+  *rep = FailoverReport{};
+  Nanos t0 = env->Now();
+
+  lsm::DbOptions opts = main_options;
+  opts.wal_shipper = nullptr;
+  opts.manifest_shipper = nullptr;
+  core::KvaccelOptions kv = kv_options;
+  kv.external_dev = node.dev;
+  kv.redirect_shipper = nullptr;
+  kv.rollback_shipper = nullptr;
+
+  lsm::DbEnv denv;
+  denv.env = env;
+  denv.ssd = node.ssd;
+  denv.fs = node.fs;
+  denv.host_cpu = node.host_cpu;
+
+  // Step 1: offline verification, repair on errors, then re-check. A torn
+  // WAL tail or orphan SST is a warning (legal after a crash); anything the
+  // repair cannot clear fails the promotion.
+  DbChecker checker(opts, denv);
+  CheckReport cr = checker.Check();
+  if (cr.errors() > 0) {
+    rep->repaired = true;
+    Status rs = checker.Repair(&cr);
+    if (!rs.ok()) {
+      rep->checker_errors = cr.errors();
+      rep->first_error = rs.ToString();
+      return rs;
+    }
+    cr = checker.Check();
+  }
+  rep->checker_errors = cr.errors();
+  rep->checker_warnings = cr.warnings();
+  if (cr.errors() > 0) {
+    for (const auto& issue : cr.issues) {
+      if (issue.severity == CheckIssue::Severity::kError) {
+        rep->first_error = issue.what;
+        break;
+      }
+    }
+    return Status::Corruption("promote: checker errors after repair: " +
+                              rep->first_error);
+  }
+
+  // Step 2: open. KvaccelDB::Open replays the WAL and then drains a
+  // non-empty attached Dev-LSM (the replicated mirror) into the Main-LSM by
+  // sequence comparison — this is where redirected writes that died with the
+  // primary's device get re-hosted.
+  std::unique_ptr<core::KvaccelDB> db;
+  Status s = core::KvaccelDB::Open(opts, kv, denv, &db);
+  if (!s.ok()) {
+    rep->first_error = s.ToString();
+    return s;
+  }
+  rep->drained_entries = db->kv_stats().rollback_entries;
+
+  // Step 3: live dual-interface invariant on the promoted node.
+  CheckReport live;
+  DbChecker::CheckDualInterface(db.get(), &live);
+  rep->checker_errors += live.errors();
+  rep->checker_warnings += live.warnings();
+  if (live.errors() > 0) {
+    for (const auto& issue : live.issues) {
+      if (issue.severity == CheckIssue::Severity::kError) {
+        rep->first_error = issue.what;
+        break;
+      }
+    }
+    (void)db->Close();
+    return Status::Corruption("promote: dual-interface errors: " +
+                              rep->first_error);
+  }
+
+  rep->promote_ns = env->Now() - t0;
+  *promoted = std::move(db);
+  return Status::OK();
+}
+
+}  // namespace kvaccel::check

@@ -1,0 +1,47 @@
+// Failover promotion for the two-node HA pair (DESIGN.md §12).
+//
+// PromoteNode turns a surviving backup node into a serving primary:
+//
+//   1. Offline DbChecker pass over the node's Main-LSM files (the node just
+//      absorbed a crash protocol — torn WAL tails and orphan SSTs are legal;
+//      errors are repaired with DbChecker::Repair and re-checked).
+//   2. KvaccelDB::Open with the node's external Dev-LSM attached: a
+//      non-empty mirror (replicated redirect intents not yet covered by a
+//      rollback signal) is drained into the Main-LSM by the §VI-D
+//      sequence-comparison recovery that Open already performs.
+//   3. Live dual-interface check (CheckDualInterface) on the promoted node.
+//
+// This lives in the check layer, not core: promotion IS a checker/repair
+// workflow, and core cannot depend on kvx_check.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "check/db_checker.h"
+#include "core/kvaccel_db.h"
+#include "core/replicated_kvaccel_db.h"
+
+namespace kvaccel::check {
+
+struct FailoverReport {
+  Nanos promote_ns = 0;          // wall (virtual) time for steps 1-3
+  uint64_t drained_entries = 0;  // Dev-LSM mirror entries re-hosted at open
+  bool repaired = false;         // offline Repair had to run
+  int checker_errors = 0;        // errors AFTER repair (0 = clean promote)
+  int checker_warnings = 0;
+  std::string first_error;       // first surviving error, for the trace
+};
+
+// Promotes the surviving node described by (main_options, kv_options, node).
+// Option structs are the node's own (hooks cleared by the caller; this
+// function also clears replication hooks defensively — a promoted node is a
+// single node until it re-pairs). Must run on a simulated thread; the node's
+// DB must be closed and its crash protocol (DropAllDirty/ClearCrash) done.
+Status PromoteNode(const lsm::DbOptions& main_options,
+                   const core::KvaccelOptions& kv_options,
+                   const core::ReplNode& node, sim::SimEnv* env,
+                   FailoverReport* report,
+                   std::unique_ptr<core::KvaccelDB>* promoted);
+
+}  // namespace kvaccel::check

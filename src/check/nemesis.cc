@@ -11,10 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "check/failover.h"
 #include "check/model_db.h"
 #include "common/random.h"
 #include "common/value.h"
 #include "core/kvaccel_db.h"
+#include "core/replicated_kvaccel_db.h"
 #include "core/sharded_kvaccel_db.h"
 #include "devlsm/dev_lsm.h"
 #include "fs/simfs.h"
@@ -137,9 +139,564 @@ struct NemesisDb {
   }
 };
 
+// HA crash table: every single-node site (the injector is env-global, so any
+// of them can also trip inside the BACKUP's apply path — killing the pair
+// mid-replication) plus the interconnect kill point.
+constexpr CrashSite kHaCrashSites[] = {
+    {"crash.wal.post_append", 40}, {"crash.wal.post_sync", 40},
+    {"crash.flush.mid", 6},        {"crash.manifest.pre_sync", 4},
+    {"crash.manifest.post_sync", 4}, {"crash.compaction.mid", 4},
+    {"crash.subcompaction.mid", 8}, {"crash.rollback.mid", 8},
+    {"crash.redirect.mid", 3},     {"crash.net.send.mid", 6},
+};
+constexpr int kNumHaCrashSites =
+    static_cast<int>(sizeof(kHaCrashSites) / sizeof(kHaCrashSites[0]));
+
+// Two-node schedule: drive the pair, kill it, promote the backup, verify
+// against the oracle, wipe the dead node, swap roles, re-pair. Sync acks
+// verify exactly (plus the usual single-in-flight ambiguity); async acks
+// verify that each key recovered to SOME state of its acked-write chain for
+// this pair generation (the lost tail is a suffix of the ship queue, so each
+// key may only roll back to an earlier acked state), with the total loss
+// bounded by the queue capacity.
+NemesisResult RunNemesisHa(const NemesisOptions& opt) {
+  NemesisResult result;
+  std::ostringstream trace;
+  const bool async = opt.repl_ack == 1;
+  trace << "nemesis-trace-v1 seed=" << opt.seed << " cycles=" << opt.cycles
+        << " ops_per_cycle=" << opt.ops_per_cycle
+        << " key_space=" << opt.key_space << " value_size=" << opt.value_size
+        << " corrupt_model_at_cycle=" << opt.corrupt_model_at_cycle
+        << " shards=1 ha=1 repl_ack=" << (async ? 1 : 0) << "\n";
+
+  sim::SimEnv env;
+  ssd::SsdConfig ssd_config;
+  ssd_config.capacity_bytes = 2ull << 30;
+  ssd_config.num_namespaces = 1;
+  // Each node owns a full device + host world; only the one SimEnv clock and
+  // the fault injector are shared.
+  ssd::HybridSsd ssd_a(&env, ssd_config);
+  ssd::HybridSsd ssd_b(&env, ssd_config);
+  sim::CpuPool cpu_a(&env, "host-a", 8);
+  sim::CpuPool cpu_b(&env, "host-b", 8);
+  sim::FaultInjector inj(&env, opt.seed);
+  env.set_fault_injector(&inj);
+
+  struct Node {
+    ssd::HybridSsd* ssd = nullptr;
+    sim::CpuPool* cpu = nullptr;
+    std::unique_ptr<fs::SimFs> fs;
+    std::unique_ptr<devlsm::DevLsm> dev;
+  };
+  Node nodes[2];
+  nodes[0].ssd = &ssd_a;
+  nodes[0].cpu = &cpu_a;
+  nodes[1].ssd = &ssd_b;
+  nodes[1].cpu = &cpu_b;
+  for (auto& n : nodes) {
+    n.fs = std::make_unique<fs::SimFs>(n.ssd, 0);
+    n.dev = std::make_unique<devlsm::DevLsm>(n.ssd, 0,
+                                             NemesisKvOptions(nullptr).dev);
+  }
+
+  env.Spawn("nemesis-ha", [&] {
+    Random64 rng(opt.seed);
+    lsm::DbOptions db_opts = NemesisDbOptions();
+    core::KvaccelOptions kv_opts = NemesisKvOptions(nullptr);
+    kv_opts.external_dev = nullptr;  // per-node devs attach via ReplNode
+    core::ReplOptions repl_opts;
+    repl_opts.ack = async ? core::ReplAck::kAsync : core::ReplAck::kSync;
+    repl_opts.async_queue_cap = 8;  // small cap => tight loss bound
+    // Worst case lost tail: the full queue plus the record mid-flight and
+    // the record mid-enqueue, each carrying at most one 8-entry batch.
+    const uint64_t loss_bound = (repl_opts.async_queue_cap + 2) * 8;
+
+    int pri = 0;  // nodes[pri] is the current primary
+    auto repl_node = [&](int i) {
+      core::ReplNode rn;
+      rn.ssd = nodes[i].ssd;
+      rn.fs = nodes[i].fs.get();
+      rn.host_cpu = nodes[i].cpu;
+      rn.dev = nodes[i].dev.get();
+      return rn;
+    };
+
+    std::unique_ptr<core::ReplicatedKvaccelDB> pair;
+    Status s = core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, repl_opts,
+                                               repl_node(pri),
+                                               repl_node(1 - pri), &env, &pair);
+    if (!s.ok()) {
+      result.ok = false;
+      result.error = "initial pair open failed: " + s.ToString();
+      trace << "DIVERGENCE: " << result.error << "\n";
+      return;
+    }
+
+    ModelDb model;
+    uint64_t next_seed = 1;
+
+    auto diverge = [&](const std::string& what) {
+      result.ok = false;
+      if (result.error.empty()) result.error = what;
+      trace << "DIVERGENCE: " << what << "\n";
+    };
+
+    for (int cycle = 0; cycle < opt.cycles && result.ok; cycle++) {
+      const CrashSite& site = kHaCrashSites[rng.Uniform(kNumHaCrashSites)];
+      sim::FaultRule rule;
+      rule.nth_hit = 1 + rng.Uniform(site.max_nth);
+      rule.max_fires = 1;
+      inj.Arm(site.name, rule);
+      // One draw arms both transient families: the device-put one underneath
+      // the redirect path and the interconnect one underneath every ship.
+      bool transient = rng.Uniform(4) == 0;
+      if (transient) {
+        sim::FaultRule t;
+        t.probability = 0.02;
+        inj.Arm("devlsm.put.transient", t);
+        inj.Arm("net.send.transient", t);
+      }
+      trace << "cycle=" << cycle << " site=" << site.name
+            << " nth=" << rule.nth_hit << " transient=" << (transient ? 1 : 0)
+            << "\n";
+
+      std::map<std::string, Ambiguous> ambiguous;
+      auto note_pre = [&](const std::string& key, Ambiguous* a) {
+        a->had_pre = model.Get(key, &a->pre);
+      };
+      // Async acceptance chains: per key touched this pair generation, every
+      // state it legitimately passed through (start state first, then each
+      // acked write; errored-op post states ride in `ambiguous`).
+      struct KeyVersion {
+        bool present = false;
+        Value v;
+      };
+      std::map<std::string, std::vector<KeyVersion>> chain;
+      auto chain_of = [&](const std::string& key)
+          -> std::vector<KeyVersion>* {
+        if (!async) return nullptr;
+        auto it = chain.find(key);
+        if (it != chain.end()) return &it->second;
+        KeyVersion start;
+        start.present = model.Get(key, &start.v);
+        return &chain.emplace(key, std::vector<KeyVersion>{start})
+                    .first->second;
+      };
+      auto chain_put = [&](const std::string& key, const Value& v) {
+        if (auto* c = chain_of(key)) c->push_back({true, v});
+      };
+      auto chain_del = [&](const std::string& key) {
+        if (auto* c = chain_of(key)) c->push_back({false, Value()});
+      };
+      bool crashed = false;
+
+      for (int op = 0; op < opt.ops_per_cycle && !crashed; op++) {
+        result.ops_executed++;
+        uint64_t draw = rng.Uniform(100);
+        if (draw < 50) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          uint64_t seed = next_seed++;
+          Value value = Value::Synthetic(seed, opt.value_size);
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post = value;
+          Status ps = pair->Put({}, key, value);
+          trace << "op=" << op << " put k=" << key << " s=" << seed << " -> "
+                << (ps.ok() ? "ok" : "err") << "\n";
+          if (ps.ok()) {
+            chain_put(key, value);
+            model.Put(key, value);
+          } else {
+            (void)chain_of(key);  // start state becomes acceptable
+            ambiguous[key] = a;
+            crashed = true;
+          }
+        } else if (draw < 60) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post_is_delete = true;
+          Status ds = pair->Delete({}, key);
+          trace << "op=" << op << " del k=" << key << " -> "
+                << (ds.ok() ? "ok" : "err") << "\n";
+          if (ds.ok()) {
+            chain_del(key);
+            model.Delete(key);
+          } else {
+            (void)chain_of(key);
+            ambiguous[key] = a;
+            crashed = true;
+          }
+        } else if (draw < 70) {
+          int n = 2 + static_cast<int>(rng.Uniform(7));
+          lsm::WriteBatch batch;
+          std::map<std::string, Ambiguous> batch_amb;
+          trace << "op=" << op << " batch n=" << n;
+          for (int e = 0; e < n; e++) {
+            std::string key = NemKey(rng.Uniform(opt.key_space));
+            Ambiguous a;
+            note_pre(key, &a);
+            if (rng.Uniform(5) == 0) {
+              a.post_is_delete = true;
+              batch.Delete(key);
+              trace << " del:" << key;
+            } else {
+              uint64_t seed = next_seed++;
+              a.post = Value::Synthetic(seed, opt.value_size);
+              batch.Put(key, a.post);
+              trace << " put:" << key << ":" << seed;
+            }
+            batch_amb[key] = a;
+          }
+          Status bs = pair->Write({}, &batch);
+          trace << " -> " << (bs.ok() ? "ok" : "err") << "\n";
+          if (bs.ok()) {
+            (void)batch.ForEach([&](lsm::ValueType type, const Slice& key,
+                                    const Value& value) {
+              if (type == lsm::ValueType::kValue) {
+                chain_put(key.ToString(), value);
+                model.Put(key.ToString(), value);
+              } else {
+                chain_del(key.ToString());
+                model.Delete(key.ToString());
+              }
+            });
+          } else {
+            for (auto& [key, a] : batch_amb) {
+              (void)chain_of(key);
+              ambiguous[key] = a;
+            }
+            crashed = true;
+          }
+        } else if (draw < 85) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Value got, want;
+          bool want_present = model.Get(key, &want);
+          Status gs = pair->Get({}, key, &got);
+          trace << "op=" << op << " get k=" << key << " -> "
+                << (gs.ok() ? "hit" : gs.IsNotFound() ? "miss" : "err")
+                << "\n";
+          if (gs.ok()) {
+            if (!want_present) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": present but model says deleted/absent");
+              break;
+            }
+            if (got != want) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": value mismatch (got seed " + U64(got.seed()) +
+                      ", want seed " + U64(want.seed()) + ")");
+              break;
+            }
+          } else if (gs.IsNotFound()) {
+            if (want_present) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": NotFound but model holds seed " + U64(want.seed()));
+              break;
+            }
+          } else {
+            crashed = true;
+          }
+        } else if (draw < 95) {
+          std::string start = NemKey(rng.Uniform(opt.key_space));
+          auto it = pair->NewIterator({});
+          it->Seek(start);
+          auto mit = model.live().lower_bound(start);
+          int matched = 0;
+          bool scan_ok = true;
+          for (int e = 0; e < 10; e++) {
+            if (mit == model.live().end()) {
+              if (it->Valid()) scan_ok = false;
+              break;
+            }
+            if (!it->Valid() || it->key().ToString() != mit->first ||
+                Value::DecodeOrDie(it->value()) != mit->second.value) {
+              scan_ok = false;
+              break;
+            }
+            matched++;
+            it->Next();
+            ++mit;
+          }
+          trace << "op=" << op << " scan k=" << start << " n=" << matched
+                << " -> " << (scan_ok ? "ok" : "mismatch") << "\n";
+          if (!scan_ok) {
+            if (inj.crashed() || !it->status().ok()) {
+              crashed = true;
+            } else {
+              diverge("cycle " + U64(cycle) + " scan from " + start +
+                      " diverged after " + U64(matched) + " entries");
+              break;
+            }
+          }
+        } else {
+          Status rs = pair->RollbackNow();
+          trace << "op=" << op << " rollback -> " << (rs.ok() ? "ok" : "err")
+                << "\n";
+          if (!rs.ok()) crashed = true;
+        }
+        if (inj.crashed() ||
+            !pair->primary()->main()->GetBackgroundError().ok()) {
+          crashed = true;
+        }
+      }
+      inj.Disarm(site.name);
+      if (transient) {
+        inj.Disarm("devlsm.put.transient");
+        inj.Disarm("net.send.transient");
+      }
+      if (!result.ok) break;
+      if (crashed) result.crashes++;
+      trace << (crashed ? "crash" : "clean") << " cycle=" << cycle << "\n";
+
+      // The pair is dead. Close drains the async queue (each record fails
+      // fast under the crash latch and is recorded as lost tail), then both
+      // nodes lose their page caches.
+      (void)pair->Close();
+      core::ReplStats st = pair->repl_stats();
+      pair.reset();
+      for (auto& n : nodes) n.fs->DropAllDirty();
+      inj.ClearCrash();
+      if (st.lost_entries > loss_bound) {
+        diverge("cycle " + U64(cycle) + " async loss " +
+                U64(st.lost_entries) + " exceeds bound " + U64(loss_bound));
+        break;
+      }
+      if (!async && st.lost_entries > 0) {
+        diverge("cycle " + U64(cycle) + " sync mode lost " +
+                U64(st.lost_entries) + " acked entries");
+        break;
+      }
+
+      // Failover: promote the surviving backup and serve from it.
+      check::FailoverReport frep;
+      std::unique_ptr<core::KvaccelDB> promoted;
+      s = check::PromoteNode(db_opts, kv_opts, repl_node(1 - pri), &env,
+                             &frep, &promoted);
+      if (!s.ok()) {
+        diverge("cycle " + U64(cycle) +
+                " promote failed: " + s.ToString() +
+                (frep.first_error.empty() ? "" : " (" + frep.first_error +
+                                                     ")"));
+        break;
+      }
+      result.failovers++;
+      result.ha_lost_entries += st.lost_entries;
+      result.ha_drained_entries += frep.drained_entries;
+      result.ha_backup_dev_fallbacks += st.backup_dev_fallbacks;
+      trace << "failover cycle=" << cycle << " lost=" << st.lost_entries
+            << " drained=" << frep.drained_entries
+            << " repaired=" << (frep.repaired ? 1 : 0)
+            << " warnings=" << frep.checker_warnings << "\n";
+
+      if (cycle == opt.corrupt_model_at_cycle) {
+        // Self-test: force the oracle out of sync; the sweep below MUST
+        // catch it. Drop the key from the per-cycle acceptance sets so the
+        // async adopt-reality path can't paper over the corruption.
+        std::string key = model.size() > 0 ? model.live().begin()->first
+                                           : NemKey(0);
+        model.Put(key, Value::Synthetic(0xDEADBEEF, opt.value_size));
+        chain.erase(key);
+        ambiguous.erase(key);
+        trace << "inject-model-corruption k=" << key << "\n";
+      }
+
+      // --- full-keyspace sweep against the oracle, on the PROMOTED node ---
+      uint64_t rolled_back = 0;
+      for (uint64_t k = 0; k < opt.key_space && result.ok; k++) {
+        std::string key = NemKey(k);
+        Value got;
+        Status gs = promoted->Get({}, key, &got);
+        if (!gs.ok() && !gs.IsNotFound()) {
+          diverge("cycle " + U64(cycle) + " promoted get " + key +
+                  " failed: " + gs.ToString());
+          break;
+        }
+        auto amb = ambiguous.find(key);
+        const bool amb_post_ok =
+            amb != ambiguous.end() &&
+            (gs.ok() ? (!amb->second.post_is_delete && got == amb->second.post)
+                     : amb->second.post_is_delete);
+        if (async) {
+          auto cit = chain.find(key);
+          if (cit == chain.end()) {
+            // Untouched this pair generation: applied and durable long ago,
+            // so it must match the model exactly.
+            Value want;
+            if (model.Get(key, &want)) {
+              if (gs.IsNotFound()) {
+                diverge("cycle " + U64(cycle) + " settled key " + key +
+                        " lost (model seed " + U64(want.seed()) + ")");
+              } else if (got != want) {
+                diverge("cycle " + U64(cycle) + " settled key " + key +
+                        " recovered wrong value (got seed " +
+                        U64(got.seed()) + ")");
+              }
+            } else if (gs.ok()) {
+              diverge("cycle " + U64(cycle) + " deleted/absent key " + key +
+                      " resurrected (seed " + U64(got.seed()) + ")");
+            }
+            continue;
+          }
+          // Touched: acceptable iff it matches some acked state of the chain
+          // (the lost tail is a queue suffix => per-key rollback to an
+          // earlier acked state) or the in-flight op's post state.
+          bool accepted = amb_post_ok;
+          for (const KeyVersion& kv : cit->second) {
+            if (accepted) break;
+            if (gs.ok() ? (kv.present && got == kv.v) : !kv.present) {
+              accepted = true;
+            }
+          }
+          if (!accepted) {
+            diverge("cycle " + U64(cycle) + " key " + key +
+                    " recovered to alien state" +
+                    (gs.ok() ? " (seed " + U64(got.seed()) + ")" : " (absent)"));
+            continue;
+          }
+          // Adopt reality so the next cycle verifies exactly.
+          Value want;
+          bool want_present = model.Get(key, &want);
+          bool matches_model =
+              gs.ok() ? (want_present && got == want) : !want_present;
+          if (!matches_model) rolled_back++;
+          if (gs.ok()) {
+            model.Put(key, got);
+          } else {
+            model.Delete(key);
+          }
+          continue;
+        }
+        // Sync mode: exact, with the single-in-flight ambiguity.
+        if (amb != ambiguous.end()) {
+          const Ambiguous& a = amb->second;
+          if (gs.ok()) {
+            if (!a.post_is_delete && got == a.post) {
+              model.Put(key, a.post);
+            } else if (a.had_pre && got == a.pre) {
+              // pre-state: model already holds it
+            } else {
+              diverge("cycle " + U64(cycle) + " ambiguous key " + key +
+                      " recovered to alien value (seed " + U64(got.seed()) +
+                      ")");
+            }
+          } else {
+            if (a.post_is_delete) {
+              model.Delete(key);
+            } else if (!a.had_pre) {
+              // pre-state: never existed
+            } else {
+              diverge("cycle " + U64(cycle) + " ambiguous key " + key +
+                      " lost both pre and post state");
+            }
+          }
+          continue;
+        }
+        Value want;
+        if (model.Get(key, &want)) {
+          if (gs.IsNotFound()) {
+            diverge("cycle " + U64(cycle) + " sync-acked key " + key +
+                    " lost after failover (model seed " + U64(want.seed()) +
+                    ")");
+          } else if (got != want) {
+            diverge("cycle " + U64(cycle) + " key " + key +
+                    " recovered wrong value (got seed " + U64(got.seed()) +
+                    ", want seed " + U64(want.seed()) + ")");
+          }
+        } else if (gs.ok()) {
+          diverge("cycle " + U64(cycle) + " deleted/absent key " + key +
+                  " resurrected (seed " + U64(got.seed()) + ")");
+        }
+      }
+      if (!result.ok) {
+        (void)promoted->Close();
+        break;
+      }
+
+      // --- full iterator walk on the promoted node: exact order + values ---
+      {
+        auto it = promoted->NewIterator({});
+        it->SeekToFirst();
+        auto mit = model.live().begin();
+        uint64_t pos = 0;
+        while (result.ok) {
+          if (mit == model.live().end()) {
+            if (it->Valid()) {
+              diverge("cycle " + U64(cycle) + " iterator has extra key " +
+                      it->key().ToString() + " past model end");
+            }
+            break;
+          }
+          if (!it->Valid()) {
+            diverge("cycle " + U64(cycle) + " iterator ended at entry " +
+                    U64(pos) + ", model still holds " + mit->first);
+            break;
+          }
+          if (it->key().ToString() != mit->first) {
+            diverge("cycle " + U64(cycle) + " iterator order: got " +
+                    it->key().ToString() + ", want " + mit->first);
+            break;
+          }
+          if (Value::DecodeOrDie(it->value()) != mit->second.value) {
+            diverge("cycle " + U64(cycle) + " iterator value mismatch at " +
+                    mit->first);
+            break;
+          }
+          it->Next();
+          ++mit;
+          pos++;
+        }
+        if (result.ok && !it->status().ok()) {
+          diverge("cycle " + U64(cycle) +
+                  " iterator error: " + it->status().ToString());
+        }
+      }
+      (void)promoted->Close();
+      promoted.reset();
+      if (!result.ok) break;
+      trace << "recover cycle=" << cycle << " live=" << model.size()
+            << " rolled_back=" << rolled_back << "\n";
+
+      // Wipe the dead node (its fs state and device KV region are gone) and
+      // re-form the pair with roles swapped; Bootstrap streams the promoted
+      // node's state to the fresh backup.
+      nodes[pri].fs = std::make_unique<fs::SimFs>(nodes[pri].ssd, 0);
+      (void)nodes[pri].dev->Reset();
+      pri = 1 - pri;
+      s = core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, repl_opts,
+                                          repl_node(pri), repl_node(1 - pri),
+                                          &env, &pair);
+      if (!s.ok()) {
+        diverge("cycle " + U64(cycle) +
+                " re-pair open failed: " + s.ToString());
+        break;
+      }
+      result.cycles_run++;
+    }
+    if (pair != nullptr) (void)pair->Close();
+  });
+  env.Run();
+
+  result.trace = trace.str();
+  if (!result.ok && !opt.trace_dump_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.trace_dump_dir, ec);
+    std::string path =
+        opt.trace_dump_dir + "/nemesis-" + U64(opt.seed) + ".trace";
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      out << result.trace;
+      out.close();
+      result.trace_path = path;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 NemesisResult RunNemesis(const NemesisOptions& opt) {
+  if (opt.ha) return RunNemesisHa(opt);
   NemesisResult result;
   std::ostringstream trace;
   const int shards = std::max(1, opt.shards);
@@ -587,6 +1144,10 @@ Status ParseNemesisTrace(const std::string& path, NemesisOptions* out) {
       out->corrupt_model_at_cycle = static_cast<int>(value);
     } else if (name == "shards") {
       out->shards = static_cast<int>(value);
+    } else if (name == "ha") {
+      out->ha = value != 0;
+    } else if (name == "repl_ack") {
+      out->repl_ack = static_cast<int>(value);
     }  // unknown keys: forward compatibility, ignore
   }
   return Status::OK();

@@ -35,6 +35,16 @@ struct NemesisOptions {
   // the cross-shard iterator order. 1 = the plain single-shard stack,
   // byte-compatible with earlier schedules.
   int shards = 1;
+  // Two-node HA pair (DESIGN.md §12): the op stream drives a
+  // ReplicatedKvaccelDB instead of a single stack, the crash table gains the
+  // replication sites (crash.net.send.mid, net.send.transient), and every
+  // cycle ends in a failover: the pair dies, the backup is promoted
+  // (check::PromoteNode) and verified against the oracle, the dead node is
+  // wiped, and the pair re-forms with roles swapped. Forces shards == 1.
+  bool ha = false;
+  // 0 = sync acks (every acked write must be served by the promoted node),
+  // 1 = async acks (a bounded, reported tail may be lost).
+  int repl_ack = 0;
   // When non-empty: on divergence, write the op trace to
   // <trace_dump_dir>/nemesis-<seed>.trace on the host file system.
   std::string trace_dump_dir;
@@ -51,6 +61,11 @@ struct NemesisResult {
   int cycles_run = 0;
   int crashes = 0;         // cycles that actually died at a crash site
   uint64_t ops_executed = 0;
+  // HA mode only.
+  int failovers = 0;                    // promotions performed (one per cycle)
+  uint64_t ha_lost_entries = 0;         // async tail entries lost, summed
+  uint64_t ha_drained_entries = 0;      // mirror entries re-hosted at promote
+  uint64_t ha_backup_dev_fallbacks = 0; // intents degraded to the host path
 };
 
 // Builds its own simulation world and runs the whole schedule; returns after

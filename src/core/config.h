@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/histogram.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "devlsm/dev_lsm.h"
 #include "ssd/hybrid_ssd.h"
@@ -53,6 +55,11 @@ struct KvaccelOptions {
   // device_unhealthy_cooldown a single half-open probe may re-enable it.
   int dev_retry_limit = 3;
   Nanos dev_retry_backoff = FromMicros(200);
+  // Dev-LSM retry delays use decorrelated jitter (sim/backoff.h) bounded by
+  // this cap; the seed is offset per shard/node so co-located retriers
+  // don't hammer the device in lockstep.
+  Nanos dev_retry_backoff_cap = FromMillis(10);
+  uint64_t dev_retry_jitter_seed = 0xDE77E4;
   Nanos device_unhealthy_cooldown = FromSecs(5);
 
   // Multi-device deployment (paper §V-D): host the key-value interface on a
@@ -76,6 +83,21 @@ struct KvaccelOptions {
   // compound command's payload bytes before the device put; blocks in
   // virtual time until the reservation is granted and returns the ns queued.
   std::function<Nanos(uint64_t bytes)> redirect_arbiter;
+
+  // --- Replication hooks (HA pair, DESIGN.md §12). Both optional. ---
+  // Called after a redirected batch is durable in the Dev-LSM, BEFORE the
+  // metadata flip acks it: ships the batch's Dev-LSM intent (keys, values,
+  // host sequence range, tombstone marks) to the backup so the write can be
+  // reconstructed on failover even though this node's device KV region is
+  // gone. A non-OK return fails the redirect (the write is unacked and the
+  // leaked device entries are superseded by recovery's seq comparison).
+  std::function<Status(const std::vector<devlsm::DevLsm::BatchPut>& entries)>
+      redirect_shipper;
+  // Called after a rollback drain completes: tells the backup its mirrored
+  // intents are now covered by the primary's Main-LSM (shipped via the WAL
+  // stream is wrong — rollback ingests bypass the WAL — so the backup drains
+  // its own mirror on this signal).
+  std::function<void()> rollback_shipper;
 
   // Online scrubber (DESIGN.md §9): a low-priority actor that re-reads SST
   // blocks with checksum verification during idle bandwidth. Off by default

@@ -7,6 +7,7 @@
 
 #include "core/hybrid_iterator.h"
 #include "obs/trace.h"
+#include "sim/backoff.h"
 #include "sim/fault.h"
 
 namespace kvaccel::core {
@@ -20,7 +21,8 @@ bool IsTransient(const Status& s) {
 // ---------------- Open / lifecycle ----------------
 
 KvaccelDB::KvaccelDB(const KvaccelOptions& kv_options, const lsm::DbEnv& env)
-    : options_(kv_options), denv_(env), env_(env.env) {}
+    : options_(kv_options), denv_(env), env_(env.env),
+      dev_retry_rng_(kv_options.dev_retry_jitter_seed) {}
 
 Status KvaccelDB::Open(const lsm::DbOptions& main_options,
                        const KvaccelOptions& kv_options,
@@ -117,13 +119,18 @@ bool KvaccelDB::ShouldRedirect() const {
 Status KvaccelDB::DevPutWithRetry(
     const std::vector<devlsm::DevLsm::BatchPut>& entries) {
   Status s = dev_->PutCompound(entries);
-  Nanos backoff = options_.dev_retry_backoff;
+  Nanos backoff = 0;
   int attempt = 0;
   while (!s.ok() && IsTransient(s) && attempt < options_.dev_retry_limit) {
     attempt++;
     kv_stats_.dev_retries++;
+    // Decorrelated jitter, capped: shards/nodes sharing the device spread
+    // their retry waves instead of re-colliding in lockstep.
+    backoff = sim::NextDecorrelatedDelay(&dev_retry_rng_,
+                                         options_.dev_retry_backoff,
+                                         options_.dev_retry_backoff_cap,
+                                         backoff);
     env_->SleepFor(backoff);
-    backoff *= 2;
     s = dev_->PutCompound(entries);
   }
   if (s.ok()) {
@@ -184,6 +191,14 @@ Status KvaccelDB::Write(const lsm::WriteOptions& wopts,
       // prove (single-authority invariant across the flip).
       if (s.ok() && sim::FaultAt(env_, "crash.redirect.mid")) {
         s = Status::IOError("simulated crash");
+      }
+      // Ship the Dev-LSM intent to the backup BEFORE the metadata flip acks
+      // the batch: an acked redirected write must be reconstructible on
+      // failover even though this node's device KV region is gone. A ship
+      // failure leaves the write unacked; the device-side entries it leaked
+      // are superseded by recovery's sequence comparison.
+      if (s.ok() && options_.redirect_shipper) {
+        s = options_.redirect_shipper(entries);
       }
       if (s.ok()) {
         kv_stats_.redirect_batch_latency.Add(env_->Now() - dev_start);
@@ -394,6 +409,10 @@ Status RollbackManager::Execute(bool trust_metadata) {
   }
   if (status.ok()) status = dev->ResetUpTo(snapshot_seq);
   if (tracer != nullptr) tracer->Instant(track, "rollback.reset");
+  // Tell the backup its mirrored intents are now covered by Main-LSM data.
+  // Rollback ingests bypass the WAL stream, so without this signal the
+  // backup's mirror would grow without bound.
+  if (status.ok() && options_.rollback_shipper) options_.rollback_shipper();
   KvaccelStats& ks = const_cast<KvaccelStats&>(owner_->kv_stats());
   ks.rollbacks++;
   ks.rollback_entries += merged;

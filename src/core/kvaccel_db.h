@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "common/random.h"
 #include "core/config.h"
 #include "core/detector.h"
 #include "core/metadata_manager.h"
@@ -97,6 +98,8 @@ class KvaccelDB {
 
   KvaccelStats kv_stats_;
   lsm::DbStats agg_stats_;
+  // Decorrelated-jitter stream for DevPutWithRetry backoff (sim/backoff.h).
+  Random64 dev_retry_rng_;
   bool closed_ = false;
 };
 

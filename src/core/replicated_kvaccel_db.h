@@ -1,0 +1,211 @@
+// ReplicatedKvaccelDB: a two-node HA pair (DESIGN.md §12). The primary is a
+// full KVACCEL stack serving all traffic; the backup is a warm standby on its
+// own SSD/file system/CPU that receives the primary's commit stream over a
+// simulated interconnect (sim::NetLink) and applies it at the primary's
+// sequence numbers, so a failover promotes a byte-consistent replica instead
+// of replaying from scratch.
+//
+// Four record types ride the link, in ship order:
+//
+//   kWalBatch       every group-commit WAL batch, shipped by the leader after
+//                   local WAL sync and applied on the backup as a
+//                   replicated-sequence write (lsm::WriteOptions::
+//                   replicated_seq) — the RDMA-index-replication idea from
+//                   PAPERS.md: stream the already-ordered commit stream, do
+//                   not re-run the write path.
+//   kRedirectIntent the KVACCEL twist: a redirected batch's Dev-LSM intent
+//                   (keys, values, host sequence range, tombstone marks),
+//                   shipped after the compound command is durable on the
+//                   PRIMARY's device but before the metadata flip acks it.
+//                   The backup mirrors the intent into its OWN Dev-LSM (or
+//                   degrades to its host path when its device is unhealthy),
+//                   so an acked redirected write survives failover even
+//                   though the primary's device KV region is gone.
+//   kRollback       the primary finished a rollback drain: its Dev-LSM data
+//                   is now in its Main-LSM (via WAL-bypassing ingest), so
+//                   the backup drains its mirror the same way.
+//   kManifestEdit   advisory VersionEdit stream (bytes charged to the link;
+//                   the backup builds its own versions from applied writes).
+//
+// Ack modes (--repl_ack):
+//   sync    a write is acknowledged only after its record is applied on the
+//           backup; every acked write survives failover.
+//   async   records queue (bounded) and ship from a background actor; acks
+//           don't wait. On a crash the un-applied tail — bounded by the
+//           queue capacity — is lost, and reported via ReplStats.
+//
+// Failover itself lives in check::PromoteNode (src/check/failover.h): core
+// cannot depend on the checker layer.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kvaccel_db.h"
+#include "sim/net_link.h"
+
+namespace kvaccel::core {
+
+enum class ReplAck { kSync, kAsync };
+
+// One node's caller-owned world. Both nodes share the one SimEnv (one
+// simulation clock); each has its own SSD, file system and host CPU so a
+// crash protocol can wipe exactly one side.
+struct ReplNode {
+  ssd::HybridSsd* ssd = nullptr;
+  fs::SimFs* fs = nullptr;
+  sim::CpuPool* host_cpu = nullptr;
+  devlsm::DevLsm* dev = nullptr;  // external (device-owned) Dev-LSM
+};
+
+struct ReplOptions {
+  ReplAck ack = ReplAck::kSync;
+  // Interconnect: defaults model a 10 GbE-class link.
+  double net_bytes_per_sec = 1.25e9;
+  Nanos net_latency = FromMicros(30);
+  // Async mode: records queued ahead of the shipper; producers block when
+  // full (backpressure is what bounds the loss tail).
+  size_t async_queue_cap = 64;
+  // Transient send retries (net.send.transient) before a record fails (sync)
+  // or keeps cycling (async retries until the pair crashes).
+  int net_retry_limit = 3;
+  Nanos net_retry_backoff = FromMicros(100);
+  Nanos net_retry_backoff_cap = FromMillis(10);
+  uint64_t net_jitter_seed = 0x4E7B0FF;
+};
+
+struct ReplStats {
+  uint64_t wal_records = 0;
+  uint64_t wal_entries = 0;
+  uint64_t intent_records = 0;
+  uint64_t intent_entries = 0;
+  uint64_t rollback_records = 0;
+  uint64_t manifest_records = 0;
+  uint64_t manifest_drops = 0;  // advisory stream dropped on pressure
+  uint64_t repl_bytes = 0;      // bytes charged to the link
+  uint64_t records_applied = 0;
+  uint64_t net_retries = 0;
+  uint64_t ship_failures = 0;   // records dropped; async: the lost tail
+  uint64_t lost_entries = 0;    // entries in dropped wal/intent records
+  uint64_t lost_seq_min = 0;    // first seq of the earliest dropped record
+  uint64_t backup_dev_fallbacks = 0;  // intents degraded to the host path
+  uint64_t async_queue_peak = 0;
+  Nanos sync_ship_ns = 0;       // foreground time spent shipping (sync mode)
+};
+
+class ReplicatedKvaccelDB {
+ public:
+  static Status Open(const lsm::DbOptions& main_options,
+                     const KvaccelOptions& kv_options,
+                     const ReplOptions& repl_options, const ReplNode& primary,
+                     const ReplNode& backup, sim::SimEnv* env,
+                     std::unique_ptr<ReplicatedKvaccelDB>* db);
+  ~ReplicatedKvaccelDB();
+
+  // Foreground interface: everything serves from the primary.
+  Status Write(const lsm::WriteOptions& wopts, lsm::WriteBatch* batch);
+  Status Put(const lsm::WriteOptions& wopts, const Slice& key,
+             const Value& value);
+  Status Delete(const lsm::WriteOptions& wopts, const Slice& key);
+  Status Get(const lsm::ReadOptions& ropts, const Slice& key, Value* value);
+  std::unique_ptr<lsm::Iterator> NewIterator(const lsm::ReadOptions& ropts);
+  Status FlushAll();
+  Status WaitForCompactionIdle();
+  Status RollbackNow();
+  // Drains the async queue (fail-fast per record once the pair has crashed),
+  // stops the shipper, closes primary then backup. Errors are collected but
+  // both nodes always end closed.
+  Status Close();
+
+  // ---- Introspection ----
+  KvaccelDB* primary() { return primary_.get(); }
+  KvaccelDB* backup() { return backup_.get(); }
+  sim::NetLink* link() { return link_.get(); }
+  const ReplStats& repl_stats() const { return stats_; }
+  ReplAck ack() const { return options_.ack; }
+  // Highest sequence handed to the replication stream.
+  uint64_t last_assigned_seq() const { return last_assigned_seq_; }
+  // Verification frontier: every acked write with first_seq <= this is
+  // applied on the backup. No losses => last_assigned_seq(); with a dropped
+  // record it stops just short of the earliest hole.
+  uint64_t applied_frontier() const {
+    return stats_.lost_seq_min == 0 ? last_assigned_seq_
+                                    : stats_.lost_seq_min - 1;
+  }
+
+  // ---- Test hooks (async mode) ----
+  // Holds the shipper so a test can build a known queue backlog.
+  void PauseShipping(bool paused);
+  // Blocks until the queue is empty and no record is mid-apply.
+  void DrainShipping();
+
+ private:
+  struct Record {
+    enum class Type { kWalBatch, kRedirectIntent, kRollback, kManifestEdit };
+    Type type = Type::kWalBatch;
+    lsm::WriteBatch batch;  // kWalBatch payload
+    std::vector<devlsm::DevLsm::BatchPut> entries;  // kRedirectIntent payload
+    uint64_t first_seq = 0;
+    uint32_t count = 0;  // entries carried (0 for rollback/manifest)
+    uint64_t bytes = 0;  // serialized size charged to the link
+  };
+
+  ReplicatedKvaccelDB(const ReplOptions& options, const ReplNode& backup_node,
+                      sim::SimEnv* env);
+
+  // Primary-side hooks (installed into the primary's options at Open).
+  Status ShipWalBatch(const lsm::WriteBatch& group, uint64_t first_seq);
+  Status ShipRedirectIntent(
+      const std::vector<devlsm::DevLsm::BatchPut>& entries);
+  void ShipRollback();
+  void ShipManifestEdit(const std::string& edit, uint64_t last_seq);
+
+  // One record end to end: link transfer (+bounded transient retries), then
+  // apply on the backup. `forever` (async) keeps cycling on transient
+  // failures until the pair crashes; a drop is recorded as lost tail.
+  Status SendAndApply(Record* rec, bool forever);
+  Status SendOverLink(uint64_t bytes);
+  Status ApplyOnBackup(Record* rec);
+  Status ApplyIntentOnBackup(Record* rec);
+  void RecordLoss(const Record& rec);
+
+  // Sync: applies inline under ship_mu_ (FIFO). Async: enqueues with
+  // backpressure; fails only if the pair crashes while waiting.
+  Status Ship(Record rec);
+  void ShipperLoop();
+
+  // Streams the primary's existing contents to a freshly attached backup
+  // (promote -> re-pair lifecycle). Two-sided merge at exact sequences.
+  Status Bootstrap();
+
+  ReplOptions options_;
+  ReplNode backup_node_;
+  // Backup-side Dev-LSM retry/breaker discipline (sanitized copy of the
+  // pair's KvaccelOptions; hooks cleared).
+  KvaccelOptions dev_retry_opts_;
+  sim::SimEnv* env_;
+
+  std::unique_ptr<sim::NetLink> link_;
+  std::unique_ptr<KvaccelDB> primary_;
+  std::unique_ptr<KvaccelDB> backup_;
+
+  sim::SimMutex ship_mu_;  // sync mode: one record on the wire at a time
+  Random64 net_rng_;
+
+  // Async shipper state (all under q_mu_).
+  sim::SimMutex q_mu_;
+  sim::SimCondVar q_cv_;
+  std::deque<Record> queue_;
+  bool shipper_busy_ = false;
+  bool paused_ = false;
+  bool stopping_ = false;
+  sim::SimEnv::Thread* shipper_ = nullptr;
+
+  ReplStats stats_;
+  uint64_t last_assigned_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace kvaccel::core

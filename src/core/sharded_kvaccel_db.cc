@@ -151,6 +151,10 @@ Status ShardedKvaccelDB::Open(const lsm::DbOptions& main_options,
     lsm::DbOptions shard_main = main_options;
     KvaccelOptions shard_kv = kv_options;
     shard_kv.external_dev = sh.dev;
+    // Distinct jitter streams per shard: co-located retriers spreading over
+    // decorrelated schedules is the whole point of the jittered backoff.
+    shard_main.io_retry_jitter_seed += static_cast<uint64_t>(i) * 0x9E3779B9;
+    shard_kv.dev_retry_jitter_seed += static_cast<uint64_t>(i) * 0x9E3779B9;
     shard_kv.redirect_admission = [self, i](uint64_t bytes) {
       return self->AdmitRedirect(i, bytes);
     };
@@ -312,6 +316,14 @@ Status ShardedKvaccelDB::Close() {
   for (auto& sh : shards_) {
     Status s = sh.db->Close();
     if (!s.ok() && first.ok()) first = s;
+  }
+  // Shards quiesced above: release their arbiter slots so a departed
+  // client's stale start tag can't distort fairness for whatever registers
+  // next (clients were registered 0..N-1 in shard order at Open).
+  if (arbiter_ != nullptr) {
+    for (int i = 0; i < static_cast<int>(shards_.size()); i++) {
+      arbiter_->DeregisterClient(i);
+    }
   }
   return first;
 }

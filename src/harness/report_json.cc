@@ -76,6 +76,30 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
   }
   w->EndObject();
 
+  // HA pair (DESIGN.md §12): replication stream + measured failover.
+  if (r.ha_repl_ack >= 0) {
+    w->Key("ha");
+    w->BeginObject();
+    w->Field("repl_ack", r.ha_repl_ack == 1 ? "async" : "sync");
+    w->Field("wal_records", r.ha_wal_records);
+    w->Field("intent_records", r.ha_intent_records);
+    w->Field("repl_mb", r.ha_repl_mb);
+    w->Field("net_retries", r.ha_net_retries);
+    w->Field("ship_failures", r.ha_ship_failures);
+    w->Field("lost_entries", r.ha_lost_entries);
+    w->Field("backup_dev_fallbacks", r.ha_backup_dev_fallbacks);
+    w->Field("async_queue_peak", r.ha_async_queue_peak);
+    w->Field("sync_ship_ms", r.ha_sync_ship_ms);
+    w->Key("failover");
+    w->BeginObject();
+    w->Field("promote_ms", r.ha_failover_ms);
+    w->Field("drained_entries", r.ha_failover_drained);
+    w->Field("checker_errors", r.ha_failover_checker_errors);
+    w->Field("checker_warnings", r.ha_failover_checker_warnings);
+    w->EndObject();
+    w->EndObject();
+  }
+
   if (!r.shards.empty()) {
     w->Key("shards");
     w->BeginArray();
@@ -169,6 +193,10 @@ std::string JsonReportString(const BenchConfig& config,
               ? "per_shard"
               : "global");
   w.Field("arbiter_share", config.sut.arbiter_share);
+  w.Field("ha", config.sut.ha);
+  w.Field("repl_ack", config.sut.repl_ack_async ? "async" : "sync");
+  w.Field("net_mbps", config.sut.net_mbps);
+  w.Field("net_latency_us", config.sut.net_latency_us);
   w.Field("fault_profile", config.fault_profile);
   w.Field("fault_seed", config.fault_seed);
   w.Field("nemesis_seed", config.nemesis_seed);

@@ -9,6 +9,7 @@
 
 #include "adoc/adoc_tuner.h"
 #include "core/kvaccel_db.h"
+#include "core/replicated_kvaccel_db.h"
 #include "core/sharded_kvaccel_db.h"
 #include "harness/presets.h"
 #include "lsm/db.h"
@@ -45,16 +46,25 @@ struct SutConfig {
       core::RedirectBudgetPolicy::kGlobal;
   // Fair-share arbiter serving rate as a fraction of NAND bandwidth; 0 = off.
   double arbiter_share = 1.0;
+  // Two-node HA pair (KVACCEL only, shards == 1, DESIGN.md §12): the runner
+  // builds both node worlds and the SUT opens a ReplicatedKvaccelDB over
+  // them. All traffic serves from the primary.
+  bool ha = false;
+  bool repl_ack_async = false;  // false = sync acks, true = async
+  double net_mbps = 1250;       // interconnect bandwidth (10 GbE-class)
+  double net_latency_us = 30;
+  core::ReplNode ha_primary;
+  core::ReplNode ha_backup;
   // Ablation hook: adjust the DbOptions after the preset is built.
   std::function<void(lsm::DbOptions&)> db_tweak;
 };
 
 class SystemUnderTest {
  public:
-  static Status Open(const SutConfig& config, const lsm::DbEnv& env,
-                     std::unique_ptr<SystemUnderTest>* sut) {
-    auto s = std::unique_ptr<SystemUnderTest>(new SystemUnderTest());
-    s->config_ = config;
+  // The DbOptions / KvaccelOptions a given SutConfig opens with. Exposed so
+  // the runner can rebuild the exact same options for post-run workflows
+  // (e.g. promoting the HA backup after the pair is closed).
+  static lsm::DbOptions BuildDbOptions(const SutConfig& config) {
     lsm::DbOptions db_opts = PaperDbOptions(
         config.compaction_threads, config.enable_slowdown, config.scale);
     if (config.max_subcompactions > 0) {
@@ -64,6 +74,24 @@ class SystemUnderTest {
       db_opts.compaction_rate_limit = config.compaction_rate_limit;
     }
     if (config.db_tweak) config.db_tweak(db_opts);
+    return db_opts;
+  }
+  static core::KvaccelOptions BuildKvOptions(const SutConfig& config) {
+    core::KvaccelOptions kv_opts =
+        PaperKvaccelOptions(config.rollback, config.scale);
+    // Paper §VI-C: for the write-only workload, rollback and Dev-LSM
+    // compaction are both disabled (lazy rollback after the workload).
+    if (config.rollback == core::RollbackScheme::kDisabled) {
+      kv_opts.dev.compaction_enabled = false;
+    }
+    return kv_opts;
+  }
+
+  static Status Open(const SutConfig& config, const lsm::DbEnv& env,
+                     std::unique_ptr<SystemUnderTest>* sut) {
+    auto s = std::unique_ptr<SystemUnderTest>(new SystemUnderTest());
+    s->config_ = config;
+    lsm::DbOptions db_opts = BuildDbOptions(config);
     Status st;
     switch (config.kind) {
       case SystemKind::kRocksDB:
@@ -83,12 +111,23 @@ class SystemUnderTest {
         break;
       }
       case SystemKind::kKvaccel: {
-        core::KvaccelOptions kv_opts =
-            PaperKvaccelOptions(config.rollback, config.scale);
-        // Paper §VI-C: for the write-only workload, rollback and Dev-LSM
-        // compaction are both disabled (lazy rollback after the workload).
-        if (config.rollback == core::RollbackScheme::kDisabled) {
-          kv_opts.dev.compaction_enabled = false;
+        core::KvaccelOptions kv_opts = BuildKvOptions(config);
+        if (config.ha) {
+          if (config.shards > 1) {
+            return Status::InvalidArgument("HA pair requires shards == 1");
+          }
+          core::ReplOptions ro;
+          ro.ack = config.repl_ack_async ? core::ReplAck::kAsync
+                                         : core::ReplAck::kSync;
+          if (config.net_mbps > 0) ro.net_bytes_per_sec = config.net_mbps * 1e6;
+          if (config.net_latency_us > 0) {
+            ro.net_latency = FromMicros(static_cast<Nanos>(config.net_latency_us));
+          }
+          st = core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, ro,
+                                               config.ha_primary,
+                                               config.ha_backup, env.env,
+                                               &s->pair_);
+          break;
         }
         if (config.shards > 1) {
           core::ShardingOptions sharding;
@@ -111,6 +150,7 @@ class SystemUnderTest {
   }
 
   Status Put(const Slice& key, const Value& value) {
+    if (pair_) return pair_->Put({}, key, value);
     if (sharded_) return sharded_->Put({}, key, value);
     return kvaccel_ ? kvaccel_->Put({}, key, value)
                     : db_->Put({}, key, value);
@@ -118,35 +158,42 @@ class SystemUnderTest {
   // Batched write: the whole batch takes one trip down the write pipeline
   // (one Controller decision for KVACCEL, one group-commit slot otherwise).
   Status Write(lsm::WriteBatch* batch) {
+    if (pair_) return pair_->Write({}, batch);
     if (sharded_) return sharded_->Write({}, batch);
     return kvaccel_ ? kvaccel_->Write({}, batch) : db_->Write({}, batch);
   }
   Status Delete(const Slice& key) {
+    if (pair_) return pair_->Delete({}, key);
     if (sharded_) return sharded_->Delete({}, key);
     return kvaccel_ ? kvaccel_->Delete({}, key) : db_->Delete({}, key);
   }
   Status Get(const Slice& key, Value* value) {
+    if (pair_) return pair_->Get({}, key, value);
     if (sharded_) return sharded_->Get({}, key, value);
     return kvaccel_ ? kvaccel_->Get({}, key, value)
                     : db_->Get({}, key, value);
   }
   std::unique_ptr<lsm::Iterator> NewIterator(
       const lsm::ReadOptions& ropts = {}) {
+    if (pair_) return pair_->NewIterator(ropts);
     if (sharded_) return sharded_->NewIterator(ropts);
     return kvaccel_ ? kvaccel_->NewIterator(ropts) : db_->NewIterator(ropts);
   }
 
   Status FlushAll() {
+    if (pair_) return pair_->FlushAll();
     if (sharded_) return sharded_->FlushAll();
     return kvaccel_ ? kvaccel_->FlushAll() : db_->FlushAll();
   }
   Status WaitForCompactionIdle() {
+    if (pair_) return pair_->WaitForCompactionIdle();
     if (sharded_) return sharded_->WaitForCompactionIdle();
     return kvaccel_ ? kvaccel_->WaitForCompactionIdle()
                     : db_->WaitForCompactionIdle();
   }
   Status Close() {
     if (tuner_ != nullptr) tuner_->Stop();
+    if (pair_) return pair_->Close();
     if (sharded_) return sharded_->Close();
     return kvaccel_ ? kvaccel_->Close() : db_->Close();
   }
@@ -155,18 +202,23 @@ class SystemUnderTest {
   // For a sharded SUT this is the cross-shard aggregate, recomputed per call.
   const lsm::DbStats& stats() const {
     if (sharded_) return sharded_->AggregateStats();
-    return kvaccel_ ? kvaccel_->stats() : db_->stats();
+    core::KvaccelDB* kv = kv_view();
+    return kv ? kv->stats() : db_->stats();
   }
   // The Main-LSM's internal stats (stall/slowdown regions, background work).
   const lsm::DbStats& main_stats() const {
     if (sharded_) return sharded_->AggregateMainStats();
-    return kvaccel_ ? kvaccel_->main()->stats() : db_->stats();
+    core::KvaccelDB* kv = kv_view();
+    return kv ? kv->main()->stats() : db_->stats();
   }
-  bool is_kvaccel() const { return kvaccel_ != nullptr || sharded_ != nullptr; }
+  bool is_kvaccel() const {
+    return kv_view() != nullptr || sharded_ != nullptr;
+  }
   // Facade-level KVACCEL counters: single shard's, or the fleet aggregate.
   core::KvaccelStats kvaccel_stats() const {
     if (sharded_) return sharded_->AggregateKvStats();
-    return kvaccel_ ? kvaccel_->kv_stats() : core::KvaccelStats{};
+    core::KvaccelDB* kv = kv_view();
+    return kv ? kv->kv_stats() : core::KvaccelStats{};
   }
   lsm::BlockCacheStats cache_stats() {
     if (sharded_) return sharded_->AggregateBlockCacheStats();
@@ -174,7 +226,8 @@ class SystemUnderTest {
   }
   devlsm::DevLsmStats devlsm_stats() const {
     if (sharded_) return sharded_->AggregateDevStats();
-    return kvaccel_ ? kvaccel_->dev()->stats() : devlsm::DevLsmStats{};
+    core::KvaccelDB* kv = kv_view();
+    return kv ? kv->dev()->stats() : devlsm::DevLsmStats{};
   }
 
   SystemKind kind() const { return config_.kind; }
@@ -182,24 +235,38 @@ class SystemUnderTest {
     std::string n = std::string(SystemName(config_.kind)) + "(" +
                     std::to_string(config_.compaction_threads) + ")";
     if (config_.shards > 1) n += "x" + std::to_string(config_.shards);
+    if (pair_) {
+      n += pair_->ack() == core::ReplAck::kSync ? "+HA(sync)" : "+HA(async)";
+    }
     return n;
   }
-  // Representative DB for cache/SST introspection: shard 0 when sharded.
+  // Representative DB for cache/SST introspection: shard 0 when sharded,
+  // the primary's Main-LSM for an HA pair.
   lsm::DB* db() {
     if (sharded_) return sharded_->shard(0)->main();
-    return kvaccel_ ? kvaccel_->main() : db_.get();
+    core::KvaccelDB* kv = kv_view();
+    return kv ? kv->main() : db_.get();
   }
-  core::KvaccelDB* kvaccel() { return kvaccel_.get(); }
+  core::KvaccelDB* kvaccel() { return kv_view(); }
   core::ShardedKvaccelDB* sharded() { return sharded_.get(); }
+  core::ReplicatedKvaccelDB* pair() { return pair_.get(); }
   adoc::AdocTuner* tuner() { return tuner_.get(); }
 
  private:
   SystemUnderTest() = default;
 
+  // The KvaccelDB serving foreground traffic: the standalone instance, or the
+  // HA pair's primary.
+  core::KvaccelDB* kv_view() const {
+    if (pair_) return pair_->primary();
+    return kvaccel_.get();
+  }
+
   SutConfig config_;
   std::unique_ptr<lsm::DB> db_;
   std::unique_ptr<core::KvaccelDB> kvaccel_;
   std::unique_ptr<core::ShardedKvaccelDB> sharded_;
+  std::unique_ptr<core::ReplicatedKvaccelDB> pair_;
   std::unique_ptr<adoc::AdocTuner> tuner_;
 };
 

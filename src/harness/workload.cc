@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/failover.h"
 #include "common/random.h"
+#include "devlsm/dev_lsm.h"
 #include "fs/simfs.h"
 #include "harness/fault_profiles.h"
 #include "obs/trace.h"
@@ -262,6 +264,30 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
     });
   }
 
+  // HA pair (DESIGN.md §12): replication-stream counters.
+  if (sut->pair() != nullptr) {
+    core::ReplicatedKvaccelDB* pair = sut->pair();
+    registry->AddSource([pair](obs::MetricsSnapshot* snap) {
+      const core::ReplStats& rs = pair->repl_stats();
+      snap->SetCounter("repl.wal_records", rs.wal_records);
+      snap->SetCounter("repl.wal_entries", rs.wal_entries);
+      snap->SetCounter("repl.intent_records", rs.intent_records);
+      snap->SetCounter("repl.intent_entries", rs.intent_entries);
+      snap->SetCounter("repl.rollback_records", rs.rollback_records);
+      snap->SetCounter("repl.manifest_records", rs.manifest_records);
+      snap->SetCounter("repl.manifest_drops", rs.manifest_drops);
+      snap->SetCounter("repl.bytes", rs.repl_bytes);
+      snap->SetCounter("repl.records_applied", rs.records_applied);
+      snap->SetCounter("repl.net_retries", rs.net_retries);
+      snap->SetCounter("repl.ship_failures", rs.ship_failures);
+      snap->SetCounter("repl.backup_dev_fallbacks", rs.backup_dev_fallbacks);
+      snap->SetCounter("repl.async_queue_peak", rs.async_queue_peak);
+      snap->SetCounter("repl.sync_ship_ns", rs.sync_ship_ns);
+      snap->SetCounter("repl.net.messages", pair->link()->messages());
+      snap->SetCounter("repl.net.drops", pair->link()->drops());
+    });
+  }
+
   // Per-shard roll-up (DESIGN.md §11): dotted shard.<i>.* names so the flat
   // snapshot sorts all of one shard's metrics together.
   if (sut->sharded() != nullptr) {
@@ -335,6 +361,29 @@ RunResult RunBenchmark(const BenchConfig& config) {
   sim::CpuPool host_cpu(&env, "host", 8);  // Table II: usage limited to 8
   lsm::DbEnv denv{&env, &ssd, fs.get(), &host_cpu};
 
+  // Two-node HA pair (DESIGN.md §12): build the backup node's world — its
+  // own SSD, file system and 8-core host — plus caller-owned Dev-LSM
+  // instances for both nodes (the backup's must outlive the pair so the
+  // post-run failover can re-attach it).
+  SutConfig sut_cfg = config.sut;
+  const bool ha =
+      config.sut.kind == SystemKind::kKvaccel && config.sut.ha && !sharded;
+  std::unique_ptr<ssd::HybridSsd> ssd_b;
+  std::unique_ptr<fs::SimFs> fs_b;
+  std::unique_ptr<sim::CpuPool> cpu_b;
+  std::unique_ptr<devlsm::DevLsm> dev_a, dev_b;
+  if (ha) {
+    ssd_b = std::make_unique<ssd::HybridSsd>(&env, ssd_config);
+    fs_b = std::make_unique<fs::SimFs>(ssd_b.get(), 0);
+    cpu_b = std::make_unique<sim::CpuPool>(&env, "host-b", 8);
+    const devlsm::DevLsmOptions dev_opts =
+        SystemUnderTest::BuildKvOptions(sut_cfg).dev;
+    dev_a = std::make_unique<devlsm::DevLsm>(&ssd, 0, dev_opts);
+    dev_b = std::make_unique<devlsm::DevLsm>(ssd_b.get(), 0, dev_opts);
+    sut_cfg.ha_primary = {&ssd, fs.get(), &host_cpu, dev_a.get()};
+    sut_cfg.ha_backup = {ssd_b.get(), fs_b.get(), cpu_b.get(), dev_b.get()};
+  }
+
   sim::FaultInjector injector(&env, config.fault_seed);
   if (!config.fault_profile.empty()) {
     env.set_fault_injector(&injector);
@@ -355,7 +404,7 @@ RunResult RunBenchmark(const BenchConfig& config) {
 
   env.Spawn("bench-main", [&] {
     std::unique_ptr<SystemUnderTest> sut;
-    Status s = SystemUnderTest::Open(config.sut, denv, &sut);
+    Status s = SystemUnderTest::Open(sut_cfg, denv, &sut);
     if (!s.ok()) {
       fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return;
@@ -589,6 +638,45 @@ RunResult RunBenchmark(const BenchConfig& config) {
     // live component state.
     result.metrics = registry.Snapshot();
     sut->Close();
+
+    // HA pair: harvest the replication counters (authoritative after Close —
+    // async mode records its lost tail there), then measure an actual
+    // failover: the primary node is "lost", both file systems drop unsynced
+    // pages, and the backup is checked, repaired and promoted.
+    if (sut->pair() != nullptr) {
+      const core::ReplStats rs = sut->pair()->repl_stats();
+      result.ha_repl_ack = sut_cfg.repl_ack_async ? 1 : 0;
+      result.ha_wal_records = rs.wal_records;
+      result.ha_intent_records = rs.intent_records;
+      result.ha_repl_mb = static_cast<double>(rs.repl_bytes) / 1e6;
+      result.ha_net_retries = rs.net_retries;
+      result.ha_ship_failures = rs.ship_failures;
+      result.ha_lost_entries = rs.lost_entries;
+      result.ha_backup_dev_fallbacks = rs.backup_dev_fallbacks;
+      result.ha_async_queue_peak = rs.async_queue_peak;
+      result.ha_sync_ship_ms = static_cast<double>(rs.sync_ship_ns) / 1e6;
+
+      if (fs != nullptr) fs->DropAllDirty();
+      fs_b->DropAllDirty();
+      check::FailoverReport frep;
+      std::unique_ptr<core::KvaccelDB> promoted;
+      Status fo = check::PromoteNode(SystemUnderTest::BuildDbOptions(sut_cfg),
+                                     SystemUnderTest::BuildKvOptions(sut_cfg),
+                                     sut_cfg.ha_backup, &env, &frep,
+                                     &promoted);
+      result.ha_failover_ms = static_cast<double>(frep.promote_ns) / 1e6;
+      result.ha_failover_drained = frep.drained_entries;
+      result.ha_failover_checker_errors = frep.checker_errors;
+      result.ha_failover_checker_warnings = frep.checker_warnings;
+      if (!fo.ok()) {
+        fprintf(stderr, "ha failover: %s\n", fo.ToString().c_str());
+        if (result.ha_failover_checker_errors == 0) {
+          result.ha_failover_checker_errors = 1;
+        }
+      } else {
+        (void)promoted->Close();
+      }
+    }
     // Sharded: the per-shard file systems die with the SUT, so the offline
     // image (one subdirectory per shard) must be exported before it goes.
     if (sut->sharded() != nullptr && !config.db_dump_dir.empty()) {

@@ -160,6 +160,24 @@ struct RunResult {
   uint64_t intra_l0_compactions = 0;    // L0->L0 pressure-relief merges
   double compaction_throttle_seconds = 0;  // time parked on the rate limiter
 
+  // Two-node HA pair (DESIGN.md §12). ha_repl_ack is the gate: -1 = not an
+  // HA run, 0 = sync acks, 1 = async. After the window the runner fails the
+  // primary over to the backup and reports the promotion itself.
+  int ha_repl_ack = -1;
+  uint64_t ha_wal_records = 0;        // replicated group-commit batches
+  uint64_t ha_intent_records = 0;     // replicated redirected-write intents
+  double ha_repl_mb = 0;              // bytes shipped over the interconnect
+  uint64_t ha_net_retries = 0;
+  uint64_t ha_ship_failures = 0;
+  uint64_t ha_lost_entries = 0;       // async tail lost at the cutover
+  uint64_t ha_backup_dev_fallbacks = 0;
+  uint64_t ha_async_queue_peak = 0;
+  double ha_sync_ship_ms = 0;         // foreground time spent shipping (sync)
+  double ha_failover_ms = 0;          // backup promotion wall time
+  uint64_t ha_failover_drained = 0;   // mirror entries re-hosted at promote
+  int ha_failover_checker_errors = 0;
+  int ha_failover_checker_warnings = 0;
+
   // Sharded engine (DESIGN.md §11): one entry per shard, plus the fairness
   // headline — max/min per-shard foreground-write throughput (0 when any
   // shard saw no writes; 1.0 = perfectly even).

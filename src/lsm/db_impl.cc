@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "sim/backoff.h"
 #include "sim/fault.h"
 
 namespace kvaccel::lsm {
@@ -33,6 +34,7 @@ Status DB::Open(const DbOptions& options, const DbEnv& env,
 
 DbImpl::DbImpl(const DbOptions& options, const DbEnv& env)
     : options_(options), denv_(env), env_(env.env),
+      retry_rng_(options.io_retry_jitter_seed),
       active_compaction_threads_(options.compaction_threads),
       write_buffer_size_(options.write_buffer_size),
       slowdown_enabled_(options.enable_slowdown),
@@ -217,7 +219,7 @@ Status DbImpl::GetBackgroundError() {
 
 Status DbImpl::RetryTransient(const std::function<Status()>& fn) {
   Status s = fn();
-  Nanos backoff = options_.io_retry_backoff;
+  Nanos backoff = 0;
   for (int attempt = 0;
        !s.ok() && IsTransient(s) && attempt < options_.max_io_retries;
        attempt++) {
@@ -225,9 +227,15 @@ Status DbImpl::RetryTransient(const std::function<Status()>& fn) {
       SimLockGuard l(mu_);
       if (shutting_down_) return s;
       stats_.io_retries++;
+      // Decorrelated jitter, capped: retriers across shards/nodes share the
+      // device but not the rng stream, so their waves spread out instead of
+      // colliding in lockstep. Drawn under mu_ for a deterministic stream.
+      backoff = sim::NextDecorrelatedDelay(&retry_rng_,
+                                           options_.io_retry_backoff,
+                                           options_.io_retry_backoff_cap,
+                                           backoff);
     }
     env_->SleepFor(backoff);
-    backoff *= 2;
     s = fn();
   }
   return s;
@@ -279,7 +287,16 @@ Status DbImpl::Write(const WriteOptions& wopts, WriteBatch* batch) {
     // Reserve the group's sequence range before releasing mu_: the KVACCEL
     // redirect path allocates from the same space concurrently, so the range
     // must be published immediately even though the insert completes later.
-    group->SetSequence(AllocateSequenceLocked(group->Count()));
+    // A batch applied FROM replication commits at the primary's sequence
+    // instead (never coalesced, see BuildBatchGroup), advancing
+    // last_sequence past it so local allocation continues above.
+    if (wopts.replicated_seq != 0) {
+      group->SetSequence(wopts.replicated_seq);
+      SequenceNumber last = wopts.replicated_seq + group->Count() - 1;
+      if (last > versions_->last_sequence()) versions_->SetLastSequence(last);
+    } else {
+      group->SetSequence(AllocateSequenceLocked(group->Count()));
+    }
     stats_.write_groups++;
     stats_.group_commit_size.Add(group->Count());
 
@@ -314,6 +331,13 @@ Status DbImpl::Write(const WriteOptions& wopts, WriteBatch* batch) {
         // durable in the WAL but never acknowledged.
         s = Status::IOError("simulated crash");
       }
+    }
+    // Ship the group to the replication peer (HA pair). A shipper failure
+    // fails the group: locally WAL-durable but unacked — the same ambiguity
+    // window as crash.wal.post_sync, which recovery already tolerates.
+    // Batches applied FROM replication are not re-shipped.
+    if (s.ok() && options_.wal_shipper && wopts.replicated_seq == 0) {
+      s = options_.wal_shipper(*group, group->Sequence());
     }
     if (s.ok()) s = group->InsertInto(mem_.get());
     mu_.Lock();
@@ -362,6 +386,11 @@ WriteBatch* DbImpl::BuildBatchGroup(Writer** last_writer) {
     // would be silently dropped), and keep WAL usage uniform per group.
     if (wr->wopts.sync && !first->wopts.sync) break;
     if (wr->wopts.disable_wal != first->wopts.disable_wal) break;
+    // Replicated batches carry a fixed sequence range; never coalesce them
+    // with anything (their range is not contiguous with a fresh allocation).
+    if (first->wopts.replicated_seq != 0 || wr->wopts.replicated_seq != 0) {
+      break;
+    }
     if (size + wr->batch->LogicalSize() > max_size) break;
     size += wr->batch->LogicalSize();
     if (result == first->batch) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "lsm/cache.h"
 #include "lsm/db.h"
 #include "lsm/memtable.h"
@@ -190,6 +191,10 @@ class DbImpl : public DB {
   bool shutting_down_ = false;
   bool closed_ = false;
   Status bg_error_;
+
+  // Decorrelated-jitter stream for RetryTransient backoff (sim/backoff.h).
+  // Drawn under mu_, so the schedule is deterministic per instance.
+  Random64 retry_rng_;
 
   // Dynamically tunable copies (ADOC).
   int active_compaction_threads_;

@@ -5,10 +5,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/units.h"
 
 namespace kvaccel::lsm {
+
+class WriteBatch;
 
 constexpr int kNumLevels = 7;
 
@@ -110,6 +113,28 @@ struct DbOptions {
   // latches the background error and the DB becomes read-only.
   int max_io_retries = 5;
   Nanos io_retry_backoff = FromMicros(100);
+  // Per-retry delays use decorrelated jitter (sim/backoff.h) bounded by this
+  // cap, so N shards/nodes hitting the same transient don't retry in
+  // lockstep. The jitter stream is seeded per DB instance; sharded/replicated
+  // engines offset the seed per shard/node to decorrelate their schedules.
+  Nanos io_retry_backoff_cap = FromMillis(10);
+  uint64_t io_retry_jitter_seed = 0xBACC0FF;
+
+  // --- Replication hooks (HA pair, DESIGN.md §12) ---
+  // When set, the group-commit leader ships every locally-originated write
+  // group (after WAL append/sync, before memtable apply) with the group's
+  // first sequence number. A non-OK return fails the group: the write is
+  // durable in the local WAL but unacked — exactly the crash.wal.post_sync
+  // ambiguity window, which recovery already tolerates. Writes applied FROM
+  // replication (WriteOptions::replicated_seq != 0) are not re-shipped.
+  std::function<Status(const WriteBatch& group, uint64_t first_seq)>
+      wal_shipper;
+  // When set, every applied VersionEdit is streamed out (serialized payload +
+  // last sequence) after LogAndApply installs it. Advisory/best-effort: the
+  // backup rebuilds its own versions from replicated writes, so delivery
+  // failures don't fail the commit.
+  std::function<void(const std::string& edit, uint64_t last_seq)>
+      manifest_shipper;
 };
 
 // Per-read options.
@@ -127,6 +152,11 @@ struct ReadOptions {
 struct WriteOptions {
   bool sync = false;
   bool disable_wal = false;
+  // Non-zero marks a write applied FROM the replication stream: the batch is
+  // committed at exactly this first sequence number (advancing last_sequence
+  // past the batch if needed) instead of allocating fresh sequences, is never
+  // coalesced with other writers, and is not re-shipped. 0 = normal write.
+  uint64_t replicated_seq = 0;
 };
 
 }  // namespace kvaccel::lsm

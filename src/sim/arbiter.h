@@ -61,12 +61,37 @@ class FairShareArbiter {
 
   // Registers a client slot; returns its id. Call before the simulation
   // schedule depends on the arbiter (registration order defines ids).
+  // Recycles the most recently deregistered slot first, resetting its stats.
   int RegisterClient(std::string client_name) {
     SimLockGuard l(mu_);
+    if (!free_slots_.empty()) {
+      int id = free_slots_.back();
+      free_slots_.pop_back();
+      vtag_[id] = 0;
+      stats_[id] = ClientStats{};
+      stats_[id].name = std::move(client_name);
+      return id;
+    }
     vtag_.push_back(0);
     stats_.push_back(ClientStats{});
     stats_.back().name = std::move(client_name);
     return static_cast<int>(stats_.size()) - 1;
+  }
+
+  // Releases a client slot on shard/node close. The caller must have
+  // quiesced the client first: no Acquire may be in flight or issued for
+  // this id afterwards. Clears the slot's start tag so a departed client's
+  // stale tag can't distort fairness for a future occupant of the recycled
+  // id (e.g. a node promoted after failover); the accumulated stats survive
+  // for end-of-run reporting until the slot is reused.
+  void DeregisterClient(int client) {
+    SimLockGuard l(mu_);
+    if (client < 0 || client >= static_cast<int>(vtag_.size())) return;
+    for (int freed : free_slots_) {
+      if (freed == client) return;  // already released
+    }
+    vtag_[client] = 0;
+    free_slots_.push_back(client);
   }
 
   // Blocks until `bytes` of bandwidth are granted to `client`; returns the
@@ -132,6 +157,7 @@ class FairShareArbiter {
   std::set<std::pair<double, uint64_t>> queue_;  // (tag, ticket)
   std::vector<double> vtag_;   // per-client virtual finish tag (bytes)
   std::vector<ClientStats> stats_;
+  std::vector<int> free_slots_;  // deregistered ids awaiting reuse
 };
 
 }  // namespace kvaccel::sim

@@ -1,0 +1,41 @@
+// Decorrelated-jitter retry backoff (virtual time).
+//
+// Exponential backoff without jitter makes N shards/nodes that hit the same
+// transient fault retry in lockstep: every retry wave lands on the device at
+// the same virtual instant and collides again. NextDecorrelatedDelay spreads
+// the waves with the "decorrelated jitter" recurrence
+//
+//   delay_0 = base
+//   delay_n = min(cap, uniform(base, prev * 3))
+//
+// which keeps the expected delay growing roughly exponentially while
+// decorrelating concurrent retriers, and bounds every delay by `cap` so a
+// long fault can't push a single sleep into the minutes. Deterministic: the
+// spread is a pure function of the caller's Random64 stream, so a pinned
+// seed reproduces the exact schedule.
+#pragma once
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace kvaccel::sim {
+
+// Returns the next retry delay. `prev` is the delay used for the previous
+// attempt (0 for the first retry, which always gets `base`). `rng` must be
+// owned by the caller; each retrier keeps its own stream so concurrent
+// backoffs decorrelate.
+inline Nanos NextDecorrelatedDelay(Random64* rng, Nanos base, Nanos cap,
+                                   Nanos prev) {
+  if (base == 0) base = 1;
+  if (cap < base) cap = base;
+  if (prev == 0) return base;
+  if (prev > cap) prev = cap;
+  // uniform over [base, prev * 3]; prev >= base so the span is well-formed.
+  Nanos span = prev * 3 - base + 1;
+  Nanos next = base + rng->Uniform(span);
+  return std::min(next, cap);
+}
+
+}  // namespace kvaccel::sim

@@ -58,6 +58,35 @@ uint64_t FaultInjector::fires(const std::string& site) const {
   return it == sites_.end() ? 0 : it->second.fires;
 }
 
+const std::vector<FaultSiteInfo>& KnownFaultSites() {
+  static const std::vector<FaultSiteInfo> kSites = {
+      {"ssd.block.write.transient", "BlockWrite fails with IOError"},
+      {"ssd.block.read.transient", "BlockRead fails with IOError"},
+      {"ssd.block.flush.transient", "BlockFlush fails with IOError"},
+      {"ssd.block.read.timeout", "BlockRead stalls ~10ms then IOError"},
+      {"devlsm.put.transient", "Dev-LSM Put/Delete/PutCompound fail"},
+      {"devlsm.get.transient", "Dev-LSM Get fails"},
+      {"simfs.read.bitflip", "one bit of the returned payload flips"},
+      {"simfs.read.short", "read returns a prefix of the request"},
+      {"simfs.powercut.torn",
+       "DropAllDirty tears a suffix of unflushed bytes"},
+      {"net.send.transient", "NetLink::Send drops the message"},
+      {"crash.wal.post_append", "after WAL append, before sync"},
+      {"crash.wal.post_sync", "after WAL sync, before memtable apply"},
+      {"crash.flush.mid", "mid-way through an L0 flush"},
+      {"crash.manifest.pre_sync", "MANIFEST record appended, not synced"},
+      {"crash.manifest.post_sync", "MANIFEST synced, version not applied"},
+      {"crash.compaction.mid", "mid-way through a compaction"},
+      {"crash.subcompaction.mid", "mid-way through one compaction sub-range"},
+      {"crash.rollback.mid", "mid-way through a rollback drain"},
+      {"crash.redirect.mid",
+       "redirected batch durable on device, metadata not flipped"},
+      {"crash.net.send.mid",
+       "pair-wide power loss with a replication record in flight"},
+  };
+  return kSites;
+}
+
 bool FaultAt(SimEnv* env, const std::string& site) {
   if (env == nullptr) return false;
   FaultInjector* f = env->fault_injector();

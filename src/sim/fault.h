@@ -26,6 +26,10 @@
 //             crash.redirect.mid          redirected batch durable on the
 //                                         device, metadata records not yet
 //                                         flipped
+//   net       net.send.transient          NetLink::Send drops the message
+//             crash.net.send.mid          pair-wide power loss while a
+//                                         replication record is in flight
+//                                         (sent, never applied)
 //
 // Sites whose name starts with "crash." model whole-machine power loss: when
 // one fires the injector latches `crashed`, and while latched every device
@@ -41,6 +45,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/units.h"
@@ -108,6 +113,18 @@ class FaultInjector {
   bool crashed_ = false;
   uint64_t total_fires_ = 0;
 };
+
+// One row of the fault-site catalog: the exact site string checked in code
+// plus a one-line description. KnownFaultSites() is the authoritative list
+// of every named site sprinkled through the stack — tools print it for
+// --list_fault_sites, and a docs-drift test asserts DESIGN.md cites only
+// (and all of) the crash.* rows. Keep this table in sync with the header
+// comment above when adding a site.
+struct FaultSiteInfo {
+  const char* site;
+  const char* what;
+};
+const std::vector<FaultSiteInfo>& KnownFaultSites();
 
 // Null-safe site check: false when `env` is null or has no injector armed.
 bool FaultAt(SimEnv* env, const std::string& site);

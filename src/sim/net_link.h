@@ -1,0 +1,81 @@
+// NetLink: the simulated host-to-host interconnect for the HA pair — a FIFO
+// bandwidth server (same idiom as the PCIe link's RateResource) plus a fixed
+// propagation latency and two named fault sites:
+//
+//   net.send.transient    this message is dropped; the sender sees an IOError
+//                         and may retry (counted in drops())
+//   crash.net.send.mid    whole-pair power loss while the message is in
+//                         flight: it charged the wire but was never applied
+//                         on the receiver (latches the crash latch like every
+//                         crash.* site)
+//
+// Delivery is synchronous from the simulation's point of view: Send() blocks
+// the calling simulated thread for serialization (bytes / bandwidth, FIFO
+// behind earlier messages) plus the propagation latency, then returns OK,
+// after which the caller applies the message on the receiver. A Send that
+// returns an error means the receiver never saw the message. While the crash
+// latch is set every Send fails fast — the peer is down.
+//
+// Single cooperative scheduler, state mutated only between yield points — no
+// locking (see SimEnv header).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/fault.h"
+#include "sim/resource.h"
+#include "sim/sim_env.h"
+
+namespace kvaccel::sim {
+
+class NetLink {
+ public:
+  NetLink(SimEnv* env, std::string name, double bytes_per_sec, Nanos latency)
+      : env_(env),
+        latency_(latency),
+        pipe_(env, std::move(name), bytes_per_sec) {}
+  NetLink(const NetLink&) = delete;
+  NetLink& operator=(const NetLink&) = delete;
+
+  // Ships one `bytes`-sized message to the peer. Blocks for wire time +
+  // latency. IOError when the message is dropped (transient) or the pair
+  // crashed while it was in flight.
+  Status Send(uint64_t bytes) {
+    if (SimCrashed(env_)) {
+      return Status::IOError(pipe_.name() + ": peer down");
+    }
+    if (FaultAt(env_, "net.send.transient")) {
+      drops_++;
+      return Status::IOError(pipe_.name() + ": send dropped");
+    }
+    pipe_.Transfer(bytes);
+    if (latency_ > 0) env_->SleepFor(latency_);
+    if (FaultAt(env_, "crash.net.send.mid")) {
+      return Status::IOError(pipe_.name() + ": crashed in flight");
+    }
+    if (SimCrashed(env_)) {
+      return Status::IOError(pipe_.name() + ": peer down");
+    }
+    messages_++;
+    return Status::OK();
+  }
+
+  Nanos latency() const { return latency_; }
+  uint64_t messages() const { return messages_; }
+  uint64_t drops() const { return drops_; }
+  const RateResource& pipe() const { return pipe_; }
+  RateResource& pipe() { return pipe_; }
+
+ private:
+  SimEnv* env_;
+  Nanos latency_;
+  RateResource pipe_;
+  uint64_t messages_ = 0;  // delivered
+  uint64_t drops_ = 0;     // net.send.transient fires
+};
+
+}  // namespace kvaccel::sim

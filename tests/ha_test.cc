@@ -1,0 +1,391 @@
+// Two-node HA pair (DESIGN.md §12): interconnect timing and fault sites,
+// replicated-sequence writes, sync/async replication through
+// ReplicatedKvaccelDB, backup promotion (check::PromoteNode), the backup-side
+// Dev-LSM circuit breaker, and pinned-seed two-node nemesis schedules.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/failover.h"
+#include "check/nemesis.h"
+#include "core/replicated_kvaccel_db.h"
+#include "devlsm/dev_lsm.h"
+#include "fs/simfs.h"
+#include "lsm/db.h"
+#include "sim/fault.h"
+#include "sim/net_link.h"
+#include "sim/sim_env.h"
+#include "ssd/hybrid_ssd.h"
+#include "tests/test_util.h"
+
+namespace kvaccel {
+namespace {
+
+using test::TestKey;
+
+core::KvaccelOptions PairKvOptions() {
+  core::KvaccelOptions o;
+  o.detector_period = FromMillis(1);
+  o.dev.memtable_bytes = 128 << 10;
+  o.dev.dma_chunk = 64 << 10;
+  o.rollback = core::RollbackScheme::kDisabled;
+  return o;
+}
+
+// Two full node worlds sharing one clock and one fault injector, mirroring
+// the nemesis harness' HA world.
+struct PairWorld {
+  sim::SimEnv env;
+  sim::FaultInjector inj{&env, 0xFA17};
+  std::unique_ptr<ssd::HybridSsd> ssd_a, ssd_b;
+  std::unique_ptr<sim::CpuPool> cpu_a, cpu_b;
+  std::unique_ptr<fs::SimFs> fs_a, fs_b;
+  std::unique_ptr<devlsm::DevLsm> dev_a, dev_b;
+
+  PairWorld() {
+    ssd::SsdConfig c;
+    c.capacity_bytes = 2ull << 30;
+    ssd_a = std::make_unique<ssd::HybridSsd>(&env, c);
+    ssd_b = std::make_unique<ssd::HybridSsd>(&env, c);
+    cpu_a = std::make_unique<sim::CpuPool>(&env, "host-a", 8);
+    cpu_b = std::make_unique<sim::CpuPool>(&env, "host-b", 8);
+    fs_a = std::make_unique<fs::SimFs>(ssd_a.get(), 0);
+    fs_b = std::make_unique<fs::SimFs>(ssd_b.get(), 0);
+    dev_a = std::make_unique<devlsm::DevLsm>(ssd_a.get(), 0,
+                                             PairKvOptions().dev);
+    dev_b = std::make_unique<devlsm::DevLsm>(ssd_b.get(), 0,
+                                             PairKvOptions().dev);
+    env.set_fault_injector(&inj);
+  }
+
+  core::ReplNode NodeA() {
+    return core::ReplNode{ssd_a.get(), fs_a.get(), cpu_a.get(), dev_a.get()};
+  }
+  core::ReplNode NodeB() {
+    return core::ReplNode{ssd_b.get(), fs_b.get(), cpu_b.get(), dev_b.get()};
+  }
+
+  void Run(std::function<void()> body) {
+    env.Spawn("test-main", std::move(body));
+    env.Run();
+  }
+};
+
+// ---- sim::NetLink ----
+
+TEST(NetLinkTest, ChargesWireTimeAndLatency) {
+  sim::SimEnv env;
+  env.Spawn("t", [&] {
+    sim::NetLink link(&env, "nl", /*bytes_per_sec=*/1e9, FromMicros(30));
+    Nanos t0 = env.Now();
+    ASSERT_TRUE(link.Send(1'000'000).ok());  // 1 MB over 1 GB/s = 1 ms wire
+    EXPECT_EQ(env.Now() - t0, FromMillis(1) + FromMicros(30));
+    EXPECT_EQ(link.messages(), 1u);
+    EXPECT_EQ(link.drops(), 0u);
+  });
+  env.Run();
+}
+
+TEST(NetLinkTest, MessagesAreFifoBehindEarlierSenders) {
+  sim::SimEnv env;
+  std::vector<Nanos> done;
+  sim::NetLink link(&env, "nl", 1e9, 0);
+  env.Spawn("a", [&] {
+    ASSERT_TRUE(link.Send(1'000'000).ok());
+    done.push_back(env.Now());
+  });
+  env.Spawn("b", [&] {
+    ASSERT_TRUE(link.Send(1'000'000).ok());
+    done.push_back(env.Now());
+  });
+  env.Run();
+  ASSERT_EQ(done.size(), 2u);
+  // The second message serializes behind the first on the shared pipe.
+  EXPECT_EQ(done[0], FromMillis(1));
+  EXPECT_EQ(done[1], FromMillis(2));
+}
+
+TEST(NetLinkTest, TransientFaultDropsTheMessage) {
+  sim::SimEnv env;
+  sim::FaultInjector inj(&env, 7);
+  env.set_fault_injector(&inj);
+  sim::FaultRule always;
+  always.probability = 1.0;
+  inj.Arm("net.send.transient", always);
+  env.Spawn("t", [&] {
+    sim::NetLink link(&env, "nl", 1e9, FromMicros(30));
+    Status s = link.Send(4096);
+    EXPECT_TRUE(s.IsIOError()) << s.ToString();
+    EXPECT_EQ(link.drops(), 1u);
+    EXPECT_EQ(link.messages(), 0u);
+  });
+  env.Run();
+}
+
+// ---- lsm::WriteOptions::replicated_seq ----
+
+TEST(ReplicatedSeqTest, WriteAppliesAtExactSequenceAndAdvancesClock) {
+  test::SimWorld world;
+  world.Run([&] {
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(test::SmallDbOptions(), world.MakeDbEnv(), &db)
+                    .ok());
+    ASSERT_TRUE(db->Put({}, "a", Value::Synthetic(1, 64)).ok());
+
+    lsm::WriteBatch batch;
+    batch.Put("b", Value::Synthetic(2, 64));
+    batch.Put("c", Value::Synthetic(3, 64));
+    lsm::WriteOptions wo;
+    wo.sync = true;
+    wo.replicated_seq = 100;  // a follower applying the leader's sequences
+    ASSERT_TRUE(db->Write(wo, &batch).ok());
+
+    Value v;
+    lsm::SequenceNumber seq = 0;
+    ASSERT_TRUE(db->GetWithSequence({}, "b", &v, &seq).ok());
+    EXPECT_EQ(seq, 100u);
+    ASSERT_TRUE(db->GetWithSequence({}, "c", &v, &seq).ok());
+    EXPECT_EQ(seq, 101u);
+    // The local sequence clock must have jumped past the applied batch so
+    // later local writes cannot collide with replicated ones.
+    EXPECT_GT(db->AllocateSequence(1), 101u);
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+// ---- ReplicatedKvaccelDB, sync acks ----
+
+TEST(HaPairTest, SyncWritesSurviveFailover) {
+  PairWorld w;
+  w.Run([&] {
+    lsm::DbOptions db_opts = test::SmallDbOptions();
+    db_opts.wal_sync = true;
+    core::KvaccelOptions kv_opts = PairKvOptions();
+    core::ReplOptions ro;  // sync
+    std::unique_ptr<core::ReplicatedKvaccelDB> pair;
+    ASSERT_TRUE(core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, ro,
+                                                w.NodeA(), w.NodeB(), &w.env,
+                                                &pair)
+                    .ok());
+
+    for (uint64_t i = 0; i < 60; i++) {
+      ASSERT_TRUE(pair->Put({}, TestKey(i), Value::Synthetic(i, 512)).ok());
+    }
+    for (uint64_t i = 0; i < 60; i += 5) {
+      ASSERT_TRUE(pair->Delete({}, TestKey(i)).ok());
+    }
+    for (uint64_t i = 1; i < 10; i++) {  // overwrites
+      ASSERT_TRUE(pair->Put({}, TestKey(i), Value::Synthetic(1000 + i, 512))
+                      .ok());
+    }
+    Value v;
+    ASSERT_TRUE(pair->Get({}, TestKey(1), &v).ok());
+    // Key 10 is deleted and outside the overwrite range, key 5 was
+    // resurrected by the overwrite loop above.
+    EXPECT_TRUE(pair->Get({}, TestKey(10), &v).IsNotFound());
+    ASSERT_TRUE(pair->Get({}, TestKey(5), &v).ok());
+
+    ASSERT_TRUE(pair->Close().ok());
+    const core::ReplStats st = pair->repl_stats();
+    EXPECT_GT(st.wal_records, 0u);
+    EXPECT_EQ(st.lost_entries, 0u);  // sync acks never lose
+    pair.reset();
+
+    // The primary node is lost; only the backup's durable state survives.
+    w.fs_a->DropAllDirty();
+    w.fs_b->DropAllDirty();
+    check::FailoverReport rep;
+    std::unique_ptr<core::KvaccelDB> promoted;
+    Status ps = check::PromoteNode(db_opts, kv_opts, w.NodeB(), &w.env, &rep,
+                                   &promoted);
+    ASSERT_TRUE(ps.ok()) << ps.ToString() << " " << rep.first_error;
+    EXPECT_EQ(rep.checker_errors, 0);
+    EXPECT_GT(rep.promote_ns, 0u);
+
+    for (uint64_t i = 0; i < 60; i++) {
+      const bool deleted = (i % 5 == 0) && !(i >= 1 && i < 10);
+      Status gs = promoted->Get({}, TestKey(i), &v);
+      if (deleted) {
+        EXPECT_TRUE(gs.IsNotFound()) << "key " << i << " should be deleted";
+      } else {
+        const uint64_t seed = (i >= 1 && i < 10) ? 1000 + i : i;
+        ASSERT_TRUE(gs.ok()) << "key " << i << ": " << gs.ToString();
+        EXPECT_EQ(v, Value::Synthetic(seed, 512)) << "key " << i;
+      }
+    }
+    // Promoted iterator walks the surviving keys in order.
+    auto it = promoted->NewIterator({});
+    std::string prev;
+    int seen = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      std::string k = it->key().ToString();
+      EXPECT_LT(prev, k);
+      prev = k;
+      seen++;
+    }
+    EXPECT_EQ(seen, 49);  // 60 keys - 12 deleted + key 5 resurrected
+    it.reset();
+    ASSERT_TRUE(promoted->Close().ok());
+  });
+}
+
+// ---- ReplicatedKvaccelDB, async acks ----
+
+TEST(HaPairTest, AsyncBacklogDrainsToBackup) {
+  PairWorld w;
+  w.Run([&] {
+    lsm::DbOptions db_opts = test::SmallDbOptions();
+    db_opts.wal_sync = true;
+    core::KvaccelOptions kv_opts = PairKvOptions();
+    core::ReplOptions ro;
+    ro.ack = core::ReplAck::kAsync;
+    ro.async_queue_cap = 32;
+    std::unique_ptr<core::ReplicatedKvaccelDB> pair;
+    ASSERT_TRUE(core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, ro,
+                                                w.NodeA(), w.NodeB(), &w.env,
+                                                &pair)
+                    .ok());
+
+    // Hold the shipper: acks return immediately, records pile up.
+    pair->PauseShipping(true);
+    for (uint64_t i = 0; i < 8; i++) {
+      ASSERT_TRUE(pair->Put({}, TestKey(i), Value::Synthetic(i, 256)).ok());
+    }
+    EXPECT_EQ(pair->repl_stats().records_applied, 0u);
+
+    pair->PauseShipping(false);
+    pair->DrainShipping();
+    const core::ReplStats st = pair->repl_stats();
+    EXPECT_GE(st.records_applied, 8u);
+    EXPECT_GE(st.async_queue_peak, 8u);
+    EXPECT_EQ(st.lost_entries, 0u);
+
+    // Every drained write is now readable on the backup itself.
+    Value v;
+    for (uint64_t i = 0; i < 8; i++) {
+      ASSERT_TRUE(pair->backup()->Get({}, TestKey(i), &v).ok()) << i;
+      EXPECT_EQ(v, Value::Synthetic(i, 256));
+    }
+    ASSERT_TRUE(pair->Close().ok());
+  });
+}
+
+// Satellite: the backup-side Dev-LSM circuit breaker. A transient device
+// fault during catch-up exhausts the backup's retry budget, latches its
+// Detector unhealthy and degrades intents to the host path (WAL-bypassing
+// ingest); after the cooldown the next intent is the half-open probe and its
+// success closes the circuit — intents flow to the device again.
+TEST(HaPairTest, BackupDevTransientOpensBreakerThenHalfOpenProbeRecovers) {
+  PairWorld w;
+  w.Run([&] {
+    lsm::DbOptions db_opts = test::SmallDbOptions();
+    db_opts.wal_sync = true;
+    // Stop trigger of 1 puts the Detector's L0 edge check at "always": every
+    // pair write takes the redirect path and ships a kRedirectIntent.
+    db_opts.l0_stop_writes_trigger = 1;
+    core::KvaccelOptions kv_opts = PairKvOptions();
+    core::ReplOptions ro;
+    ro.ack = core::ReplAck::kAsync;
+    std::unique_ptr<core::ReplicatedKvaccelDB> pair;
+    ASSERT_TRUE(core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, ro,
+                                                w.NodeA(), w.NodeB(), &w.env,
+                                                &pair)
+                    .ok());
+    w.env.SleepFor(FromMillis(5));  // let the primary's detector poll
+    ASSERT_TRUE(pair->primary()->detector()->stall_detected());
+
+    // Build a catch-up backlog of redirect intents, then make the backup's
+    // device fail every command while they apply.
+    pair->PauseShipping(true);
+    for (uint64_t i = 0; i < 8; i++) {
+      ASSERT_TRUE(pair->Put({}, TestKey(i), Value::Synthetic(i, 256)).ok());
+    }
+    ASSERT_GT(pair->primary()->kv_stats().redirected_writes, 0u);
+    sim::FaultRule dead;
+    dead.probability = 1.0;
+    w.inj.Arm("devlsm.put.transient", dead);
+    pair->PauseShipping(false);
+    pair->DrainShipping();
+
+    const core::ReplStats mid = pair->repl_stats();
+    EXPECT_GE(mid.backup_dev_fallbacks, 8u);  // every intent degraded
+    // Breaker open: device_healthy(0) reads the latch, not the cooldown.
+    EXPECT_FALSE(pair->backup()->detector()->device_healthy(0));
+    // Degraded intents are still served by the backup (host path).
+    Value v;
+    for (uint64_t i = 0; i < 8; i++) {
+      ASSERT_TRUE(pair->backup()->Get({}, TestKey(i), &v).ok()) << i;
+    }
+
+    // Fault clears; after the cooldown the next intent is the half-open
+    // probe and its success closes the circuit.
+    w.inj.Disarm("devlsm.put.transient");
+    w.env.SleepFor(kv_opts.device_unhealthy_cooldown + FromMillis(1));
+    for (uint64_t i = 100; i < 104; i++) {
+      ASSERT_TRUE(pair->Put({}, TestKey(i), Value::Synthetic(i, 256)).ok());
+    }
+    pair->DrainShipping();
+    EXPECT_TRUE(pair->backup()->detector()->device_healthy(0));
+    EXPECT_EQ(pair->repl_stats().backup_dev_fallbacks,
+              mid.backup_dev_fallbacks);  // recovery batch used the device
+    ASSERT_TRUE(pair->Close().ok());
+  });
+}
+
+// ---- Two-node nemesis schedules (DESIGN.md §9 + §12) ----
+
+// 10 cycles walk the full HA crash-site table once (one site per cycle,
+// including crash.net.send.mid); every cycle ends in a verified failover.
+TEST(HaNemesisTest, SyncFailoversServeEveryAckedWrite) {
+  check::NemesisOptions opt;
+  opt.seed = 42;
+  opt.cycles = 10;
+  opt.ha = true;
+  opt.repl_ack = 0;
+  check::NemesisResult r = check::RunNemesis(opt);
+  EXPECT_TRUE(r.ok) << "seed=" << opt.seed << " cycle=" << r.cycles_run
+                    << ": " << r.error;
+  EXPECT_EQ(r.failovers, 10);
+  EXPECT_EQ(r.ha_lost_entries, 0u) << "sync acks must never lose";
+  EXPECT_GE(r.crashes, 5) << "crash schedule went quiet";
+}
+
+TEST(HaNemesisTest, AsyncLossIsBoundedAndScheduleDeterministic) {
+  check::NemesisOptions opt;
+  opt.seed = 99;
+  opt.cycles = 6;
+  opt.ha = true;
+  opt.repl_ack = 1;
+  check::NemesisResult a = check::RunNemesis(opt);
+  check::NemesisResult b = check::RunNemesis(opt);
+  ASSERT_TRUE(a.ok) << "seed=" << opt.seed << ": " << a.error;
+  ASSERT_TRUE(b.ok) << "seed=" << opt.seed << ": " << b.error;
+  EXPECT_EQ(a.trace, b.trace) << "nondeterministic HA schedule";
+  EXPECT_EQ(a.failovers, 6);
+  // The harness itself diverges when the loss bound is exceeded; this pins
+  // the reported number so a quiet regression in accounting is visible too.
+  EXPECT_LE(a.ha_lost_entries, 6u * (8 + 2) * 8);
+}
+
+TEST(HaNemesisTest, TraceHeaderRoundTripsHaFields) {
+  check::NemesisOptions opt;
+  opt.seed = 7;
+  opt.cycles = 2;
+  opt.ha = true;
+  opt.repl_ack = 1;
+  opt.trace_dump_dir = ::testing::TempDir() + "ha_trace_dump";
+  opt.corrupt_model_at_cycle = 1;  // force a divergence so the trace dumps
+  check::NemesisResult r = check::RunNemesis(opt);
+  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.trace_path.empty());
+  check::NemesisOptions parsed;
+  ASSERT_TRUE(check::ParseNemesisTrace(r.trace_path, &parsed).ok());
+  EXPECT_TRUE(parsed.ha);
+  EXPECT_EQ(parsed.repl_ack, 1);
+  EXPECT_EQ(parsed.seed, 7u);
+}
+
+}  // namespace
+}  // namespace kvaccel

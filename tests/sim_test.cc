@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
+#include "sim/backoff.h"
 #include "sim/cpu_pool.h"
+#include "sim/fault.h"
 #include "sim/resource.h"
 #include "sim/sim_env.h"
 #include "sim/timeseries.h"
@@ -349,6 +354,134 @@ TEST(IntervalRecorderTest, CloseAtClosesOpenInterval) {
   rec.CloseAt(60);
   EXPECT_FALSE(rec.open());
   EXPECT_EQ(rec.TotalDuration(), 50u);
+}
+
+TEST(BackoffTest, FirstRetryIsBaseAndCapBoundsEveryDelay) {
+  Random64 rng(1);
+  const Nanos base = FromMicros(200);
+  const Nanos cap = FromMillis(10);
+  Nanos prev = 0;
+  for (int i = 0; i < 64; i++) {
+    Nanos d = NextDecorrelatedDelay(&rng, base, cap, prev);
+    if (i == 0) {
+      EXPECT_EQ(d, base);  // prev == 0 => exactly base
+    }
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, cap);  // bounded-cap: no delay ever exceeds the cap
+    prev = d;
+  }
+  // A long-enough chain must have hit the cap clamp at least once.
+  EXPECT_EQ(NextDecorrelatedDelay(&rng, cap, cap, cap), cap);
+}
+
+TEST(BackoffTest, SameSeedReproducesScheduleAndJitterSpreads) {
+  const Nanos base = FromMicros(100);
+  const Nanos cap = FromMillis(50);
+  auto schedule = [&](uint64_t seed) {
+    Random64 rng(seed);
+    std::vector<Nanos> out;
+    Nanos prev = 0;
+    for (int i = 0; i < 16; i++) {
+      prev = NextDecorrelatedDelay(&rng, base, cap, prev);
+      out.push_back(prev);
+    }
+    return out;
+  };
+  // Seed-reproducible: the whole schedule is a pure function of the stream.
+  EXPECT_EQ(schedule(0xBACC0FF), schedule(0xBACC0FF));
+  // Decorrelated: two retriers with different seeds must not march in
+  // lockstep (that lockstep is the failure mode jitter exists to break).
+  std::vector<Nanos> a = schedule(1), b = schedule(2);
+  int differing = 0;
+  for (size_t i = 1; i < a.size(); i++) {
+    if (a[i] != b[i]) differing++;
+  }
+  EXPECT_GE(differing, 8) << "jitter streams are correlated";
+  // And a single stream actually spreads instead of fixing on one value.
+  std::set<Nanos> distinct(a.begin(), a.end());
+  EXPECT_GE(distinct.size(), 4u);
+}
+
+TEST(FaultRegistryTest, KnownFaultSitesListsEverySubsystem) {
+  std::set<std::string> names;
+  for (const FaultSiteInfo& s : KnownFaultSites()) {
+    EXPECT_NE(s.what[0], '\0') << s.site << " has no description";
+    names.insert(s.site);
+  }
+  EXPECT_EQ(names.size(), KnownFaultSites().size()) << "duplicate site rows";
+  for (const char* expected :
+       {"devlsm.put.transient", "net.send.transient", "crash.wal.post_sync",
+        "crash.redirect.mid", "crash.net.send.mid", "simfs.powercut.torn"}) {
+    EXPECT_TRUE(names.count(expected)) << expected << " not registered";
+  }
+}
+
+// Docs-drift gate: every crash.* site cited in DESIGN.md must exist in the
+// registry, and every registered crash.* site must be documented. DESIGN.md
+// may use one level of brace shorthand: crash.wal.{post_append,post_sync}.
+TEST(FaultRegistryTest, DesignDocCrashSitesMatchRegistry) {
+  const std::string path = std::string(KVACCEL_SOURCE_DIR) + "/DESIGN.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  auto site_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  };
+  std::set<std::string> documented;
+  for (size_t pos = text.find("crash."); pos != std::string::npos;
+       pos = text.find("crash.", pos + 1)) {
+    size_t end = pos;
+    while (end < text.size() && (site_char(text[end]) || text[end] == '{' ||
+                                 text[end] == '}' || text[end] == ','))
+      end++;
+    std::string tok = text.substr(pos, end - pos);
+    while (!tok.empty() && (tok.back() == '.' || tok.back() == ','))
+      tok.pop_back();
+    // Expand one {a,b,...} group into full site names.
+    size_t open = tok.find('{'), close = tok.find('}');
+    std::vector<std::string> expanded;
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open) {
+      std::string prefix = tok.substr(0, open);
+      std::string suffix = tok.substr(close + 1);
+      std::string body = tok.substr(open + 1, close - open - 1);
+      size_t start = 0;
+      while (start <= body.size()) {
+        size_t comma = body.find(',', start);
+        if (comma == std::string::npos) comma = body.size();
+        expanded.push_back(prefix + body.substr(start, comma - start) +
+                           suffix);
+        start = comma + 1;
+      }
+    } else if (tok.find('{') == std::string::npos) {
+      expanded.push_back(tok);
+    }
+    for (const std::string& site : expanded) {
+      if (site.find('.') == std::string::npos || site == "crash") continue;
+      if (site.compare(0, 6, "crash.") == 0 && site.size() > 6) {
+        documented.insert(site);
+      }
+    }
+  }
+  ASSERT_FALSE(documented.empty()) << "no crash.* sites found in DESIGN.md";
+
+  std::set<std::string> registered;
+  for (const FaultSiteInfo& s : KnownFaultSites()) {
+    if (std::string(s.site).compare(0, 6, "crash.") == 0) {
+      registered.insert(s.site);
+    }
+  }
+  for (const std::string& site : documented) {
+    EXPECT_TRUE(registered.count(site))
+        << "DESIGN.md cites unregistered crash site " << site;
+  }
+  for (const std::string& site : registered) {
+    EXPECT_TRUE(documented.count(site))
+        << "registered crash site " << site << " is undocumented in DESIGN.md";
+  }
 }
 
 }  // namespace

@@ -42,11 +42,27 @@ run_pass() {
   # fairness, sharded report determinism and the sharded nemesis smoke.
   echo "==== ${name}: ctest -L shard ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L shard
+  # HA suite, explicitly: NetLink wire/latency accounting, replicated-sequence
+  # application, sync failover serving every acked write, async backlog drain,
+  # backup-side circuit-breaker recovery, and the two-node nemesis tests.
+  echo "==== ${name}: ctest -L ha ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L ha
   # Nemesis smoke: 30 crash-recovery cycles on a pinned seed, every recovery
   # verified against the model oracle. A failure prints the seed and dumps a
   # trace replayable with --replay.
   echo "==== ${name}: nemesis smoke (30 cycles) ===="
   "${dir}/tools/kvaccel_nemesis" --cycles=30 --nemesis_seed=1317456661 \
+    --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
+  # Two-node HA nemesis smokes on pinned seeds, both ack modes: each cycle
+  # kills the primary at one registered crash site (12 cycles round-robins
+  # through all 10, incl. crash.net.send.mid), promotes the backup and holds
+  # it to the model oracle — sync must serve every acked write, async loss
+  # must stay under the queue-cap bound.
+  echo "==== ${name}: HA nemesis smokes (sync + async) ===="
+  "${dir}/tools/kvaccel_nemesis" --ha --cycles=12 --nemesis_seed=42 \
+    --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
+  "${dir}/tools/kvaccel_nemesis" --ha --repl_ack=async --cycles=6 \
+    --nemesis_seed=99 \
     --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
   # Run-artifact smoke: a traced KVACCEL run must produce a parseable Chrome
   # trace containing flush, compaction and stall events, plus a parseable
@@ -157,13 +173,41 @@ shards = four["shards"]
 assert len(shards) == 4 and all(s["writes"] > 0 for s in shards)
 print(f"sharded A/B: {k1:.1f} -> {k4:.1f} kops, fairness ratio {ratio:.2f}")
 EOF
+  # HA sync A/B: same seed/scale/duration as the single-node kvaccel smoke,
+  # with a warm backup acked synchronously. Hard failover gates (promoted
+  # backup passes the checker, sync acks never lose); the throughput cost of
+  # sync replication is reported and tracked via BENCH_smoke.json.
+  echo "==== bench smoke: HA sync pair vs single node ===="
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=10 --scale=0.0625 --ha --repl_ack=sync \
+    --json_out="${out_dir}/smoke_ha_sync.json" > /dev/null
+  python3 - "${out_dir}/smoke_ha_sync.json" "${out_dir}/smoke_kvaccel.json" <<'EOF'
+import json, sys
+ha_run = json.load(open(sys.argv[1]))["runs"][0]
+single = json.load(open(sys.argv[2]))["runs"][0]
+ha = ha_run["ha"]
+assert ha["repl_ack"] == "sync", "smoke must run with sync acks"
+assert ha["wal_records"] > 0, "HA run shipped no WAL batches"
+assert ha["lost_entries"] == 0, "sync acks lost acked entries"
+fo = ha["failover"]
+assert fo["checker_errors"] == 0, "promoted backup failed the checker"
+assert fo["promote_ms"] > 0, "failover reported no promotion work"
+k_ha = ha_run["summary"]["write_kops"]
+k_one = single["summary"]["write_kops"]
+print(f"HA sync A/B: {k_one:.1f} -> {k_ha:.1f} kops "
+      f"({k_ha / max(k_one, 1e-9):.3f}x, sync-replication cost), "
+      f"{ha['wal_records']} wal records / {ha['repl_mb']:.2f} MB shipped; "
+      f"failover {fo['promote_ms']:.1f} ms, "
+      f"{fo['drained_entries']} mirror entries drained")
+EOF
   python3 tools/merge_smoke.py BENCH_smoke.json \
     "${out_dir}/smoke_rocksdb.json" "${out_dir}/smoke_adoc.json" \
     "${out_dir}/smoke_kvaccel.json" \
     "rocksdb4-nosub=${out_dir}/smoke_sub1.json" \
     "rocksdb4-sub=${out_dir}/smoke_sub4.json" \
     "kvaccel-shards1=${out_dir}/smoke_shards1.json" \
-    "kvaccel-shards4=${out_dir}/smoke_shards4.json"
+    "kvaccel-shards4=${out_dir}/smoke_shards4.json" \
+    "kvaccel-ha-sync=${out_dir}/smoke_ha_sync.json"
 }
 
 mode="${1:-all}"

@@ -50,6 +50,16 @@
 //                      (default global)
 //   --arbiter_share=F  fair-share bandwidth arbiter serving rate as a
 //                      fraction of NAND bandwidth in [0, 1]; 0 disables
+//   --ha               KVACCEL only (shards=1): open a two-node replicated
+//                      pair (DESIGN.md §12); after the window the primary is
+//                      "lost" and the backup's promotion is measured into
+//                      the report's ha.failover block
+//   --repl_ack=sync|async  HA ack discipline: sync = acks wait for the
+//                      backup (no acked write lost), async = bounded tail
+//                      may be lost at cutover (default sync)
+//   --net_mbps=F       HA interconnect bandwidth in MB/s (default 1250)
+//   --net_latency_us=F HA interconnect one-way latency (default 30)
+//   --list_fault_sites print every registered fault/crash site and exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +69,7 @@
 #include "harness/report.h"
 #include "harness/report_json.h"
 #include "harness/workload.h"
+#include "sim/fault.h"
 
 using namespace kvaccel;
 using namespace kvaccel::harness;
@@ -94,7 +105,9 @@ void Usage() {
           "  [--max_subcompactions=N] [--compaction_rate_limit=F]\n"
           "  [--nand_mbps=F] [--shards=N] [--tenants=N]\n"
           "  [--shard_partition=hash|range]\n"
-          "  [--redirect_policy=global|per_shard] [--arbiter_share=F]\n");
+          "  [--redirect_policy=global|per_shard] [--arbiter_share=F]\n"
+          "  [--ha] [--repl_ack=sync|async] [--net_mbps=F]\n"
+          "  [--net_latency_us=F] [--list_fault_sites]\n");
 }
 
 }  // namespace
@@ -226,6 +239,26 @@ int main(int argc, char** argv) {
         fprintf(stderr, "--arbiter_share must be in [0, 1]\n");
         return 2;
       }
+    } else if (strcmp(argv[i], "--ha") == 0) {
+      config.sut.ha = true;
+    } else if (FlagEq(argv[i], "--repl_ack", &v)) {
+      if (strcmp(v, "sync") == 0) {
+        config.sut.repl_ack_async = false;
+      } else if (strcmp(v, "async") == 0) {
+        config.sut.repl_ack_async = true;
+      } else {
+        fprintf(stderr, "--repl_ack must be sync or async, got %s\n", v);
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--net_mbps", &v)) {
+      config.sut.net_mbps = ParseFlagDouble(v, "--net_mbps");
+    } else if (FlagEq(argv[i], "--net_latency_us", &v)) {
+      config.sut.net_latency_us = ParseFlagDouble(v, "--net_latency_us");
+    } else if (strcmp(argv[i], "--list_fault_sites") == 0) {
+      for (const auto& site : sim::KnownFaultSites()) {
+        printf("%-28s %s\n", site.site, site.what);
+      }
+      return 0;
     } else if (strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -239,6 +272,16 @@ int main(int argc, char** argv) {
   if (config.sut.shards > 1 && config.sut.kind != SystemKind::kKvaccel) {
     fprintf(stderr, "--shards>1 requires --system=kvaccel\n");
     return 2;
+  }
+  if (config.sut.ha) {
+    if (config.sut.kind != SystemKind::kKvaccel) {
+      fprintf(stderr, "--ha requires --system=kvaccel\n");
+      return 2;
+    }
+    if (config.sut.shards > 1) {
+      fprintf(stderr, "--ha requires --shards=1\n");
+      return 2;
+    }
   }
 
   RunResult r = RunBenchmark(config);
@@ -286,6 +329,20 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(r.redirected_batches),
            static_cast<unsigned long long>(r.rollbacks),
            static_cast<unsigned long long>(r.detector_checks));
+  }
+  if (r.ha_repl_ack >= 0) {
+    printf("ha replication    : %s acks, %llu wal records + %llu intent "
+           "records (%.1f MB shipped), %llu net retries, %llu lost entries\n",
+           r.ha_repl_ack == 1 ? "async" : "sync",
+           static_cast<unsigned long long>(r.ha_wal_records),
+           static_cast<unsigned long long>(r.ha_intent_records), r.ha_repl_mb,
+           static_cast<unsigned long long>(r.ha_net_retries),
+           static_cast<unsigned long long>(r.ha_lost_entries));
+    printf("ha failover       : promoted backup in %.2f ms, %llu mirror "
+           "entries drained, %d checker errors (%d warnings)\n",
+           r.ha_failover_ms,
+           static_cast<unsigned long long>(r.ha_failover_drained),
+           r.ha_failover_checker_errors, r.ha_failover_checker_warnings);
   }
   if (!r.shards.empty()) {
     for (const ShardSummary& s : r.shards) {

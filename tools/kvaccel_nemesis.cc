@@ -19,6 +19,12 @@
 //                       cycles may arm dual kill sites (mid-rollback on one
 //                       shard, mid-flush on another) and recovery checks
 //                       cross-shard iterator order (default 1 = plain stack)
+//   --ha                drive a two-node replicated pair: every cycle kills
+//                       the pair, promotes the backup, verifies it against
+//                       the oracle, wipes the dead node and swaps roles
+//   --repl_ack=MODE     sync (default: every acked write must survive
+//                       failover) or async (bounded, reported loss tail)
+//   --list_fault_sites  print every registered fault/crash site and exit
 //   --trace_dump_dir=D  dump the op trace here on divergence
 //   --replay=FILE       load the schedule from a dumped trace's header
 //                       (overrides the schedule flags above)
@@ -31,6 +37,7 @@
 
 #include "check/nemesis.h"
 #include "harness/flags.h"
+#include "sim/fault.h"
 
 using namespace kvaccel;
 using harness::ParseFlagInt;
@@ -42,7 +49,9 @@ void Usage() {
   fprintf(stderr,
           "usage: kvaccel_nemesis [--nemesis_seed=N] [--cycles=N]\n"
           "  [--ops_per_cycle=N] [--key_space=N] [--value_size=N]\n"
-          "  [--shards=N] [--trace_dump_dir=DIR] [--replay=TRACE_FILE]\n");
+          "  [--shards=N] [--ha] [--repl_ack=sync|async]\n"
+          "  [--list_fault_sites] [--trace_dump_dir=DIR]\n"
+          "  [--replay=TRACE_FILE]\n");
 }
 
 }  // namespace
@@ -69,6 +78,23 @@ int main(int argc, char** argv) {
     } else if (strncmp(arg, "--shards=", 9) == 0) {
       opts.shards =
           static_cast<int>(ParseFlagInt(arg + 9, "--shards", /*min_value=*/1));
+    } else if (strcmp(arg, "--ha") == 0) {
+      opts.ha = true;
+    } else if (strncmp(arg, "--repl_ack=", 11) == 0) {
+      const char* mode = arg + 11;
+      if (strcmp(mode, "sync") == 0) {
+        opts.repl_ack = 0;
+      } else if (strcmp(mode, "async") == 0) {
+        opts.repl_ack = 1;
+      } else {
+        fprintf(stderr, "--repl_ack must be sync or async, got %s\n", mode);
+        return 2;
+      }
+    } else if (strcmp(arg, "--list_fault_sites") == 0) {
+      for (const auto& site : sim::KnownFaultSites()) {
+        printf("%-28s %s\n", site.site, site.what);
+      }
+      return 0;
     } else if (strncmp(arg, "--trace_dump_dir=", 17) == 0) {
       trace_dump_dir = arg + 17;
     } else if (strncmp(arg, "--replay=", 9) == 0) {
@@ -94,14 +120,21 @@ int main(int argc, char** argv) {
   opts.trace_dump_dir = trace_dump_dir;
 
   printf("nemesis: seed=%llu cycles=%d ops_per_cycle=%d key_space=%llu "
-         "value_size=%u shards=%d\n",
+         "value_size=%u shards=%d ha=%d repl_ack=%s\n",
          static_cast<unsigned long long>(opts.seed), opts.cycles,
          opts.ops_per_cycle, static_cast<unsigned long long>(opts.key_space),
-         opts.value_size, opts.shards);
+         opts.value_size, opts.shards, opts.ha ? 1 : 0,
+         opts.repl_ack == 1 ? "async" : "sync");
 
   check::NemesisResult r = check::RunNemesis(opts);
   printf("cycles=%d crashes=%d ops=%llu\n", r.cycles_run, r.crashes,
          static_cast<unsigned long long>(r.ops_executed));
+  if (opts.ha) {
+    printf("failovers=%d lost_entries=%llu drained=%llu dev_fallbacks=%llu\n",
+           r.failovers, static_cast<unsigned long long>(r.ha_lost_entries),
+           static_cast<unsigned long long>(r.ha_drained_entries),
+           static_cast<unsigned long long>(r.ha_backup_dev_fallbacks));
+  }
   if (r.ok) {
     printf("every recovery matched the model oracle\n");
     return 0;

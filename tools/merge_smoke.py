@@ -63,6 +63,19 @@ def main():
                     }
                     for sh in run["shards"]
                 ]
+            # HA-pair runs carry the replication stream + failover signals
+            # (absent on single-node reports).
+            if run.get("ha"):
+                ha = run["ha"]
+                entry["ha"] = {
+                    "repl_ack": ha["repl_ack"],
+                    "wal_records": ha["wal_records"],
+                    "repl_mb": ha["repl_mb"],
+                    "net_retries": ha["net_retries"],
+                    "lost_entries": ha["lost_entries"],
+                    "sync_ship_ms": ha["sync_ship_ms"],
+                    "failover": ha["failover"],
+                }
             merged["systems"][label or run["name"]] = entry
         merged.setdefault("config", report.get("config"))
 
