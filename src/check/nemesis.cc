@@ -21,6 +21,8 @@
 #include "devlsm/dev_lsm.h"
 #include "fs/simfs.h"
 #include "lsm/db.h"
+#include "ndp/ndp_device.h"
+#include "ndp/offload_planner.h"
 #include "sim/cpu_pool.h"
 #include "sim/fault.h"
 #include "sim/sim_env.h"
@@ -47,6 +49,18 @@ constexpr CrashSite kCrashSites[] = {
 };
 constexpr int kNumCrashSites =
     static_cast<int>(sizeof(kCrashSites) / sizeof(kCrashSites[0]));
+
+// Offload kill points, armed only for --ndp schedules (DESIGN.md §13): mid
+// device merge, mid device subcompaction merge, and after the merge finished
+// but before the result capsule reaches the host (outputs become uninstalled
+// strays the reopen must reap).
+constexpr CrashSite kNdpCrashSites[] = {
+    {"crash.ndp.merge.mid", 4},
+    {"crash.ndp.submerge.mid", 8},
+    {"crash.ndp.result.pre", 3},
+};
+constexpr int kNumNdpCrashSites =
+    static_cast<int>(sizeof(kNdpCrashSites) / sizeof(kNdpCrashSites[0]));
 
 std::string NemKey(uint64_t n) {
   char buf[32];
@@ -704,7 +718,7 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
         << " ops_per_cycle=" << opt.ops_per_cycle
         << " key_space=" << opt.key_space << " value_size=" << opt.value_size
         << " corrupt_model_at_cycle=" << opt.corrupt_model_at_cycle
-        << " shards=" << shards << "\n";
+        << " shards=" << shards << " ndp=" << (opt.ndp ? 1 : 0) << "\n";
 
   sim::SimEnv env;
   ssd::SsdConfig ssd_config;
@@ -721,6 +735,10 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
   sim::CpuPool host_cpu(&env, "host", 8);
   sim::FaultInjector inj(&env, opt.seed);
   env.set_fault_injector(&inj);
+  // The NDP engine is device silicon: like the Dev-LSMs it outlives every
+  // simulated host reboot (host-side planners re-attach to it on reopen).
+  std::unique_ptr<ndp::NdpDevice> ndp_dev;
+  if (opt.ndp) ndp_dev = std::make_unique<ndp::NdpDevice>(&ssd);
 
   env.Spawn("nemesis-main", [&] {
     Random64 rng(opt.seed);
@@ -732,6 +750,10 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
           &ssd, i, NemesisKvOptions(nullptr).dev));
     }
     core::KvaccelOptions kv_opts = NemesisKvOptions(devs[0].get());
+    if (opt.ndp) {
+      kv_opts.ndp_device = ndp_dev.get();
+      kv_opts.ndp_planner.mode = ndp::OffloadMode::kForce;
+    }
     lsm::DbEnv denv{&env, &ssd, &fs, &host_cpu};
     core::ShardingOptions sharding;
     sharding.num_shards = shards;
@@ -768,7 +790,22 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
     };
 
     for (int cycle = 0; cycle < opt.cycles && result.ok; cycle++) {
-      const CrashSite& site = kCrashSites[rng.Uniform(kNumCrashSites)];
+      // NDP schedules rotate through every offload kill point first (so each
+      // crash.ndp.* site is exercised no matter the seed), then draw from
+      // the combined table.
+      const CrashSite* site_ptr;
+      if (opt.ndp && cycle < kNumNdpCrashSites) {
+        site_ptr = &kNdpCrashSites[cycle];
+      } else if (opt.ndp) {
+        int pick =
+            static_cast<int>(rng.Uniform(kNumCrashSites + kNumNdpCrashSites));
+        site_ptr = pick < kNumCrashSites
+                       ? &kCrashSites[pick]
+                       : &kNdpCrashSites[pick - kNumCrashSites];
+      } else {
+        site_ptr = &kCrashSites[rng.Uniform(kNumCrashSites)];
+      }
+      const CrashSite& site = *site_ptr;
       sim::FaultRule rule;
       rule.nth_hit = 1 + rng.Uniform(site.max_nth);
       rule.max_fires = 1;
@@ -792,6 +829,13 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
         sim::FaultRule t;
         t.probability = 0.02;
         inj.Arm("devlsm.put.transient", t);
+        if (opt.ndp) {
+          // COMPACT rejections under the same cycles: the planner must fall
+          // back to the host merge and recovery must still match the oracle.
+          sim::FaultRule nt;
+          nt.probability = 0.25;
+          inj.Arm("ndp.compact.transient", nt);
+        }
       }
       trace << "cycle=" << cycle << " site=" << site.name
             << " nth=" << rule.nth_hit << " transient=" << (transient ? 1 : 0);
@@ -963,7 +1007,10 @@ NemesisResult RunNemesis(const NemesisOptions& opt) {
       }
       inj.Disarm(site.name);
       if (dual) inj.Disarm("crash.flush.mid");
-      if (transient) inj.Disarm("devlsm.put.transient");
+      if (transient) {
+        inj.Disarm("devlsm.put.transient");
+        if (opt.ndp) inj.Disarm("ndp.compact.transient");
+      }
       if (!result.ok) break;
       if (crashed) result.crashes++;
       trace << (crashed ? "crash" : "clean") << " cycle=" << cycle << "\n";
@@ -1144,6 +1191,8 @@ Status ParseNemesisTrace(const std::string& path, NemesisOptions* out) {
       out->corrupt_model_at_cycle = static_cast<int>(value);
     } else if (name == "shards") {
       out->shards = static_cast<int>(value);
+    } else if (name == "ndp") {
+      out->ndp = value != 0;
     } else if (name == "ha") {
       out->ha = value != 0;
     } else if (name == "repl_ack") {

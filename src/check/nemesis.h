@@ -45,6 +45,13 @@ struct NemesisOptions {
   // 0 = sync acks (every acked write must be served by the promoted node),
   // 1 = async acks (a bounded, reported tail may be lost).
   int repl_ack = 0;
+  // Device-offloaded compaction (DESIGN.md §13): attach an NdpDevice and
+  // force every compaction through the COMPACT path. The crash table gains
+  // the offload kill points — the first cycles rotate through every
+  // crash.ndp.* site so each one is exercised, then the combined table is
+  // drawn from — and transient cycles also arm ndp.compact.transient so
+  // recovery is verified under device rejections and host fallbacks.
+  bool ndp = false;
   // When non-empty: on divergence, write the op trace to
   // <trace_dump_dir>/nemesis-<seed>.trace on the host file system.
   std::string trace_dump_dir;

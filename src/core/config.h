@@ -14,6 +14,8 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "devlsm/dev_lsm.h"
+#include "ndp/ndp_device.h"
+#include "ndp/offload_planner.h"
 #include "ssd/hybrid_ssd.h"
 
 namespace kvaccel::core {
@@ -66,6 +68,14 @@ struct KvaccelOptions {
   // second SSD instead of the hybrid single-device split. nullptr (default)
   // = single-device (Dev-LSM shares the Main-LSM's device).
   ssd::HybridSsd* kv_device = nullptr;
+
+  // --- Device-offloaded compaction (NDP, DESIGN.md §13). Not owned; the
+  // world (harness/test) creates one NdpDevice per SSD so sharded engines
+  // share it, like the SSD itself. nullptr (or planner mode kOff) = every
+  // compaction runs host-side. ---
+  ndp::NdpDevice* ndp_device = nullptr;
+  // Placement policy for the per-DB OffloadPlanner.
+  ndp::PlannerOptions ndp_planner;
 
   // Externally owned Dev-LSM to attach instead of creating a fresh one.
   // Crash-recovery tests use this to keep redirected pairs alive across a

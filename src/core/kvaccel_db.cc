@@ -54,8 +54,54 @@ Status KvaccelDB::Open(const lsm::DbOptions& main_options,
   opts.enable_slowdown = false;
   devlsm::DevLsm* dev = impl->dev_;
   opts.allow_tombstone_elision = [dev] { return dev->Empty(); };
+
+  // Device-offloaded compaction (DESIGN.md §13): a per-DB OffloadPlanner in
+  // front of the shared NdpDevice. The hook must be in place before the
+  // Main-LSM opens — its compaction workers may pick a job immediately.
+  if (kv_options.ndp_device != nullptr &&
+      kv_options.ndp_planner.mode != ndp::OffloadMode::kOff) {
+    ndp::NdpDevice* ndev = kv_options.ndp_device;
+    impl->planner_ = std::make_unique<ndp::OffloadPlanner>(
+        env.env, env.host_cpu, ndev->cpu(), kv_options.ndp_planner);
+    ndp::OffloadPlanner* planner = impl->planner_.get();
+    opts.compaction_offload = [planner, ndev](const lsm::OffloadJobInfo& job,
+                                              lsm::OffloadGrant* grant) {
+      if (!planner->ShouldOffload(job)) return false;
+      ndp::CompactDescriptor d;
+      d.level = job.level;
+      d.output_level = job.output_level;
+      d.input_bytes = job.input_bytes;
+      d.input_files = job.input_files;
+      d.subranges = job.subranges;
+      uint64_t cmd_id = 0;
+      Status bs = ndev->BeginCompact(d, &cmd_id);
+      if (!bs.ok()) {
+        // Command never reached the device: open the breaker, run host-side.
+        planner->ReportDeviceFailure();
+        return false;
+      }
+      grant->merge_cpu = [ndev](uint64_t bytes) { ndev->MergeCpu(bytes); };
+      grant->finish = [planner, ndev, cmd_id](bool ok, uint64_t files,
+                                              uint64_t bytes) {
+        Status fin = ndev->FinishCompact(cmd_id, ok, files, bytes);
+        if (ok && fin.ok()) {
+          planner->ReportDeviceSuccess();
+        } else if (!ok) {
+          planner->ReportDeviceFailure();
+        }
+        return fin;
+      };
+      return true;
+    };
+  }
+
   Status s = lsm::DB::Open(opts, env, &impl->main_);
   if (!s.ok()) return s;
+  if (impl->planner_ != nullptr) {
+    lsm::DB* main = impl->main_.get();
+    impl->planner_->set_signals_provider(
+        [main] { return main->GetStallSignals(); });
+  }
   impl->md_ = std::make_unique<MetadataManager>(
       env.env, env.host_cpu, impl->options_, &impl->kv_stats_);
   impl->detector_ = std::make_unique<Detector>(

@@ -22,6 +22,7 @@
 #include "devlsm/dev_lsm.h"
 #include "lsm/db.h"
 #include "lsm/db_impl.h"
+#include "ndp/offload_planner.h"
 
 namespace kvaccel::core {
 
@@ -67,6 +68,8 @@ class KvaccelDB {
   MetadataManager* metadata() { return md_.get(); }
   // Null unless KvaccelOptions::scrub.enabled.
   Scrubber* scrubber() { return scrubber_.get(); }
+  // Null unless an NdpDevice was attached with planner mode != kOff.
+  ndp::OffloadPlanner* offload_planner() { return planner_.get(); }
   const KvaccelStats& kv_stats() const { return kv_stats_; }
   // Unified foreground-op stats (both paths) for the figures.
   const lsm::DbStats& stats() const { return agg_stats_; }
@@ -95,6 +98,7 @@ class KvaccelDB {
   std::unique_ptr<Detector> detector_;
   std::unique_ptr<RollbackManager> rollback_;
   std::unique_ptr<Scrubber> scrubber_;
+  std::unique_ptr<ndp::OffloadPlanner> planner_;
 
   KvaccelStats kv_stats_;
   lsm::DbStats agg_stats_;

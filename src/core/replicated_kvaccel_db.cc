@@ -71,6 +71,7 @@ Status ReplicatedKvaccelDB::Open(const lsm::DbOptions& main_options,
   bkv.redirect_arbiter = nullptr;
   bkv.redirect_shipper = nullptr;
   bkv.rollback_shipper = nullptr;
+  bkv.ndp_device = backup.ndp;
   bkv.dev_retry_jitter_seed += kBackupSeedOffset;
   lsm::DbEnv benv;
   benv.env = env;
@@ -106,6 +107,7 @@ Status ReplicatedKvaccelDB::Open(const lsm::DbOptions& main_options,
         return self->ShipRedirectIntent(entries);
       };
   pkv.rollback_shipper = [self] { self->ShipRollback(); };
+  pkv.ndp_device = primary.ndp;
   lsm::DbEnv penv;
   penv.env = env;
   penv.ssd = primary.ssd;

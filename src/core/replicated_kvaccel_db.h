@@ -58,6 +58,10 @@ struct ReplNode {
   fs::SimFs* fs = nullptr;
   sim::CpuPool* host_cpu = nullptr;
   devlsm::DevLsm* dev = nullptr;  // external (device-owned) Dev-LSM
+  // Per-node NDP engine (offloaded compaction runs on the node's OWN ssd);
+  // a shared KvaccelOptions::ndp_device would bind both nodes to one device,
+  // so the replicated Open overrides it from here. nullptr = host-only.
+  ndp::NdpDevice* ndp = nullptr;
 };
 
 struct ReplOptions {

@@ -376,6 +376,9 @@ void ShardedKvaccelDB::AggregateDbStats(bool main_side,
     out->intra_l0_compactions += s.intra_l0_compactions;
     out->compaction_throttle_ns += s.compaction_throttle_ns;
     out->orphan_files_removed += s.orphan_files_removed;
+    out->ndp_compactions += s.ndp_compactions;
+    out->ndp_bytes_written += s.ndp_bytes_written;
+    out->ndp_fallbacks += s.ndp_fallbacks;
     out->writes_total += s.writes_total;
     out->write_bytes_total += s.write_bytes_total;
     out->reads_total += s.reads_total;

@@ -269,7 +269,10 @@ Status WritableFile::WriteBack(bool partial) {
   Status s = fs_->AllocSectors(sectors, &extents);
   if (!s.ok()) return s;
   for (const Extent& e : extents) {
-    Status ws = fs_->ssd_->BlockWrite(fs_->nsid_, e.lba, e.sectors);
+    Status ws = device_side_
+                    ? fs_->ssd_->BlockWriteInternal(fs_->nsid_, e.lba,
+                                                    e.sectors)
+                    : fs_->ssd_->BlockWrite(fs_->nsid_, e.lba, e.sectors);
     if (!ws.ok()) return ws;
   }
   for (Extent& e : extents) {
@@ -346,7 +349,9 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n,
   sectors = std::min(sectors, cap);
   uint64_t lba = inode_->extents.empty() ? 0 : inode_->extents.front().lba;
   if (lba + sectors > cap) lba = cap - sectors;
-  Status s = fs_->ssd_->BlockRead(fs_->nsid_, lba, sectors);
+  Status s = device_side_
+                 ? fs_->ssd_->BlockReadInternal(fs_->nsid_, lba, sectors)
+                 : fs_->ssd_->BlockRead(fs_->nsid_, lba, sectors);
   if (!s.ok()) return s;
   // Copy after the device wait: appended-only data makes [offset, offset+n)
   // immutable once written.

@@ -81,6 +81,9 @@ class WritableFile {
   Status Close();
   // Per-file writeback threshold; kLazyWriteback = only Sync writes back.
   void set_writeback_chunk(uint64_t bytes) { writeback_chunk_ = bytes; }
+  // Device-side writer (NDP offload): writebacks charge NAND only, no PCIe —
+  // the bytes are produced by the firmware merge, not DMA'd from the host.
+  void set_device_side(bool v) { device_side_ = v; }
 
   uint64_t logical_size() const;
   uint64_t physical_size() const;
@@ -95,6 +98,7 @@ class WritableFile {
   std::shared_ptr<Inode> inode_;
   uint64_t writeback_chunk_;
   bool closed_ = false;
+  bool device_side_ = false;
 };
 
 class RandomAccessFile {
@@ -107,12 +111,17 @@ class RandomAccessFile {
   // prefix.
   Status Read(uint64_t offset, size_t n, std::string* out) const;
 
+  // Device-side reader (NDP offload): reads charge NAND only, no PCIe — the
+  // bytes feed the firmware merge and never cross the link.
+  void set_device_side(bool v) { device_side_ = v; }
+
   uint64_t physical_size() const { return inode_->data.size(); }
   uint64_t logical_size() const { return inode_->logical_size; }
 
  private:
   SimFs* fs_;
   std::shared_ptr<Inode> inode_;
+  bool device_side_ = false;
 };
 
 class SimFs {

@@ -37,6 +37,12 @@
 //   --arbiter_share=F  fair-share device-bandwidth arbiter serving rate as a
 //                      fraction of NAND bandwidth in [0, 1]; 0 disables
 //                      (default 1.0)
+//   --ndp=MODE         KVACCEL only: device-offloaded compaction placement —
+//                        off    every compaction runs host-side (default)
+//                        auto   OffloadPlanner picks host vs device per job
+//                        force  every picked job is granted to the device
+//   --ndp_cores=N      dedicated NDP cores on the device (0 = share the
+//                      single Dev-LSM firmware core; default 2)
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -127,6 +133,8 @@ struct BenchFlags {
   std::string shard_partition = "hash";    // hash | range
   std::string redirect_policy = "global";  // global | per_shard
   double arbiter_share = 1.0;     // fraction of NAND bandwidth; 0 = off
+  std::string ndp = "off";        // off | auto | force
+  int ndp_cores = 2;              // 0 = share the firmware core
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -205,6 +213,18 @@ struct BenchFlags {
                   arg + 16);
           exit(2);
         }
+      } else if (strncmp(arg, "--ndp=", 6) == 0) {
+        f.ndp = arg + 6;
+        if (f.ndp != "off" && f.ndp != "auto" && f.ndp != "force") {
+          fprintf(stderr,
+                  "invalid value for --ndp: '%s' "
+                  "(expected off, auto or force)\n",
+                  arg + 6);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--ndp_cores=", 12) == 0) {
+        f.ndp_cores =
+            static_cast<int>(ParseFlagInt(arg + 12, "--ndp_cores"));
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

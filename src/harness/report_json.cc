@@ -76,6 +76,25 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
   }
   w->EndObject();
 
+  // Device-offloaded compaction (DESIGN.md §13): present only when an NDP
+  // engine was attached to the run.
+  if (r.ndp_mode >= 0) {
+    w->Key("ndp");
+    w->BeginObject();
+    w->Field("mode", r.ndp_mode == 1 ? "force" : "auto");
+    w->Field("compactions", r.ndp_compactions);
+    w->Field("mb_written", r.ndp_mb_written);
+    w->Field("fallbacks", r.ndp_fallbacks);
+    w->Field("commands", r.ndp_commands);
+    w->Field("rejected", r.ndp_rejected);
+    w->Field("planner_device_jobs", r.ndp_planner_device_jobs);
+    w->Field("planner_host_jobs", r.ndp_planner_host_jobs);
+    w->Field("planner_flips", r.ndp_planner_flips);
+    w->Field("planner_cooldown_rejects", r.ndp_planner_cooldown_rejects);
+    w->Field("cpu_busy_seconds", r.ndp_cpu_busy_seconds);
+    w->EndObject();
+  }
+
   // HA pair (DESIGN.md §12): replication stream + measured failover.
   if (r.ha_repl_ack >= 0) {
     w->Key("ha");
@@ -193,6 +212,10 @@ std::string JsonReportString(const BenchConfig& config,
               ? "per_shard"
               : "global");
   w.Field("arbiter_share", config.sut.arbiter_share);
+  w.Field("ndp", config.sut.ndp_mode == ndp::OffloadMode::kForce  ? "force"
+               : config.sut.ndp_mode == ndp::OffloadMode::kAuto ? "auto"
+                                                                : "off");
+  w.Field("ndp_cores", config.sut.ndp_cores);
   w.Field("ha", config.sut.ha);
   w.Field("repl_ack", config.sut.repl_ack_async ? "async" : "sync");
   w.Field("net_mbps", config.sut.net_mbps);

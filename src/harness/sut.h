@@ -46,6 +46,12 @@ struct SutConfig {
       core::RedirectBudgetPolicy::kGlobal;
   // Fair-share arbiter serving rate as a fraction of NAND bandwidth; 0 = off.
   double arbiter_share = 1.0;
+  // Device-offloaded compaction (KVACCEL only, DESIGN.md §13). The runner
+  // creates one world-owned NdpDevice per SSD when mode != kOff; HA pairs
+  // carry per-node devices in ha_primary.ndp / ha_backup.ndp instead.
+  ndp::OffloadMode ndp_mode = ndp::OffloadMode::kOff;
+  int ndp_cores = 2;  // 0 = share the device's firmware core
+  ndp::NdpDevice* ndp_device = nullptr;
   // Two-node HA pair (KVACCEL only, shards == 1, DESIGN.md §12): the runner
   // builds both node worlds and the SUT opens a ReplicatedKvaccelDB over
   // them. All traffic serves from the primary.
@@ -84,6 +90,8 @@ class SystemUnderTest {
     if (config.rollback == core::RollbackScheme::kDisabled) {
       kv_opts.dev.compaction_enabled = false;
     }
+    kv_opts.ndp_planner.mode = config.ndp_mode;
+    kv_opts.ndp_device = config.ndp_device;
     return kv_opts;
   }
 

@@ -144,7 +144,7 @@ void SeekLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed) {
 // still open (before SystemUnderTest::Close()).
 void RegisterWorldMetrics(obs::MetricsRegistry* registry,
                           SystemUnderTest* sut, ssd::HybridSsd* ssd,
-                          sim::CpuPool* host_cpu,
+                          sim::CpuPool* host_cpu, ndp::NdpDevice* ndp_dev,
                           sim::FaultInjector* injector, obs::Tracer* tracer) {
   registry->AddSource([sut](obs::MetricsSnapshot* snap) {
     const lsm::DbStats& ms = sut->main_stats();
@@ -261,6 +261,48 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
       snap->SetCounter("devlsm.bulk_scans", ds.bulk_scans);
       snap->SetCounter("devlsm.scan_chunks", ds.scan_chunks);
       snap->SetCounter("devlsm.resets", ds.resets);
+    });
+  }
+
+  // Device-offloaded compaction (DESIGN.md §13): the engine's own counters
+  // plus the per-DB planner decisions (summed across shards).
+  if (ndp_dev != nullptr) {
+    registry->AddSource([sut, ndp_dev](obs::MetricsSnapshot* snap) {
+      const ndp::NdpStats& ns = ndp_dev->stats();
+      snap->SetCounter("ndp.commands", ns.commands);
+      snap->SetCounter("ndp.rejected", ns.rejected);
+      snap->SetCounter("ndp.jobs_completed", ns.jobs_completed);
+      snap->SetCounter("ndp.jobs_failed", ns.jobs_failed);
+      snap->SetCounter("ndp.merge_bytes", ns.merge_bytes);
+      snap->SetCounter("ndp.command_bytes", ns.command_bytes);
+      snap->SetCounter("ndp.result_bytes", ns.result_bytes);
+      snap->SetGauge("ndp.cpu.busy_seconds", ndp_dev->cpu()->busy_seconds());
+      ndp::PlannerStats ps;
+      auto add = [&ps](const ndp::OffloadPlanner* p) {
+        if (p == nullptr) return;
+        ps.device_jobs += p->stats().device_jobs;
+        ps.host_jobs += p->stats().host_jobs;
+        ps.flips += p->stats().flips;
+        ps.cooldown_rejects += p->stats().cooldown_rejects;
+        ps.failures += p->stats().failures;
+      };
+      if (sut->sharded() != nullptr) {
+        core::ShardedKvaccelDB* shd = sut->sharded();
+        for (int i = 0; i < shd->num_shards(); i++) {
+          add(shd->shard(i)->offload_planner());
+        }
+      } else if (sut->kvaccel() != nullptr) {
+        add(sut->kvaccel()->offload_planner());
+      }
+      snap->SetCounter("ndp.planner.device_jobs", ps.device_jobs);
+      snap->SetCounter("ndp.planner.host_jobs", ps.host_jobs);
+      snap->SetCounter("ndp.planner.flips", ps.flips);
+      snap->SetCounter("ndp.planner.cooldown_rejects", ps.cooldown_rejects);
+      snap->SetCounter("ndp.planner.failures", ps.failures);
+      const lsm::DbStats& ms = sut->main_stats();
+      snap->SetCounter("ndp.compactions", ms.ndp_compactions);
+      snap->SetCounter("ndp.bytes_written", ms.ndp_bytes_written);
+      snap->SetCounter("ndp.fallbacks", ms.ndp_fallbacks);
     });
   }
 
@@ -384,6 +426,22 @@ RunResult RunBenchmark(const BenchConfig& config) {
     sut_cfg.ha_backup = {ssd_b.get(), fs_b.get(), cpu_b.get(), dev_b.get()};
   }
 
+  // Device-offloaded compaction (DESIGN.md §13): one NdpDevice per SSD —
+  // shared by all shards of a sharded engine; one per node for an HA pair.
+  std::unique_ptr<ndp::NdpDevice> ndp_dev, ndp_dev_b;
+  if (config.sut.kind == SystemKind::kKvaccel &&
+      config.sut.ndp_mode != ndp::OffloadMode::kOff) {
+    ndp::NdpConfig nc;
+    nc.cores = config.sut.ndp_cores;
+    ndp_dev = std::make_unique<ndp::NdpDevice>(&ssd, nc);
+    sut_cfg.ndp_device = ndp_dev.get();
+    if (ha) {
+      ndp_dev_b = std::make_unique<ndp::NdpDevice>(ssd_b.get(), nc);
+      sut_cfg.ha_primary.ndp = ndp_dev.get();
+      sut_cfg.ha_backup.ndp = ndp_dev_b.get();
+    }
+  }
+
   sim::FaultInjector injector(&env, config.fault_seed);
   if (!config.fault_profile.empty()) {
     env.set_fault_injector(&injector);
@@ -411,7 +469,7 @@ RunResult RunBenchmark(const BenchConfig& config) {
     }
     sh.sut = sut.get();
     result.name = sut->name();
-    RegisterWorldMetrics(&registry, sut.get(), &ssd, &host_cpu,
+    RegisterWorldMetrics(&registry, sut.get(), &ssd, &host_cpu, ndp_dev.get(),
                          config.fault_profile.empty() ? nullptr : &injector,
                          tracer.get());
 
@@ -562,6 +620,40 @@ RunResult RunBenchmark(const BenchConfig& config) {
     result.fault_injected = injector.total_fires();
     result.io_retries = ms.io_retries;
     result.background_errors = ms.background_errors;
+
+    // Device-offloaded compaction (DESIGN.md §13).
+    if (ndp_dev != nullptr) {
+      result.ndp_mode =
+          sut_cfg.ndp_mode == ndp::OffloadMode::kForce ? 1 : 0;
+      result.ndp_compactions = ms.ndp_compactions;
+      result.ndp_mb_written =
+          static_cast<double>(ms.ndp_bytes_written) / 1e6;
+      result.ndp_fallbacks = ms.ndp_fallbacks;
+      const ndp::NdpStats& ns = ndp_dev->stats();
+      result.ndp_commands = ns.commands;
+      result.ndp_rejected = ns.rejected;
+      result.ndp_cpu_busy_seconds = ndp_dev->cpu()->busy_seconds();
+      ndp::PlannerStats ps;
+      auto add = [&ps](const ndp::OffloadPlanner* p) {
+        if (p == nullptr) return;
+        ps.device_jobs += p->stats().device_jobs;
+        ps.host_jobs += p->stats().host_jobs;
+        ps.flips += p->stats().flips;
+        ps.cooldown_rejects += p->stats().cooldown_rejects;
+      };
+      if (sut->sharded() != nullptr) {
+        core::ShardedKvaccelDB* shd = sut->sharded();
+        for (int i = 0; i < shd->num_shards(); i++) {
+          add(shd->shard(i)->offload_planner());
+        }
+      } else if (sut->kvaccel() != nullptr) {
+        add(sut->kvaccel()->offload_planner());
+      }
+      result.ndp_planner_device_jobs = ps.device_jobs;
+      result.ndp_planner_host_jobs = ps.host_jobs;
+      result.ndp_planner_flips = ps.flips;
+      result.ndp_planner_cooldown_rejects = ps.cooldown_rejects;
+    }
     if (sut->is_kvaccel()) {
       core::KvaccelStats ks = sut->kvaccel_stats();
       result.redirected_writes = ks.redirected_writes;

@@ -178,6 +178,20 @@ struct RunResult {
   int ha_failover_checker_errors = 0;
   int ha_failover_checker_warnings = 0;
 
+  // Device-offloaded compaction (DESIGN.md §13). ndp_mode is the gate:
+  // -1 = no NDP engine attached, 0 = auto placement, 1 = force.
+  int ndp_mode = -1;
+  uint64_t ndp_compactions = 0;      // jobs that completed device-side
+  double ndp_mb_written = 0;         // output MB produced device-side
+  uint64_t ndp_fallbacks = 0;        // offloaded jobs rerun on the host
+  uint64_t ndp_commands = 0;         // COMPACT descriptors accepted
+  uint64_t ndp_rejected = 0;         // transient device rejections
+  uint64_t ndp_planner_device_jobs = 0;
+  uint64_t ndp_planner_host_jobs = 0;
+  uint64_t ndp_planner_flips = 0;
+  uint64_t ndp_planner_cooldown_rejects = 0;
+  double ndp_cpu_busy_seconds = 0;   // busy time on the device's NDP cores
+
   // Sharded engine (DESIGN.md §11): one entry per shard, plus the fairness
   // headline — max/min per-shard foreground-write throughput (0 when any
   // shard saw no writes; 1.0 = perfectly even).

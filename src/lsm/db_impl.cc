@@ -1144,27 +1144,67 @@ Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
   std::vector<uint64_t> created;
   uint64_t read_bytes = 0;
   uint64_t written_bytes = 0;
-  Status s = RetryTransient([&] {
-    outputs.clear();
-    read_bytes = 0;
-    written_bytes = 0;
-    Status ws;
-    if (!bounds.empty()) {
-      ws = RunSubcompactions(c, bounds, throttled, elide_tombstones,
-                             trace_track, &outputs, &created, &read_bytes,
-                             &written_bytes);
-    } else {
-      ws = DoCompactionWork(c, KeyRange{}, "crash.compaction.mid", throttled,
-                            elide_tombstones, trace_track, &outputs, &created,
-                            &read_bytes, &written_bytes);
-    }
-    if (!ws.ok() && !sim::SimCrashed(env_)) {
-      // Drop partial outputs so a retry (or reopened DB) starts clean.
-      for (uint64_t n : created) denv_.fs->DeleteFile(SstName(n));
-    }
-    if (!ws.ok()) created.clear();
-    return ws;
-  });
+
+  // NDP placement (DESIGN.md §13): consult the planner once per job, after
+  // the split decision so the COMPACT descriptor carries the sub-range count
+  // — a split job runs its deep sub-ranges as independent device streams.
+  OffloadGrant grant;
+  bool offloaded = false;
+  if (options_.compaction_offload) {
+    OffloadJobInfo info;
+    info.level = c->level;
+    info.output_level = c->output_level;
+    info.input_bytes = c->InputBytes();
+    info.input_files =
+        static_cast<int>(c->inputs[0].size() + c->inputs[1].size());
+    info.subranges = static_cast<int>(bounds.size()) + 1;
+    info.is_intra_l0 = c->is_intra_l0;
+    offloaded = options_.compaction_offload(info, &grant);
+  }
+
+  auto attempt = [&](const OffloadGrant* ndp) {
+    return RetryTransient([&] {
+      outputs.clear();
+      read_bytes = 0;
+      written_bytes = 0;
+      Status ws;
+      if (!bounds.empty()) {
+        ws = RunSubcompactions(c, bounds, throttled, elide_tombstones,
+                               trace_track, ndp, &outputs, &created,
+                               &read_bytes, &written_bytes);
+      } else {
+        ws = DoCompactionWork(c, KeyRange{},
+                              ndp != nullptr ? "crash.ndp.merge.mid"
+                                             : "crash.compaction.mid",
+                              throttled, elide_tombstones, trace_track, ndp,
+                              &outputs, &created, &read_bytes,
+                              &written_bytes);
+      }
+      if (!ws.ok() && !sim::SimCrashed(env_)) {
+        // Drop partial outputs so a retry (or reopened DB) starts clean.
+        for (uint64_t n : created) denv_.fs->DeleteFile(SstName(n));
+      }
+      if (!ws.ok()) created.clear();
+      return ws;
+    });
+  };
+  Status s = attempt(offloaded ? &grant : nullptr);
+  if (offloaded && !s.ok() && !sim::SimCrashed(env_)) {
+    // Per-job fallback: report the device failure first (the planner opens
+    // its circuit breaker), then rerun the whole job on the host path.
+    grant.finish(false, 0, 0);
+    mu_.Lock();
+    stats_.ndp_fallbacks++;
+    mu_.Unlock();
+    offloaded = false;
+    s = attempt(nullptr);
+  }
+  if (s.ok() && offloaded) {
+    // Ship the output metadata back to the host. A crash while the result is
+    // in flight (crash.ndp.result.pre) aborts before the install: the output
+    // SSTs stay uninstalled strays that recovery reaps.
+    s = grant.finish(true, outputs.size(), written_bytes);
+  }
   if (!s.ok()) return s;
 
   // Install the result — all sub-ranges in ONE VersionEdit. MANIFEST
@@ -1182,6 +1222,10 @@ Status DbImpl::RunCompaction(Compaction* c, uint32_t trace_track) {
   stats_.compaction_count++;
   stats_.compaction_bytes_read += read_bytes;
   stats_.compaction_bytes_written += written_bytes;
+  if (offloaded) {
+    stats_.ndp_compactions++;
+    stats_.ndp_bytes_written += written_bytes;
+  }
   if (c->is_intra_l0) stats_.intra_l0_compactions++;
   if (!bounds.empty()) {
     stats_.split_compactions++;
@@ -1255,12 +1299,14 @@ std::vector<std::string> DbImpl::SubcompactionBoundaries(Compaction* c,
 Status DbImpl::RunSubcompactions(Compaction* c,
                                  const std::vector<std::string>& bounds,
                                  bool throttled, bool elide_tombstones,
-                                 uint32_t trace_track,
+                                 uint32_t trace_track, const OffloadGrant* ndp,
                                  std::vector<FileMetaPtr>* outputs,
                                  std::vector<uint64_t>* created,
                                  uint64_t* read_bytes_out,
                                  uint64_t* written_bytes_out) {
   const size_t k = bounds.size() + 1;
+  const char* sub_site = ndp != nullptr ? "crash.ndp.submerge.mid"
+                                        : "crash.subcompaction.mid";
   struct Sub {
     KeyRange range;
     std::vector<FileMetaPtr> outputs;
@@ -1292,20 +1338,19 @@ Status DbImpl::RunSubcompactions(Compaction* c,
     }
     helpers.push_back(env_->Spawn(
         "lsm-subcompact-" + std::to_string(i),
-        [this, c, sub, throttled, elide_tombstones, track] {
+        [this, c, sub, throttled, elide_tombstones, track, ndp, sub_site] {
           Nanos start = tracer_ != nullptr ? env_->Now() : 0;
           sub->status = DoCompactionWork(
-              c, sub->range, "crash.subcompaction.mid", throttled,
-              elide_tombstones, track, &sub->outputs, &sub->created,
-              &sub->read, &sub->written);
+              c, sub->range, sub_site, throttled, elide_tombstones, track,
+              ndp, &sub->outputs, &sub->created, &sub->read, &sub->written);
           if (tracer_ != nullptr) {
             tracer_->Complete(track, "subcompaction", start, env_->Now());
           }
         }));
   }
   Sub* tail = &subs[k - 1];
-  tail->status = DoCompactionWork(c, tail->range, "crash.subcompaction.mid",
-                                  throttled, elide_tombstones, trace_track,
+  tail->status = DoCompactionWork(c, tail->range, sub_site, throttled,
+                                  elide_tombstones, trace_track, ndp,
                                   &tail->outputs, &tail->created, &tail->read,
                                   &tail->written);
   for (auto* t : helpers) env_->Join(t);
@@ -1326,6 +1371,7 @@ Status DbImpl::RunSubcompactions(Compaction* c,
 Status DbImpl::DoCompactionWork(Compaction* c, const KeyRange& range,
                                 const char* crash_site, bool throttled,
                                 bool elide_tombstones, uint32_t trace_track,
+                                const OffloadGrant* ndp,
                                 std::vector<FileMetaPtr>* outputs,
                                 std::vector<uint64_t>* created,
                                 uint64_t* read_bytes_out,
@@ -1342,11 +1388,23 @@ Status DbImpl::DoCompactionWork(Compaction* c, const KeyRange& range,
       std::max<uint64_t>(1, (2ull << 20) / options_.block_size));
 
   std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<std::shared_ptr<SstReader>> device_tables;
   for (const auto& side : c->inputs) {
     for (const auto& f : side) {
       std::shared_ptr<SstReader> table;
-      Status s = GetTable(f->number, &table);
-      if (!s.ok()) return s;
+      if (ndp != nullptr) {
+        // Device-side stream: a dedicated reader (no block cache — firmware
+        // reads must not populate the host cache) whose data-block reads run
+        // NAND-only, skipping PCIe.
+        Status s = SstReader::Open(options_, denv_.fs, SstName(f->number),
+                                   f->number, nullptr, &table);
+        if (!s.ok()) return s;
+        table->set_device_side(true);
+        device_tables.push_back(table);
+      } else {
+        Status s = GetTable(f->number, &table);
+        if (!s.ok()) return s;
+      }
       children.push_back(table->NewIterator(ropts));
     }
   }
@@ -1440,8 +1498,14 @@ Status DbImpl::DoCompactionWork(Compaction* c, const KeyRange& range,
                         merge_start, bytes);
     }
     // Merge phase: one CPU burst for the whole batch, no device traffic.
-    denv_.host_cpu->Consume(options_.compaction_cpu_ns_per_byte *
-                            static_cast<double>(batch_bytes));
+    // Offloaded jobs burn the device's NDP cores instead of the host pool —
+    // this is exactly the cycle/PCIe relief near-data compaction buys.
+    if (ndp != nullptr) {
+      ndp->merge_cpu(batch_bytes);
+    } else {
+      denv_.host_cpu->Consume(options_.compaction_cpu_ns_per_byte *
+                              static_cast<double>(batch_bytes));
+    }
     Nanos write_start = 0;
     if (tracer_ != nullptr) {
       write_start = env_->Now();
@@ -1459,6 +1523,7 @@ Status DbImpl::DoCompactionWork(Compaction* c, const KeyRange& range,
         Status ws = denv_.fs->NewWritableFile(SstName(builder_number), &file);
         if (!ws.ok()) return ws;
         file->set_writeback_chunk(1 << 20);  // stream like bytes_per_sync
+        if (ndp != nullptr) file->set_device_side(true);
         builder = std::make_unique<SstBuilder>(options_, std::move(file));
       }
       Status ws = builder->Add(e.ikey, e.val, e.logical);

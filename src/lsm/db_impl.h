@@ -123,10 +123,13 @@ class DbImpl : public DB {
   // range's I/O to the shared compaction rate limiter; `elide_tombstones`
   // is the per-JOB elision verdict (options_.allow_tombstone_elision and the
   // intra-L0 rule), evaluated once before any sub-range starts so a device
-  // drain completing mid-job cannot flip it between sub-ranges.
+  // drain completing mid-job cannot flip it between sub-ranges. A non-null
+  // `ndp` runs the range device-side (DESIGN.md §13): input reads and output
+  // writes skip PCIe, and the merge burns ndp->merge_cpu instead of host CPU.
   Status DoCompactionWork(Compaction* c, const KeyRange& range,
                           const char* crash_site, bool throttled,
                           bool elide_tombstones, uint32_t trace_track,
+                          const OffloadGrant* ndp,
                           std::vector<FileMetaPtr>* outputs,
                           std::vector<uint64_t>* created,
                           uint64_t* read_bytes, uint64_t* written_bytes);
@@ -138,7 +141,7 @@ class DbImpl : public DB {
   // their results in range order (deterministic).
   Status RunSubcompactions(Compaction* c, const std::vector<std::string>& bounds,
                            bool throttled, bool elide_tombstones,
-                           uint32_t trace_track,
+                           uint32_t trace_track, const OffloadGrant* ndp,
                            std::vector<FileMetaPtr>* outputs,
                            std::vector<uint64_t>* created,
                            uint64_t* read_bytes, uint64_t* written_bytes);

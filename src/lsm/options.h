@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "common/status.h"
 #include "common/units.h"
 
 namespace kvaccel::lsm {
@@ -14,6 +15,37 @@ namespace kvaccel::lsm {
 class WriteBatch;
 
 constexpr int kNumLevels = 7;
+
+// --- Device-offloaded compaction vocabulary (NDP, DESIGN.md §13) ---
+// The lsm layer stays free of ndp types: the planner/device live behind
+// std::function hooks, mirroring compaction_io_arbiter / wal_shipper.
+
+// What the planner sees about a picked job before any work starts.
+struct OffloadJobInfo {
+  int level = 0;         // inputs[0] level
+  int output_level = 0;
+  uint64_t input_bytes = 0;  // logical bytes across both input sides
+  int input_files = 0;
+  int subranges = 1;     // sub-range streams the job will run (PR-5 split)
+  bool is_intra_l0 = false;
+};
+
+// Execution handles for one granted (offloaded) job.
+struct OffloadGrant {
+  // Burns the merge + checksum-verify cycles for `bytes` logical bytes on
+  // the device's NDP cores; blocks the calling actor in virtual time.
+  std::function<void(uint64_t bytes)> merge_cpu;
+  // Completion, exactly once per grant: ok=true ships the output metadata
+  // back over PCIe (its Status is the shipment's — a crash there aborts the
+  // install); ok=false reports a device-side failure before host fallback.
+  std::function<Status(bool ok, uint64_t output_files, uint64_t output_bytes)>
+      finish;
+};
+
+// Per-job placement decision. Returning false = host path; returning true
+// fills *grant and commits the device (the COMPACT command has shipped).
+using CompactionOffloadFn =
+    std::function<bool(const OffloadJobInfo& job, OffloadGrant* grant)>;
 
 struct DbOptions {
   // --- Memtable / flush ---
@@ -78,6 +110,18 @@ struct DbOptions {
   // start of the job (KVACCEL wires it to "the Dev-LSM is empty"). Unset =
   // always allowed.
   std::function<bool()> allow_tombstone_elision;
+
+  // --- Device-offloaded compaction (NDP, DESIGN.md §13) ---
+  // When set, RunCompaction consults this hook once per picked job. Returning
+  // true grants the job to the device: the merge loop then burns its CPU
+  // through OffloadGrant::merge_cpu (firmware/NDP cores instead of the host
+  // pool), SST reads and writes run device-side (NAND only, no PCIe), and the
+  // job's crash sites become crash.ndp.*. The outputs land in the same file
+  // system and install through the same single VersionEdit, so crash
+  // atomicity is unchanged. On a failed offloaded attempt the job falls back
+  // to the host path once (OffloadGrant::finish(false, ...) first, so the
+  // planner can open its circuit breaker). Unset = host-only compaction.
+  CompactionOffloadFn compaction_offload;
 
   // --- Table / cache ---
   uint64_t block_size = 16 << 10;          // logical bytes per data block

@@ -95,6 +95,14 @@ class SstReader : public std::enable_shared_from_this<SstReader> {
   Slice smallest() const { return smallest_; }
   Slice largest() const { return largest_; }
 
+  // Routes this reader's data-block reads device-side (NAND only, no PCIe)
+  // for NDP-offloaded compaction inputs. The footer/index read in Open has
+  // already happened host-side — that is the command-setup metadata the
+  // COMPACT descriptor ships anyway.
+  void set_device_side(bool v) {
+    if (file_ != nullptr) file_->set_device_side(v);
+  }
+
   // Appends the last internal key of every data block — natural split points
   // for range-partitioned subcompactions (blocks are near-equal logical
   // size, so evenly spaced boundaries balance bytes). Costs no device I/O:

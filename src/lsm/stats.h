@@ -45,6 +45,11 @@ struct DbStats {
   // Stranded files (uninstalled SSTs, superseded WALs) removed at recovery.
   uint64_t orphan_files_removed = 0;
 
+  // Device-offloaded compaction (NDP, DESIGN.md §13).
+  uint64_t ndp_compactions = 0;      // jobs that completed on the device
+  uint64_t ndp_bytes_written = 0;    // output bytes produced device-side
+  uint64_t ndp_fallbacks = 0;        // offloaded jobs rerun on the host
+
   uint64_t writes_total = 0;
   uint64_t write_bytes_total = 0;  // logical
   uint64_t reads_total = 0;

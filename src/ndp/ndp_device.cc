@@ -1,0 +1,76 @@
+#include "ndp/ndp_device.h"
+
+#include "obs/trace.h"
+#include "sim/fault.h"
+
+namespace kvaccel::ndp {
+
+NdpDevice::NdpDevice(ssd::HybridSsd* ssd, const NdpConfig& config)
+    : ssd_(ssd), env_(ssd->env()), config_(config) {
+  if (config_.cores > 0) {
+    double speed = config_.speed_factor > 0 ? config_.speed_factor
+                                            : ssd_->config().firmware_speed;
+    ndp_pool_ = std::make_unique<sim::CpuPool>(env_, "ssd-ndp", config_.cores,
+                                               speed);
+  }
+  if (env_->tracer() != nullptr) {
+    tr_track_ = env_->tracer()->RegisterTrack("ssd.ndp");
+    traced_ = true;
+  }
+}
+
+Status NdpDevice::BeginCompact(const CompactDescriptor& d, uint64_t* cmd_id) {
+  if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
+  if (sim::FaultAt(env_, "ndp.compact.transient")) {
+    stats_.rejected++;
+    return Status::IOError("ndp: COMPACT rejected");
+  }
+  uint64_t bytes = config_.command_bytes_base +
+                   config_.command_bytes_per_file *
+                       static_cast<uint64_t>(std::max(0, d.input_files));
+  ssd_->PcieToDevice(bytes);
+  stats_.commands++;
+  stats_.command_bytes += bytes;
+  *cmd_id = next_cmd_id_++;
+  inflight_[*cmd_id] = env_->Now();
+  return Status::OK();
+}
+
+void NdpDevice::MergeCpu(uint64_t bytes) {
+  stats_.merge_bytes += bytes;
+  cpu()->Consume((config_.merge_ns_per_byte + config_.verify_ns_per_byte) *
+                 static_cast<double>(bytes));
+}
+
+Status NdpDevice::FinishCompact(uint64_t cmd_id, bool ok,
+                                uint64_t output_files, uint64_t output_bytes) {
+  (void)output_bytes;
+  Nanos start = 0;
+  auto it = inflight_.find(cmd_id);
+  if (it != inflight_.end()) {
+    start = it->second;
+    inflight_.erase(it);
+  }
+  if (!ok) {
+    stats_.jobs_failed++;
+    return Status::OK();
+  }
+  // Result capsule in flight: a power cut here loses the metadata while the
+  // output SSTs already sit on NAND — recovery must reap them as strays.
+  if (sim::FaultAt(env_, "crash.ndp.result.pre")) {
+    stats_.jobs_failed++;
+    return Status::IOError("simulated crash");
+  }
+  uint64_t bytes =
+      config_.result_bytes_base + config_.result_bytes_per_file * output_files;
+  ssd_->PcieToHost(bytes);
+  stats_.jobs_completed++;
+  stats_.result_bytes += bytes;
+  if (traced_) {
+    env_->tracer()->Complete(tr_track_, "ndp.compact", start, env_->Now(),
+                             stats_.merge_bytes);
+  }
+  return Status::OK();
+}
+
+}  // namespace kvaccel::ndp

@@ -6,6 +6,17 @@
 // paper's Efficiency metric (Eq. 1) and the ADOC-uses-more-CPU result
 // (Fig. 12c). The host pool models the 8 cores of Table II; a separate 1-core
 // pool models the Cosmos+ ARM Cortex-A9 running Dev-LSM firmware.
+//
+// Accounting is exact: every Consume books one closed busy interval on the
+// core that ran it (intervals on a core never overlap — core_free_ns_ is
+// monotone per core — and back-to-back intervals coalesce), so
+// UtilizationBetween / CoreUtilizationBetween over an arbitrary virtual-time
+// window return the true busy fraction, not a bucket approximation. The
+// NDP OffloadPlanner keys its host-vs-device placement off short trailing
+// windows of this signal (DESIGN.md §13). Charge() costs are sub-resolution
+// bookkeeping without a core assignment; concurrent charges may overlap one
+// another, so they are accumulated additively in fine (10 ms) prorated
+// buckets rather than as intervals (utilization is clamped to 1).
 #pragma once
 
 #include <algorithm>
@@ -25,7 +36,8 @@ class CpuPool {
   CpuPool(SimEnv* env, std::string name, int cores,
           double speed_factor = 1.0)
       : env_(env), name_(std::move(name)),
-        speed_factor_(speed_factor), core_free_ns_(cores, 0.0) {
+        speed_factor_(speed_factor), core_free_ns_(cores, 0.0),
+        core_busy_(static_cast<size_t>(cores)) {
     assert(cores > 0);
     assert(speed_factor > 0);
   }
@@ -43,6 +55,7 @@ class CpuPool {
     busy_ns_ += scaled;
     busy_series_.AddRange(static_cast<Nanos>(start), static_cast<Nanos>(end),
                           scaled);
+    AppendInterval(&core_busy_[core], start, end);
     env_->SleepUntil(static_cast<Nanos>(end + 0.999));
     return env_->Now();
   }
@@ -57,6 +70,8 @@ class CpuPool {
     busy_ns_ += scaled;
     Nanos now = env_->Now();
     busy_series_.AddRange(now, now + static_cast<Nanos>(scaled + 0.5), scaled);
+    charge_series_.AddRange(now, now + static_cast<Nanos>(scaled + 0.5),
+                            scaled);
   }
 
   int cores() const { return static_cast<int>(core_free_ns_.size()); }
@@ -64,16 +79,77 @@ class CpuPool {
   const std::string& name() const { return name_; }
   const TimeSeries& busy_series() const { return busy_series_; }
 
-  // Mean utilisation in [0,1] over [start, end).
+  // Exact busy nanoseconds core `core` spent on Consume work inside
+  // [start, end) — interval-clipped, not bucketed.
+  double CoreBusyBetween(int core, Nanos start, Nanos end) const {
+    return OverlapSum(core_busy_[static_cast<size_t>(core)],
+                      static_cast<double>(start), static_cast<double>(end));
+  }
+
+  // Exact utilisation of one core in [0, 1] over [start, end).
+  double CoreUtilizationBetween(int core, Nanos start, Nanos end) const {
+    if (end <= start) return 0.0;
+    return CoreBusyBetween(core, start, end) /
+           static_cast<double>(end - start);
+  }
+
+  // Mean pool utilisation in [0,1] over [start, end): exact sum of per-core
+  // busy intervals plus Charge() costs, over the window's capacity. Clamped
+  // only because concurrent Charges may overlap one another.
   double UtilizationBetween(Nanos start, Nanos end) const {
     if (end <= start) return 0.0;
-    double busy = busy_series_.SumBetween(start, end);
+    double busy = charge_series_.ProratedSumBetween(start, end);
+    for (const auto& core : core_busy_) {
+      busy += OverlapSum(core, static_cast<double>(start),
+                         static_cast<double>(end));
+    }
     double capacity =
         static_cast<double>(end - start) * static_cast<double>(cores());
     return std::min(1.0, busy / capacity);
   }
 
+  // Mean per-core backlog at instant `now`: booked-but-unfinished work, in
+  // nanoseconds. >0 means new work queues before it runs — the saturation
+  // signal the offload planner reads alongside trailing utilisation.
+  double BacklogNanos(Nanos now) const {
+    double backlog = 0;
+    for (double free_at : core_free_ns_) {
+      backlog += std::max(0.0, free_at - static_cast<double>(now));
+    }
+    return backlog / static_cast<double>(cores());
+  }
+
  private:
+  struct Interval {
+    double start;
+    double end;
+  };
+
+  // Intervals are appended in non-decreasing start order per list; a new
+  // interval starting at (or before) the previous end extends it, so a
+  // saturated core stays O(1) intervals per busy run.
+  static void AppendInterval(std::vector<Interval>* list, double start,
+                             double end) {
+    if (!list->empty() && start <= list->back().end) {
+      list->back().end = std::max(list->back().end, end);
+      return;
+    }
+    list->push_back({start, end});
+  }
+
+  static double OverlapSum(const std::vector<Interval>& list, double start,
+                           double end) {
+    // Intervals are start-sorted: binary-search the first that can overlap.
+    auto it = std::lower_bound(
+        list.begin(), list.end(), start,
+        [](const Interval& iv, double t) { return iv.end <= t; });
+    double sum = 0;
+    for (; it != list.end() && it->start < end; ++it) {
+      sum += std::min(end, it->end) - std::max(start, it->start);
+    }
+    return sum;
+  }
+
   size_t PickCore() {
     size_t best = 0;
     for (size_t i = 1; i < core_free_ns_.size(); i++) {
@@ -88,6 +164,10 @@ class CpuPool {
   std::vector<double> core_free_ns_;
   double busy_ns_ = 0;
   TimeSeries busy_series_;
+  // Charge() costs at 10 ms resolution; read back prorated so short planner
+  // windows see the right fraction of a boundary bucket.
+  TimeSeries charge_series_{FromMillis(10)};
+  std::vector<std::vector<Interval>> core_busy_;
 };
 
 }  // namespace kvaccel::sim

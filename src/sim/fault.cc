@@ -71,6 +71,8 @@ const std::vector<FaultSiteInfo>& KnownFaultSites() {
       {"simfs.powercut.torn",
        "DropAllDirty tears a suffix of unflushed bytes"},
       {"net.send.transient", "NetLink::Send drops the message"},
+      {"ndp.compact.transient",
+       "device rejects a COMPACT command; job falls back to host"},
       {"crash.wal.post_append", "after WAL append, before sync"},
       {"crash.wal.post_sync", "after WAL sync, before memtable apply"},
       {"crash.flush.mid", "mid-way through an L0 flush"},
@@ -83,6 +85,11 @@ const std::vector<FaultSiteInfo>& KnownFaultSites() {
        "redirected batch durable on device, metadata not flipped"},
       {"crash.net.send.mid",
        "pair-wide power loss with a replication record in flight"},
+      {"crash.ndp.merge.mid", "mid-way through a device-offloaded merge"},
+      {"crash.ndp.submerge.mid",
+       "mid-way through one offloaded compaction sub-range"},
+      {"crash.ndp.result.pre",
+       "offloaded merge done, output metadata still in flight to the host"},
   };
   return kSites;
 }

@@ -66,6 +66,28 @@ class TimeSeries {
     total_ += other.total_;
   }
 
+  // Sum over [start, end) with boundary buckets prorated by their overlap
+  // fraction — assumes a bucket's value is spread uniformly across it (true
+  // for AddRange; a point Add is smeared over its bucket). Exact-enough
+  // windowed reads for accounting series whose writes are themselves ranges.
+  double ProratedSumBetween(Nanos start, Nanos end) const {
+    if (end <= start) return 0.0;
+    double sum = 0;
+    size_t first = static_cast<size_t>(start / bucket_width_);
+    size_t last = static_cast<size_t>((end - 1) / bucket_width_);
+    last = std::min(last, buckets_.empty() ? 0 : buckets_.size() - 1);
+    for (size_t b = first; b < buckets_.size() && b <= last; b++) {
+      Nanos bucket_start = static_cast<Nanos>(b) * bucket_width_;
+      Nanos bucket_end = bucket_start + bucket_width_;
+      Nanos lo = std::max(start, bucket_start);
+      Nanos hi = std::min(end, bucket_end);
+      if (hi <= lo) continue;
+      sum += buckets_[b] * static_cast<double>(hi - lo) /
+             static_cast<double>(bucket_width_);
+    }
+    return sum;
+  }
+
   // Sum of bucket values over the instants covered by [start, end), at bucket
   // granularity (buckets whose start lies in the range).
   double SumBetween(Nanos start, Nanos end) const {

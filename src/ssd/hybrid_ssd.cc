@@ -52,7 +52,8 @@ uint64_t HybridSsd::BlockCapacitySectors(int nsid) const {
   return namespaces_[nsid].block_pages;
 }
 
-Status HybridSsd::BlockWrite(int nsid, uint64_t lba, uint64_t sectors) {
+Status HybridSsd::BlockWriteImpl(int nsid, uint64_t lba, uint64_t sectors,
+                                 bool over_pcie) {
   if (!ValidNsid(nsid)) return Status::InvalidArgument("bad nsid");
   if (sim::SimCrashed(env_)) return Status::IOError("simulated crash");
   if (sim::FaultAt(env_, "ssd.block.write.transient")) {
@@ -60,14 +61,24 @@ Status HybridSsd::BlockWrite(int nsid, uint64_t lba, uint64_t sectors) {
   }
   uint64_t bytes = sectors * config_.page_size;
   trace_.Record(env_->Now(), nvme::Opcode::kWrite, nsid, bytes);
-  pcie_->Transfer(bytes);
+  if (over_pcie) pcie_->Transfer(bytes);
   Status s = namespaces_[nsid].block_ftl->Write(lba, sectors);
   if (!s.ok()) return s;
   nand_->Write(bytes);
   return Status::OK();
 }
 
-Status HybridSsd::BlockRead(int nsid, uint64_t lba, uint64_t sectors) {
+Status HybridSsd::BlockWrite(int nsid, uint64_t lba, uint64_t sectors) {
+  return BlockWriteImpl(nsid, lba, sectors, /*over_pcie=*/true);
+}
+
+Status HybridSsd::BlockWriteInternal(int nsid, uint64_t lba,
+                                     uint64_t sectors) {
+  return BlockWriteImpl(nsid, lba, sectors, /*over_pcie=*/false);
+}
+
+Status HybridSsd::BlockReadImpl(int nsid, uint64_t lba, uint64_t sectors,
+                                bool over_pcie) {
   if (!ValidNsid(nsid)) return Status::InvalidArgument("bad nsid");
   if (lba + sectors > namespaces_[nsid].block_pages) {
     return Status::InvalidArgument("read beyond block region");
@@ -84,8 +95,16 @@ Status HybridSsd::BlockRead(int nsid, uint64_t lba, uint64_t sectors) {
   uint64_t bytes = sectors * config_.page_size;
   trace_.Record(env_->Now(), nvme::Opcode::kRead, nsid, bytes);
   nand_->Read(bytes);
-  pcie_->Transfer(bytes);
+  if (over_pcie) pcie_->Transfer(bytes);
   return Status::OK();
+}
+
+Status HybridSsd::BlockRead(int nsid, uint64_t lba, uint64_t sectors) {
+  return BlockReadImpl(nsid, lba, sectors, /*over_pcie=*/true);
+}
+
+Status HybridSsd::BlockReadInternal(int nsid, uint64_t lba, uint64_t sectors) {
+  return BlockReadImpl(nsid, lba, sectors, /*over_pcie=*/false);
 }
 
 Status HybridSsd::BlockTrim(int nsid, uint64_t lba, uint64_t sectors) {

@@ -42,6 +42,11 @@ class HybridSsd {
   // Sector == page (see SsdConfig). `lba` is namespace-relative.
   Status BlockWrite(int nsid, uint64_t lba, uint64_t sectors);
   Status BlockRead(int nsid, uint64_t lba, uint64_t sectors);
+  // Device-internal block I/O for the NDP offload engine (DESIGN.md §13):
+  // identical FTL/NAND path and fault sites, but no PCIe transfer — the data
+  // moves NAND -> firmware SRAM -> NAND without ever crossing the link.
+  Status BlockWriteInternal(int nsid, uint64_t lba, uint64_t sectors);
+  Status BlockReadInternal(int nsid, uint64_t lba, uint64_t sectors);
   Status BlockTrim(int nsid, uint64_t lba, uint64_t sectors);
   Status BlockFlush(int nsid);
   // Number of sectors the block region of `nsid` exposes.
@@ -82,6 +87,11 @@ class HybridSsd {
   bool ValidNsid(int nsid) const {
     return nsid >= 0 && nsid < static_cast<int>(namespaces_.size());
   }
+
+  Status BlockWriteImpl(int nsid, uint64_t lba, uint64_t sectors,
+                        bool over_pcie);
+  Status BlockReadImpl(int nsid, uint64_t lba, uint64_t sectors,
+                       bool over_pcie);
 
   sim::SimEnv* env_;
   SsdConfig config_;

@@ -314,6 +314,58 @@ TEST(CpuPoolTest, UtilizationBetween) {
   EXPECT_NEAR(util, 0.25, 0.01);
 }
 
+TEST(CpuPoolTest, OverlappingJobsAccountExactlyPerCore) {
+  SimEnv env;
+  CpuPool cpu(&env, "host", 2);
+  // Three jobs whose busy intervals overlap and queue:
+  //   A: core0 [0, 3s]
+  //   B: core1 [1s, 2s]
+  //   C: arrives at 1.5s, books the earlier-free core1 back-to-back [2s, 4s]
+  env.Spawn("a", [&] { cpu.Consume(3e9); });
+  env.Spawn("b", [&] {
+    env.SleepFor(FromSecs(1));
+    cpu.Consume(1e9);
+  });
+  env.Spawn("c", [&] {
+    env.SleepFor(FromMillis(1500));
+    cpu.Consume(2e9);
+  });
+  env.Run();
+  // Per-core busy time is exact, not prorated: core0 3 s, core1 1 + 2 s.
+  EXPECT_NEAR(cpu.CoreBusyBetween(0, 0, FromSecs(4)), 3e9, 10);
+  EXPECT_NEAR(cpu.CoreBusyBetween(1, 0, FromSecs(4)), 3e9, 10);
+  // Windows that slice through the overlap see exact fractions.
+  EXPECT_NEAR(cpu.UtilizationBetween(0, FromSecs(4)), 0.75, 1e-9);
+  EXPECT_NEAR(cpu.UtilizationBetween(0, FromSecs(2)), 0.75, 1e-9);
+  EXPECT_NEAR(cpu.UtilizationBetween(FromMillis(2500), FromMillis(3500)),
+              0.75, 1e-9);
+  // Tail window: only C's back-to-back booking on core1 remains busy.
+  EXPECT_NEAR(cpu.UtilizationBetween(FromSecs(3), FromSecs(4)), 0.5, 1e-9);
+  EXPECT_NEAR(cpu.CoreUtilizationBetween(0, FromSecs(3), FromSecs(4)), 0.0,
+              1e-9);
+  EXPECT_NEAR(cpu.CoreUtilizationBetween(1, FromSecs(3), FromSecs(4)), 1.0,
+              1e-9);
+  EXPECT_NEAR(cpu.busy_seconds(), 6.0, 1e-6);
+}
+
+TEST(CpuPoolTest, ChargesOverlapWithoutCoalescing) {
+  SimEnv env;
+  CpuPool cpu(&env, "host", 2);
+  // Two actors Charge at the same instant: both costs must be counted (a
+  // naive interval model would coalesce the identical [t, t+d) spans).
+  env.Spawn("a", [&] {
+    env.SleepFor(FromSecs(1));
+    cpu.Charge(0.5e9);
+  });
+  env.Spawn("b", [&] {
+    env.SleepFor(FromSecs(1));
+    cpu.Charge(0.5e9);
+  });
+  env.Run();
+  // 1 core-second of charge inside [0, 2s] of a 2-core pool.
+  EXPECT_NEAR(cpu.UtilizationBetween(0, FromSecs(2)), 0.25, 1e-3);
+}
+
 TEST(TimeSeriesTest, AddAndRange) {
   TimeSeries ts(kNanosPerSec);
   ts.Add(FromSecs(0.5), 10);
@@ -411,7 +463,9 @@ TEST(FaultRegistryTest, KnownFaultSitesListsEverySubsystem) {
   EXPECT_EQ(names.size(), KnownFaultSites().size()) << "duplicate site rows";
   for (const char* expected :
        {"devlsm.put.transient", "net.send.transient", "crash.wal.post_sync",
-        "crash.redirect.mid", "crash.net.send.mid", "simfs.powercut.torn"}) {
+        "crash.redirect.mid", "crash.net.send.mid", "simfs.powercut.torn",
+        "ndp.compact.transient", "crash.ndp.merge.mid",
+        "crash.ndp.submerge.mid", "crash.ndp.result.pre"}) {
     EXPECT_TRUE(names.count(expected)) << expected << " not registered";
   }
 }

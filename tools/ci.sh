@@ -47,11 +47,24 @@ run_pass() {
   # backup-side circuit-breaker recovery, and the two-node nemesis tests.
   echo "==== ${name}: ctest -L ha ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L ha
+  # NDP suite, explicitly: COMPACT command lifecycle, planner host-vs-device
+  # choice under CPU pressure (with hysteresis and the stall veto), device
+  # failure cooldown, off-vs-force data equivalence and same-seed --ndp=auto
+  # report byte-identity.
+  echo "==== ${name}: ctest -L ndp ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L ndp
   # Nemesis smoke: 30 crash-recovery cycles on a pinned seed, every recovery
   # verified against the model oracle. A failure prints the seed and dumps a
   # trace replayable with --replay.
   echo "==== ${name}: nemesis smoke (30 cycles) ===="
   "${dir}/tools/kvaccel_nemesis" --cycles=30 --nemesis_seed=1317456661 \
+    --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
+  # NDP nemesis smoke: every compaction forced through the device COMPACT
+  # path, the first cycles armed at each crash.ndp.* kill point in turn, and
+  # transient COMPACT rejections mixed in; every recovery must still match
+  # the model oracle.
+  echo "==== ${name}: NDP nemesis smoke (12 cycles) ===="
+  "${dir}/tools/kvaccel_nemesis" --ndp --cycles=12 --nemesis_seed=7 \
     --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
   # Two-node HA nemesis smokes on pinned seeds, both ack modes: each cycle
   # kills the primary at one registered crash site (12 cycles round-robins
@@ -200,6 +213,46 @@ print(f"HA sync A/B: {k_one:.1f} -> {k_ha:.1f} kops "
       f"failover {fo['promote_ms']:.1f} ms, "
       f"{fo['drained_entries']} mirror entries drained")
 EOF
+  # NDP A/B: --ndp=off vs --ndp=auto on the same seed/scale, 20 s so several
+  # compaction waves land inside the window. Deterministic hard gates: the
+  # planner must actually offload, host CPU% must be strictly lower, and
+  # efficiency and throughput must be no worse — offloading compaction can
+  # only help the foreground. A same-seed auto rerun must be byte-identical.
+  echo "==== bench smoke: NDP A/B (--ndp=off vs --ndp=auto) ===="
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=20 --scale=0.0625 --ndp=off \
+    --json_out="${out_dir}/smoke_ndp_off.json" > /dev/null
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=20 --scale=0.0625 --ndp=auto \
+    --json_out="${out_dir}/smoke_ndp_auto.json" > /dev/null
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=20 --scale=0.0625 --ndp=auto \
+    --json_out="${out_dir}/smoke_ndp_auto_rerun.json" > /dev/null
+  cmp "${out_dir}/smoke_ndp_auto.json" "${out_dir}/smoke_ndp_auto_rerun.json" \
+    || { echo "--ndp=auto bench is nondeterministic across same-seed runs"; exit 1; }
+  python3 - "${out_dir}/smoke_ndp_off.json" "${out_dir}/smoke_ndp_auto.json" <<'EOF'
+import json, sys
+off = json.load(open(sys.argv[1]))["runs"][0]
+auto = json.load(open(sys.argv[2]))["runs"][0]
+ndp = auto["ndp"]
+assert ndp["mode"] == "auto", "smoke must run the auto planner"
+assert ndp["compactions"] > 0, "--ndp=auto never completed a device compaction"
+s_off, s_auto = off["summary"], auto["summary"]
+assert s_auto["cpu_pct"] < s_off["cpu_pct"], (
+    f"host CPU not strictly lower: auto {s_auto['cpu_pct']}% "
+    f"vs off {s_off['cpu_pct']}%")
+assert s_auto["efficiency"] >= s_off["efficiency"], (
+    f"efficiency regressed: auto {s_auto['efficiency']} "
+    f"vs off {s_off['efficiency']}")
+assert s_auto["write_kops"] >= s_off["write_kops"], (
+    f"throughput regressed: auto {s_auto['write_kops']} kops "
+    f"vs off {s_off['write_kops']} kops")
+print(f"NDP A/B: cpu {s_off['cpu_pct']:.2f}% -> {s_auto['cpu_pct']:.2f}%, "
+      f"efficiency {s_off['efficiency']:.2f} -> {s_auto['efficiency']:.2f}, "
+      f"{s_off['write_kops']:.1f} -> {s_auto['write_kops']:.1f} kops, "
+      f"{ndp['compactions']} device compactions "
+      f"({ndp['mb_written']:.1f} MB written device-side)")
+EOF
   python3 tools/merge_smoke.py BENCH_smoke.json \
     "${out_dir}/smoke_rocksdb.json" "${out_dir}/smoke_adoc.json" \
     "${out_dir}/smoke_kvaccel.json" \
@@ -207,7 +260,8 @@ EOF
     "rocksdb4-sub=${out_dir}/smoke_sub4.json" \
     "kvaccel-shards1=${out_dir}/smoke_shards1.json" \
     "kvaccel-shards4=${out_dir}/smoke_shards4.json" \
-    "kvaccel-ha-sync=${out_dir}/smoke_ha_sync.json"
+    "kvaccel-ha-sync=${out_dir}/smoke_ha_sync.json" \
+    "kvaccel-ndp=${out_dir}/smoke_ndp_auto.json"
 }
 
 mode="${1:-all}"

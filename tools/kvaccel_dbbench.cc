@@ -50,6 +50,12 @@
 //                      (default global)
 //   --arbiter_share=F  fair-share bandwidth arbiter serving rate as a
 //                      fraction of NAND bandwidth in [0, 1]; 0 disables
+//   --ndp=off|auto|force  KVACCEL only: device-offloaded compaction
+//                      (DESIGN.md §13). auto = placement planner chooses
+//                      host vs device per job; force = every job offloads
+//                      (default off)
+//   --ndp_cores=N      dedicated NDP cores on the device (0 = share the
+//                      firmware core; default 2)
 //   --ha               KVACCEL only (shards=1): open a two-node replicated
 //                      pair (DESIGN.md §12); after the window the primary is
 //                      "lost" and the backup's promotion is measured into
@@ -106,6 +112,7 @@ void Usage() {
           "  [--nand_mbps=F] [--shards=N] [--tenants=N]\n"
           "  [--shard_partition=hash|range]\n"
           "  [--redirect_policy=global|per_shard] [--arbiter_share=F]\n"
+          "  [--ndp=off|auto|force] [--ndp_cores=N]\n"
           "  [--ha] [--repl_ack=sync|async] [--net_mbps=F]\n"
           "  [--net_latency_us=F] [--list_fault_sites]\n");
 }
@@ -239,6 +246,20 @@ int main(int argc, char** argv) {
         fprintf(stderr, "--arbiter_share must be in [0, 1]\n");
         return 2;
       }
+    } else if (FlagEq(argv[i], "--ndp", &v)) {
+      if (strcmp(v, "off") == 0) {
+        config.sut.ndp_mode = ndp::OffloadMode::kOff;
+      } else if (strcmp(v, "auto") == 0) {
+        config.sut.ndp_mode = ndp::OffloadMode::kAuto;
+      } else if (strcmp(v, "force") == 0) {
+        config.sut.ndp_mode = ndp::OffloadMode::kForce;
+      } else {
+        fprintf(stderr, "--ndp must be off, auto or force, got %s\n", v);
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--ndp_cores", &v)) {
+      config.sut.ndp_cores =
+          static_cast<int>(ParseFlagInt(v, "--ndp_cores"));
     } else if (strcmp(argv[i], "--ha") == 0) {
       config.sut.ha = true;
     } else if (FlagEq(argv[i], "--repl_ack", &v)) {
@@ -282,6 +303,11 @@ int main(int argc, char** argv) {
       fprintf(stderr, "--ha requires --shards=1\n");
       return 2;
     }
+  }
+  if (config.sut.ndp_mode != ndp::OffloadMode::kOff &&
+      config.sut.kind != SystemKind::kKvaccel) {
+    fprintf(stderr, "--ndp requires --system=kvaccel\n");
+    return 2;
   }
 
   RunResult r = RunBenchmark(config);
@@ -329,6 +355,17 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(r.redirected_batches),
            static_cast<unsigned long long>(r.rollbacks),
            static_cast<unsigned long long>(r.detector_checks));
+  }
+  if (r.ndp_mode >= 0) {
+    printf("ndp offload       : %s mode, %llu device compactions "
+           "(%.1f MB written), %llu fallbacks, planner %llu device / "
+           "%llu host jobs\n",
+           r.ndp_mode == 1 ? "force" : "auto",
+           static_cast<unsigned long long>(r.ndp_compactions),
+           r.ndp_mb_written,
+           static_cast<unsigned long long>(r.ndp_fallbacks),
+           static_cast<unsigned long long>(r.ndp_planner_device_jobs),
+           static_cast<unsigned long long>(r.ndp_planner_host_jobs));
   }
   if (r.ha_repl_ack >= 0) {
     printf("ha replication    : %s acks, %llu wal records + %llu intent "

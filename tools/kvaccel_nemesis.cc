@@ -24,6 +24,10 @@
 //                       the oracle, wipes the dead node and swaps roles
 //   --repl_ack=MODE     sync (default: every acked write must survive
 //                       failover) or async (bounded, reported loss tail)
+//   --ndp               force every compaction through the device COMPACT
+//                       path and arm the crash.ndp.* kill points (the first
+//                       cycles rotate through all of them) plus transient
+//                       COMPACT rejections (DESIGN.md §13)
 //   --list_fault_sites  print every registered fault/crash site and exit
 //   --trace_dump_dir=D  dump the op trace here on divergence
 //   --replay=FILE       load the schedule from a dumped trace's header
@@ -49,7 +53,7 @@ void Usage() {
   fprintf(stderr,
           "usage: kvaccel_nemesis [--nemesis_seed=N] [--cycles=N]\n"
           "  [--ops_per_cycle=N] [--key_space=N] [--value_size=N]\n"
-          "  [--shards=N] [--ha] [--repl_ack=sync|async]\n"
+          "  [--shards=N] [--ha] [--repl_ack=sync|async] [--ndp]\n"
           "  [--list_fault_sites] [--trace_dump_dir=DIR]\n"
           "  [--replay=TRACE_FILE]\n");
 }
@@ -80,6 +84,8 @@ int main(int argc, char** argv) {
           static_cast<int>(ParseFlagInt(arg + 9, "--shards", /*min_value=*/1));
     } else if (strcmp(arg, "--ha") == 0) {
       opts.ha = true;
+    } else if (strcmp(arg, "--ndp") == 0) {
+      opts.ndp = true;
     } else if (strncmp(arg, "--repl_ack=", 11) == 0) {
       const char* mode = arg + 11;
       if (strcmp(mode, "sync") == 0) {
@@ -120,11 +126,11 @@ int main(int argc, char** argv) {
   opts.trace_dump_dir = trace_dump_dir;
 
   printf("nemesis: seed=%llu cycles=%d ops_per_cycle=%d key_space=%llu "
-         "value_size=%u shards=%d ha=%d repl_ack=%s\n",
+         "value_size=%u shards=%d ha=%d repl_ack=%s ndp=%d\n",
          static_cast<unsigned long long>(opts.seed), opts.cycles,
          opts.ops_per_cycle, static_cast<unsigned long long>(opts.key_space),
          opts.value_size, opts.shards, opts.ha ? 1 : 0,
-         opts.repl_ack == 1 ? "async" : "sync");
+         opts.repl_ack == 1 ? "async" : "sync", opts.ndp ? 1 : 0);
 
   check::NemesisResult r = check::RunNemesis(opts);
   printf("cycles=%d crashes=%d ops=%llu\n", r.cycles_run, r.crashes,

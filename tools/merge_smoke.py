@@ -41,6 +41,8 @@ def main():
                 "stalled_seconds": s["stalled_seconds"],
                 "stall_events": s["stall_events"],
                 "put_p99_us": s["put_p99_us"],
+                "cpu_pct": s["cpu_pct"],
+                "efficiency": s["efficiency"],
                 "compactions": s["compactions"],
                 "split_compactions": s["split_compactions"],
                 "subcompactions": s["subcompactions"],
@@ -75,6 +77,19 @@ def main():
                     "lost_entries": ha["lost_entries"],
                     "sync_ship_ms": ha["sync_ship_ms"],
                     "failover": ha["failover"],
+                }
+            # NDP runs carry the offloaded-compaction + planner signals
+            # (absent when no NDP engine was attached).
+            if run.get("ndp"):
+                ndp = run["ndp"]
+                entry["ndp"] = {
+                    "mode": ndp["mode"],
+                    "compactions": ndp["compactions"],
+                    "mb_written": ndp["mb_written"],
+                    "fallbacks": ndp["fallbacks"],
+                    "planner_device_jobs": ndp["planner_device_jobs"],
+                    "planner_host_jobs": ndp["planner_host_jobs"],
+                    "cpu_busy_seconds": ndp["cpu_busy_seconds"],
                 }
             merged["systems"][label or run["name"]] = entry
         merged.setdefault("config", report.get("config"))
