@@ -314,7 +314,7 @@ CheckReport DbChecker::Check() {
   // strands a partially flushed SST; recovery simply never references it).
   for (const std::string& name : denv_.fs->GetChildren()) {
     if (name == "CURRENT" || name == "CURRENT.tmp" || name == "KVX_INDEX" ||
-        name == st.manifest_name) {
+        name == "FENCE" || name == "FENCE.tmp" || name == st.manifest_name) {
       continue;
     }
     if (EndsWith(name, ".bad")) {
@@ -342,7 +342,7 @@ CheckReport DbChecker::Check() {
 
 // ---------------- Repair ----------------
 
-Status DbChecker::Repair(CheckReport* report) {
+Status DbChecker::Repair(CheckReport* report, uint64_t max_valid_seq) {
   std::vector<std::pair<uint64_t, std::string>> ssts, logs;
   std::vector<std::string> manifests;
   uint64_t max_number = 0;
@@ -371,7 +371,17 @@ Status DbChecker::Repair(CheckReport* report) {
     auto meta = std::make_shared<lsm::FileMetaData>();
     meta->number = number;
     Status s = VerifySst(name, number, meta.get());
-    if (s.ok() && meta->num_entries > 0) {
+    if (s.ok() && meta->num_entries > 0 && meta->max_seq > max_valid_seq) {
+      // Diverged tail: entries above the fencing frontier were never acked
+      // anywhere, so the whole file is quarantined (resync restores any
+      // acked keys it straddled from the serving node).
+      Status rs = denv_.fs->RenameFile(name, name + ".bad");
+      if (!rs.ok()) return rs;
+      report->actions.push_back("quarantined " + name +
+                                ": diverged tail (max_seq " +
+                                U64(meta->max_seq) + " > frontier " +
+                                U64(max_valid_seq) + ")");
+    } else if (s.ok() && meta->num_entries > 0) {
       last_sequence = std::max(last_sequence, meta->max_seq);
       good.push_back(std::move(meta));
       report->actions.push_back("kept SST " + name);
@@ -396,10 +406,20 @@ Status DbChecker::Repair(CheckReport* report) {
     std::string payload;
     Status rs = Status::OK();
     bool cut = false;
+    bool frontier_cut = false;
     while (reader.ReadRecord(&payload, &rs)) {
       lsm::WriteBatch batch;
       if (!lsm::WriteBatch::ParseFrom(payload, &batch).ok()) {
         cut = true;  // framing survived but the payload is damaged
+        break;
+      }
+      if (batch.Count() > 0 &&
+          batch.Sequence() + batch.Count() - 1 > max_valid_seq) {
+        // First batch past the fencing frontier: this and everything after
+        // it is the diverged tail a partitioned primary WAL-appended but
+        // never got acked — drop it so recovery cannot resurrect it.
+        cut = true;
+        frontier_cut = true;
         break;
       }
       valid.push_back(payload);
@@ -418,8 +438,11 @@ Status DbChecker::Repair(CheckReport* report) {
       if (!s.ok()) return s;
       s = writer.Close();
       if (!s.ok()) return s;
-      report->actions.push_back("salvaged " + U64(valid.size()) +
-                                " record(s) of " + name);
+      report->actions.push_back(
+          "salvaged " + U64(valid.size()) + " record(s) of " + name +
+          (frontier_cut ? " (diverged tail cut at frontier " +
+                              U64(max_valid_seq) + ")"
+                        : ""));
     }
     if (log_number == 0 || number < log_number) log_number = number;
   }

@@ -84,7 +84,13 @@ class DbChecker {
 
   // Offline repair (see file comment). Also must run on a simulated thread
   // against a closed DB. Reports actions into `report`.
-  Status Repair(CheckReport* report);
+  //
+  // `max_valid_seq` is the fencing frontier for partition reconciliation
+  // (DESIGN.md §12): entries above it were never acknowledged anywhere (the
+  // deposed primary's diverged tail), so any SST whose max_seq exceeds it is
+  // quarantined and each WAL is additionally cut at the first batch that
+  // crosses it. UINT64_MAX (the default) disables frontier enforcement.
+  Status Repair(CheckReport* report, uint64_t max_valid_seq = UINT64_MAX);
 
   // Live dual-interface invariant: every Metadata Manager entry resolvable
   // in the Dev-LSM at the recorded sequence, no key authoritative in both

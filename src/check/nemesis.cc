@@ -707,9 +707,792 @@ NemesisResult RunNemesisHa(const NemesisOptions& opt) {
   return result;
 }
 
+// Partition nemesis (DESIGN.md §12): rotates four partition scenarios over
+// the HA pair instead of crash sites, always under sync acks. Kinds by
+// cycle % 4:
+//   0  symmetric partition -> lease lapse -> self-fence -> promote under a
+//      bumped epoch -> heal -> stale-epoch depose -> RejoinNode -> re-pair
+//   1  asymmetric (ack-loss) partition: doomed writes APPLY on the backup
+//      but are never acked (the split-brain trap), then the cut goes full
+//      and the same failover/reconcile flow runs
+//   2  brief partition healed before the lease lapses: no promotion, the
+//      pair carries on, the applied watermark must not regress
+//   3  flapping link: delay spikes, duplicates and transient drops under
+//      live traffic; the pair must neither fence permanently nor diverge
+// Both nodes are held to the model oracle: the serving node by direct sweep
+// and iterator walk, the rejoined node first by RejoinNode's byte-identical
+// convergence proof and then — after re-pairing — by a sweep of the fresh
+// backup.
+NemesisResult RunNemesisHaPartition(const NemesisOptions& opt) {
+  NemesisResult result;
+  std::ostringstream trace;
+  const bool delta = opt.resync_mode != 0;
+  trace << "nemesis-trace-v1 seed=" << opt.seed << " cycles=" << opt.cycles
+        << " ops_per_cycle=" << opt.ops_per_cycle
+        << " key_space=" << opt.key_space << " value_size=" << opt.value_size
+        << " corrupt_model_at_cycle=" << opt.corrupt_model_at_cycle
+        << " shards=1 ha=1 repl_ack=0 net_partition=1 resync_mode="
+        << (delta ? 1 : 0) << "\n";
+
+  sim::SimEnv env;
+  ssd::SsdConfig ssd_config;
+  ssd_config.capacity_bytes = 2ull << 30;
+  ssd_config.num_namespaces = 1;
+  ssd::HybridSsd ssd_a(&env, ssd_config);
+  ssd::HybridSsd ssd_b(&env, ssd_config);
+  sim::CpuPool cpu_a(&env, "host-a", 8);
+  sim::CpuPool cpu_b(&env, "host-b", 8);
+  sim::FaultInjector inj(&env, opt.seed);
+  env.set_fault_injector(&inj);
+
+  struct Node {
+    ssd::HybridSsd* ssd = nullptr;
+    sim::CpuPool* cpu = nullptr;
+    std::unique_ptr<fs::SimFs> fs;
+    std::unique_ptr<devlsm::DevLsm> dev;
+  };
+  Node nodes[2];
+  nodes[0].ssd = &ssd_a;
+  nodes[0].cpu = &cpu_a;
+  nodes[1].ssd = &ssd_b;
+  nodes[1].cpu = &cpu_b;
+  for (auto& n : nodes) {
+    n.fs = std::make_unique<fs::SimFs>(n.ssd, 0);
+    n.dev = std::make_unique<devlsm::DevLsm>(n.ssd, 0,
+                                             NemesisKvOptions(nullptr).dev);
+  }
+
+  env.Spawn("nemesis-ha-partition", [&] {
+    Random64 rng(opt.seed);
+    lsm::DbOptions db_opts = NemesisDbOptions();
+    core::KvaccelOptions kv_opts = NemesisKvOptions(nullptr);
+    kv_opts.external_dev = nullptr;  // per-node devs attach via ReplNode
+    core::ReplOptions repl_opts;    // sync acks: partitions must never lose
+    repl_opts.ack = core::ReplAck::kSync;
+
+    int pri = 0;  // nodes[pri] is the current primary
+    auto repl_node = [&](int i) {
+      core::ReplNode rn;
+      rn.ssd = nodes[i].ssd;
+      rn.fs = nodes[i].fs.get();
+      rn.host_cpu = nodes[i].cpu;
+      rn.dev = nodes[i].dev.get();
+      return rn;
+    };
+
+    std::unique_ptr<core::ReplicatedKvaccelDB> pair;
+    std::unique_ptr<core::KvaccelDB> promoted;
+    Status s = core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, repl_opts,
+                                               repl_node(pri),
+                                               repl_node(1 - pri), &env, &pair);
+    if (!s.ok()) {
+      result.ok = false;
+      result.error = "initial pair open failed: " + s.ToString();
+      trace << "DIVERGENCE: " << result.error << "\n";
+      return;
+    }
+
+    ModelDb model;
+    uint64_t next_seed = 1;
+    std::map<std::string, Ambiguous> ambiguous;
+
+    auto diverge = [&](const std::string& what) {
+      result.ok = false;
+      if (result.error.empty()) result.error = what;
+      trace << "DIVERGENCE: " << what << "\n";
+    };
+    auto note_pre = [&](const std::string& key, Ambiguous* a) {
+      a->had_pre = model.Get(key, &a->pre);
+    };
+
+    // Seeded op mix against whichever node currently serves. `faulty` cycles
+    // (the flapping link) may see write errors: a failed sync ship leaves
+    // the entry in the WAL but not the memtable, so the key reads as its
+    // pre-state until a later reopen — it goes into `ambiguous` and the
+    // end-of-cycle sweep adopts whichever state recovered. Fault-free phases
+    // treat any op error as a divergence.
+    struct OpsTarget {
+      std::function<Status(const std::string&, const Value&)> put;
+      std::function<Status(const std::string&)> del;
+      std::function<Status(lsm::WriteBatch*)> write;
+      std::function<Status(const std::string&, Value*)> get;
+      std::function<std::unique_ptr<lsm::Iterator>()> newit;
+      std::function<Status()> rollback;
+    };
+    auto run_ops = [&](const OpsTarget& t, int n, bool faulty, int cycle) {
+      for (int op = 0; op < n && result.ok; op++) {
+        result.ops_executed++;
+        uint64_t draw = rng.Uniform(100);
+        if (draw < 50) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          uint64_t seed = next_seed++;
+          Value value = Value::Synthetic(seed, opt.value_size);
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post = value;
+          Status ps = t.put(key, value);
+          trace << "op=" << op << " put k=" << key << " s=" << seed << " -> "
+                << (ps.ok() ? "ok" : "err") << "\n";
+          if (ps.ok()) {
+            model.Put(key, value);
+            ambiguous.erase(key);
+          } else if (faulty) {
+            ambiguous[key] = a;
+          } else {
+            diverge("cycle " + U64(cycle) + " fault-free put " + key +
+                    " failed: " + ps.ToString());
+          }
+        } else if (draw < 60) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post_is_delete = true;
+          Status ds = t.del(key);
+          trace << "op=" << op << " del k=" << key << " -> "
+                << (ds.ok() ? "ok" : "err") << "\n";
+          if (ds.ok()) {
+            model.Delete(key);
+            ambiguous.erase(key);
+          } else if (faulty) {
+            ambiguous[key] = a;
+          } else {
+            diverge("cycle " + U64(cycle) + " fault-free del " + key +
+                    " failed: " + ds.ToString());
+          }
+        } else if (draw < 70) {
+          int n_entries = 2 + static_cast<int>(rng.Uniform(7));
+          lsm::WriteBatch batch;
+          std::map<std::string, Ambiguous> batch_amb;
+          trace << "op=" << op << " batch n=" << n_entries;
+          for (int e = 0; e < n_entries; e++) {
+            std::string key = NemKey(rng.Uniform(opt.key_space));
+            Ambiguous a;
+            note_pre(key, &a);
+            if (rng.Uniform(5) == 0) {
+              a.post_is_delete = true;
+              batch.Delete(key);
+              trace << " del:" << key;
+            } else {
+              uint64_t seed = next_seed++;
+              a.post = Value::Synthetic(seed, opt.value_size);
+              batch.Put(key, a.post);
+              trace << " put:" << key << ":" << seed;
+            }
+            batch_amb[key] = a;
+          }
+          Status bs = t.write(&batch);
+          trace << " -> " << (bs.ok() ? "ok" : "err") << "\n";
+          if (bs.ok()) {
+            (void)batch.ForEach([&](lsm::ValueType type, const Slice& key,
+                                    const Value& value) {
+              if (type == lsm::ValueType::kValue) {
+                model.Put(key.ToString(), value);
+              } else {
+                model.Delete(key.ToString());
+              }
+              ambiguous.erase(key.ToString());
+            });
+          } else if (faulty) {
+            for (auto& [key, a] : batch_amb) ambiguous[key] = a;
+          } else {
+            diverge("cycle " + U64(cycle) + " fault-free batch failed: " +
+                    bs.ToString());
+          }
+        } else if (draw < 85) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Value got, want;
+          bool want_present = model.Get(key, &want);
+          Status gs = t.get(key, &got);
+          trace << "op=" << op << " get k=" << key << " -> "
+                << (gs.ok() ? "hit" : gs.IsNotFound() ? "miss" : "err")
+                << "\n";
+          if (!gs.ok() && !gs.IsNotFound()) {
+            diverge("cycle " + U64(cycle) + " get " + key +
+                    " errored: " + gs.ToString());
+            break;
+          }
+          if (ambiguous.count(key) != 0) continue;  // resolved by the sweep
+          if (gs.ok()) {
+            if (!want_present) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": present but model says deleted/absent");
+            } else if (got != want) {
+              diverge("cycle " + U64(cycle) + " get " + key +
+                      ": value mismatch (got seed " + U64(got.seed()) +
+                      ", want seed " + U64(want.seed()) + ")");
+            }
+          } else if (want_present) {
+            diverge("cycle " + U64(cycle) + " get " + key +
+                    ": NotFound but model holds seed " + U64(want.seed()));
+          }
+        } else if (draw < 95) {
+          std::string start = NemKey(rng.Uniform(opt.key_space));
+          auto it = t.newit();
+          it->Seek(start);
+          if (faulty || !ambiguous.empty()) {
+            // Keys with in-flight ambiguity make exact scan comparison
+            // unsound; walk for the I/O but verify via gets and the sweep.
+            int walked = 0;
+            for (int e = 0; e < 10 && it->Valid(); e++, it->Next()) walked++;
+            trace << "op=" << op << " scan k=" << start << " n=" << walked
+                  << " -> unverified\n";
+            continue;
+          }
+          auto mit = model.live().lower_bound(start);
+          int matched = 0;
+          bool scan_ok = true;
+          for (int e = 0; e < 10; e++) {
+            if (mit == model.live().end()) {
+              if (it->Valid()) scan_ok = false;
+              break;
+            }
+            if (!it->Valid() || it->key().ToString() != mit->first ||
+                Value::DecodeOrDie(it->value()) != mit->second.value) {
+              scan_ok = false;
+              break;
+            }
+            matched++;
+            it->Next();
+            ++mit;
+          }
+          trace << "op=" << op << " scan k=" << start << " n=" << matched
+                << " -> " << (scan_ok ? "ok" : "mismatch") << "\n";
+          if (!scan_ok) {
+            diverge("cycle " + U64(cycle) + " scan from " + start +
+                    " diverged after " + U64(matched) + " entries");
+          }
+        } else {
+          Status rs = t.rollback();
+          trace << "op=" << op << " rollback -> " << (rs.ok() ? "ok" : "err")
+                << "\n";
+          if (!rs.ok() && !faulty) {
+            diverge("cycle " + U64(cycle) +
+                    " fault-free rollback failed: " + rs.ToString());
+          }
+        }
+      }
+    };
+    auto pair_target = [&]() {
+      OpsTarget t;
+      t.put = [&](const std::string& k, const Value& v) {
+        return pair->Put({}, k, v);
+      };
+      t.del = [&](const std::string& k) { return pair->Delete({}, k); };
+      t.write = [&](lsm::WriteBatch* b) { return pair->Write({}, b); };
+      t.get = [&](const std::string& k, Value* v) {
+        return pair->Get({}, k, v);
+      };
+      t.newit = [&]() { return pair->NewIterator({}); };
+      t.rollback = [&]() { return pair->RollbackNow(); };
+      return t;
+    };
+    auto db_target = [&](core::KvaccelDB* db) {
+      OpsTarget t;
+      t.put = [db](const std::string& k, const Value& v) {
+        return db->Put({}, k, v);
+      };
+      t.del = [db](const std::string& k) { return db->Delete({}, k); };
+      t.write = [db](lsm::WriteBatch* b) { return db->Write({}, b); };
+      t.get = [db](const std::string& k, Value* v) {
+        return db->Get({}, k, v);
+      };
+      t.newit = [db]() { return db->NewIterator({}); };
+      t.rollback = [db]() { return db->RollbackNow(); };
+      return t;
+    };
+
+    // Full-keyspace sweep: resolves `ambiguous` keys by adopting whichever
+    // legal state recovered (pre or post), verifies everything else exactly,
+    // then walks the iterator against the (now exact) model.
+    auto sweep_and_walk = [&](const OpsTarget& t, int cycle,
+                              const char* who) {
+      if (cycle == opt.corrupt_model_at_cycle) {
+        std::string key = model.size() > 0 ? model.live().begin()->first
+                                           : NemKey(0);
+        model.Put(key, Value::Synthetic(0xDEADBEEF, opt.value_size));
+        ambiguous.erase(key);
+        trace << "inject-model-corruption k=" << key << "\n";
+      }
+      for (uint64_t k = 0; k < opt.key_space && result.ok; k++) {
+        std::string key = NemKey(k);
+        Value got;
+        Status gs = t.get(key, &got);
+        if (!gs.ok() && !gs.IsNotFound()) {
+          diverge("cycle " + U64(cycle) + " " + who + " get " + key +
+                  " failed: " + gs.ToString());
+          break;
+        }
+        auto amb = ambiguous.find(key);
+        if (amb != ambiguous.end()) {
+          const Ambiguous& a = amb->second;
+          if (gs.ok()) {
+            if (!a.post_is_delete && got == a.post) {
+              model.Put(key, a.post);
+            } else if (a.had_pre && got == a.pre) {
+              // pre-state: model already holds it
+            } else {
+              diverge("cycle " + U64(cycle) + " " + who + " ambiguous key " +
+                      key + " recovered to alien value (seed " +
+                      U64(got.seed()) + ")");
+            }
+          } else {
+            if (a.post_is_delete) {
+              model.Delete(key);
+            } else if (!a.had_pre) {
+              // pre-state: never existed
+            } else {
+              diverge("cycle " + U64(cycle) + " " + who + " ambiguous key " +
+                      key + " lost both pre and post state");
+            }
+          }
+          continue;
+        }
+        Value want;
+        if (model.Get(key, &want)) {
+          if (gs.IsNotFound()) {
+            diverge("cycle " + U64(cycle) + " " + who + " acked key " + key +
+                    " lost (model seed " + U64(want.seed()) + ")");
+          } else if (got != want) {
+            diverge("cycle " + U64(cycle) + " " + who + " key " + key +
+                    " holds wrong value (got seed " + U64(got.seed()) +
+                    ", want seed " + U64(want.seed()) + ")");
+          }
+        } else if (gs.ok()) {
+          diverge("cycle " + U64(cycle) + " " + who +
+                  " deleted/absent key " + key + " resurrected (seed " +
+                  U64(got.seed()) + ")");
+        }
+      }
+      ambiguous.clear();
+      if (!result.ok) return;
+      auto it = t.newit();
+      it->SeekToFirst();
+      auto mit = model.live().begin();
+      uint64_t pos = 0;
+      while (result.ok) {
+        if (mit == model.live().end()) {
+          if (it->Valid()) {
+            diverge("cycle " + U64(cycle) + " " + who +
+                    " iterator has extra key " + it->key().ToString() +
+                    " past model end");
+          }
+          break;
+        }
+        if (!it->Valid()) {
+          diverge("cycle " + U64(cycle) + " " + who +
+                  " iterator ended at entry " + U64(pos) +
+                  ", model still holds " + mit->first);
+          break;
+        }
+        if (it->key().ToString() != mit->first) {
+          diverge("cycle " + U64(cycle) + " " + who + " iterator order: got " +
+                  it->key().ToString() + ", want " + mit->first);
+          break;
+        }
+        if (Value::DecodeOrDie(it->value()) != mit->second.value) {
+          diverge("cycle " + U64(cycle) + " " + who +
+                  " iterator value mismatch at " + mit->first);
+          break;
+        }
+        it->Next();
+        ++mit;
+        pos++;
+      }
+      if (result.ok && !it->status().ok()) {
+        diverge("cycle " + U64(cycle) + " " + who +
+                " iterator error: " + it->status().ToString());
+      }
+    };
+
+    const Nanos fence_wait = 2 * repl_opts.lease_duration +
+                             2 * repl_opts.promote_safety_margin;
+
+    for (int cycle = 0; cycle < opt.cycles && result.ok; cycle++) {
+      const int kind = cycle % 4;
+      static const char* kKindName[] = {"sym", "ack", "blip", "flap"};
+      trace << "cycle=" << cycle << " kind=" << kKindName[kind] << "\n";
+
+      // Phase A: fault-free traffic on the healthy pair.
+      run_ops(pair_target(), opt.ops_per_cycle / 2, /*faulty=*/false, cycle);
+      if (!result.ok) break;
+
+      if (kind == 3) {
+        // Flapping link: spikes, duplicates and transient drops under live
+        // traffic. Duplicates must be idempotent (exact-sequence apply) and
+        // a transient ship failure must fail the write cleanly; the pair
+        // must come out neither deposed nor permanently fenced.
+        sim::FaultRule delay;
+        delay.probability = 0.10;
+        inj.Arm("net.delay", delay);
+        sim::FaultRule dup;
+        dup.probability = 0.05;
+        inj.Arm("net.dup", dup);
+        sim::FaultRule drop;
+        drop.probability = 0.05;
+        inj.Arm("net.send.transient", drop);
+        run_ops(pair_target(), opt.ops_per_cycle, /*faulty=*/true, cycle);
+        inj.Disarm("net.delay");
+        inj.Disarm("net.dup");
+        inj.Disarm("net.send.transient");
+        if (!result.ok) break;
+        if (pair->deposed()) {
+          diverge("cycle " + U64(cycle) + " flapping link deposed the pair");
+          break;
+        }
+        // Let heartbeats renew any transiently-lapsed lease before probing.
+        env.SleepFor(2 * repl_opts.heartbeat_period);
+        // Heal probe: with the link quiet again this write must land, which
+        // also proves the lease recovered from any transient lapse.
+        std::string pk = NemKey(rng.Uniform(opt.key_space));
+        Value pv = Value::Synthetic(next_seed++, opt.value_size);
+        Status hs = pair->Put({}, pk, pv);
+        trace << "heal probe k=" << pk << " -> " << (hs.ok() ? "ok" : "err")
+              << "\n";
+        if (!hs.ok()) {
+          diverge("cycle " + U64(cycle) +
+                  " healed pair refused a write: " + hs.ToString());
+          break;
+        }
+        model.Put(pk, pv);
+        ambiguous.erase(pk);
+        sweep_and_walk(pair_target(), cycle, "pair");
+        if (!result.ok) break;
+        trace << "recover cycle=" << cycle << " live=" << model.size()
+              << "\n";
+        result.cycles_run++;
+        continue;
+      }
+
+      if (kind == 2) {
+        // Brief partition healed before the lease lapses: no promotion, no
+        // fencing, and the applied watermark must be monotone through it.
+        const uint64_t applied_before = pair->applied_seq();
+        sim::FaultRule cut;
+        cut.probability = 1.0;
+        inj.Arm("net.partition.sym", cut);
+        result.partitions++;
+        trace << "partition cycle=" << cycle << " type=blip\n";
+        for (int i = 0; i < 4 && result.ok; i++) {
+          std::string key = NemKey(rng.Uniform(opt.key_space));
+          Ambiguous a;
+          note_pre(key, &a);
+          a.post = Value::Synthetic(next_seed++, opt.value_size);
+          Status ps = pair->Put({}, key, a.post);
+          trace << "doomed put k=" << key << " -> "
+                << (ps.ok() ? "ok" : "err") << "\n";
+          if (ps.ok()) {
+            diverge("cycle " + U64(cycle) +
+                    " write acked across a symmetric partition");
+            break;
+          }
+          // Failed sync ship: WAL holds it, memtable does not — the key
+          // reads as pre-state until a reopen; a later rejoin repairs the
+          // stale tail. The model keeps pre.
+          ambiguous[key] = a;
+        }
+        inj.Disarm("net.partition.sym");
+        if (!result.ok) break;
+        // Heal: heartbeats renew the lease and traffic resumes.
+        env.SleepFor(2 * repl_opts.heartbeat_period);
+        run_ops(pair_target(), opt.ops_per_cycle / 2, /*faulty=*/false,
+                cycle);
+        if (!result.ok) break;
+        if (pair->deposed()) {
+          diverge("cycle " + U64(cycle) + " healed blip deposed the pair");
+          break;
+        }
+        if (pair->applied_seq() < applied_before) {
+          diverge("cycle " + U64(cycle) + " applied watermark regressed: " +
+                  U64(pair->applied_seq()) + " < " + U64(applied_before));
+          break;
+        }
+        sweep_and_walk(pair_target(), cycle, "pair");
+        if (!result.ok) break;
+        trace << "recover cycle=" << cycle << " live=" << model.size()
+              << "\n";
+        result.cycles_run++;
+        continue;
+      }
+
+      // ---- kinds 0/1: full partition -> fence -> promote -> heal ->
+      //      reconcile -> re-pair with roles swapped ----
+      const bool sym = kind == 0;
+      sim::FaultRule cut;
+      cut.probability = 1.0;
+      inj.Arm(sym ? "net.partition.sym" : "net.partition.ack", cut);
+      result.partitions++;
+      trace << "partition cycle=" << cycle << " type="
+            << (sym ? "sym" : "ack") << "\n";
+
+      // Split-brain guard: detaching while the primary's lease may still be
+      // live MUST refuse — promoting now could ack a write on both sides.
+      Status ds = pair->DetachBackup();
+      if (!ds.IsBusy()) {
+        diverge("cycle " + U64(cycle) +
+                " DetachBackup under a live lease did not refuse (" +
+                ds.ToString() + ")");
+        break;
+      }
+
+      // Doomed writes into the partition. Symmetric: the record never
+      // reaches the backup (pre-state everywhere). Ack-loss: the record
+      // APPLIES on the backup but the ack is lost — the promoted node will
+      // serve the post-state even though the client saw an error. Either
+      // way the client write MUST fail: that is the no-dual-ack guarantee.
+      for (int i = 0; i < 8 && result.ok; i++) {
+        std::string key = NemKey(rng.Uniform(opt.key_space));
+        Ambiguous a;
+        note_pre(key, &a);
+        a.post = Value::Synthetic(next_seed++, opt.value_size);
+        Status ps = pair->Put({}, key, a.post);
+        trace << "doomed put k=" << key << " -> "
+              << (ps.ok() ? "ok" : "err") << "\n";
+        if (ps.ok()) {
+          diverge("cycle " + U64(cycle) + " write acked across a " +
+                  (sym ? std::string("symmetric") : std::string("ack")) +
+                  " partition");
+          break;
+        }
+        ambiguous[key] = a;
+      }
+      if (!result.ok) break;
+      if (!sym) {
+        // The one-way cut degrades to a full cut (heartbeats were still
+        // landing on the backup, which keeps the detach guard conservative);
+        // from here the backup's applied clock freezes and the lease lapses.
+        inj.Arm("net.partition.sym", cut);
+      }
+
+      // Lease lapse -> self-fence: no write may be acked by the partitioned
+      // primary from here on.
+      env.SleepFor(fence_wait);
+      if (!pair->fenced()) {
+        diverge("cycle " + U64(cycle) +
+                " lease did not lapse under a full partition");
+        break;
+      }
+      {
+        std::string key = NemKey(rng.Uniform(opt.key_space));
+        Status fs2 = pair->Put({}, key,
+                               Value::Synthetic(next_seed++, opt.value_size));
+        trace << "fenced probe k=" << key << " -> "
+              << (fs2.ok() ? "ok" : "rejected") << "\n";
+        if (fs2.ok()) {
+          diverge("cycle " + U64(cycle) + " fenced primary acked a write");
+          break;
+        }
+        if (!fs2.IsBusy()) {
+          diverge("cycle " + U64(cycle) +
+                  " fenced write failed with the wrong status: " +
+                  fs2.ToString());
+          break;
+        }
+      }
+
+      const uint64_t frontier = pair->applied_seq();
+      const uint64_t next_epoch = pair->epoch() + 1;
+
+      // The lease has verifiably lapsed: detach must now be allowed.
+      ds = pair->DetachBackup();
+      if (!ds.ok()) {
+        diverge("cycle " + U64(cycle) +
+                " DetachBackup after lease lapse refused: " + ds.ToString());
+        break;
+      }
+
+      check::FailoverReport frep;
+      s = check::PromoteNode(db_opts, kv_opts, repl_node(1 - pri), &env,
+                             &frep, &promoted, next_epoch);
+      if (!s.ok()) {
+        diverge("cycle " + U64(cycle) + " promote failed: " + s.ToString() +
+                (frep.first_error.empty() ? ""
+                                          : " (" + frep.first_error + ")"));
+        break;
+      }
+      result.failovers++;
+      result.ha_drained_entries += frep.drained_entries;
+      trace << "failover cycle=" << cycle << " epoch=" << frep.fence_epoch
+            << " drained=" << frep.drained_entries
+            << " repaired=" << (frep.repaired ? 1 : 0) << "\n";
+
+      // The promoted node against the oracle: doomed keys resolve to pre
+      // (symmetric) or post (ack-loss) and the model adopts reality.
+      sweep_and_walk(db_target(promoted.get()), cycle, "promoted");
+      if (!result.ok) break;
+
+      // Phase C: serve from the promoted node while the old primary is
+      // still partitioned; its writes must keep failing.
+      run_ops(db_target(promoted.get()), opt.ops_per_cycle / 4,
+              /*faulty=*/false, cycle);
+      if (!result.ok) break;
+      {
+        Status probe = pair->Put({}, NemKey(rng.Uniform(opt.key_space)),
+                                 Value::Synthetic(next_seed++,
+                                                  opt.value_size));
+        if (probe.ok()) {
+          diverge("cycle " + U64(cycle) +
+                  " partitioned old primary acked a write during phase C");
+          break;
+        }
+      }
+
+      // Heal. The old primary's next heartbeat finds the bumped durable
+      // epoch on the backup node and deposes itself permanently.
+      inj.Disarm("net.partition.sym");
+      if (!sym) inj.Disarm("net.partition.ack");
+      env.SleepFor(3 * repl_opts.heartbeat_period);
+      if (!pair->deposed()) {
+        diverge("cycle " + U64(cycle) +
+                " healed primary did not depose on the stale epoch");
+        break;
+      }
+      {
+        Status probe = pair->Put({}, NemKey(rng.Uniform(opt.key_space)),
+                                 Value::Synthetic(next_seed++,
+                                                  opt.value_size));
+        if (probe.ok()) {
+          diverge("cycle " + U64(cycle) + " deposed primary acked a write");
+          break;
+        }
+      }
+
+      core::ReplStats st = pair->repl_stats();
+      (void)pair->Close();
+      pair.reset();
+      result.ha_fenced_rejects += st.fenced_write_rejects;
+      if (st.lost_entries > 0) {
+        diverge("cycle " + U64(cycle) + " sync mode lost " +
+                U64(st.lost_entries) + " acked entries");
+        break;
+      }
+      if (st.fenced_records == 0) {
+        diverge("cycle " + U64(cycle) +
+                " no stale-epoch rejection recorded after heal");
+        break;
+      }
+      trace << "fence cycle=" << cycle
+            << " rejects=" << st.fenced_write_rejects
+            << " lease_expirations=" << st.lease_expirations
+            << " stale_epoch=" << st.fenced_records << "\n";
+
+      // Reconcile the deposed node against the promoted one and hold it to
+      // the byte-identical convergence proof inside RejoinNode.
+      RejoinOptions ro;
+      ro.mode = delta ? ResyncMode::kDelta : ResyncMode::kWalReplay;
+      ro.frontier = frontier;
+      ro.new_epoch = next_epoch;
+      RejoinReport rrep;
+      s = RejoinNode(db_opts, kv_opts, repl_node(pri), promoted.get(), ro,
+                     &env, &rrep);
+      if (!s.ok()) {
+        diverge("cycle " + U64(cycle) + " rejoin failed: " + s.ToString() +
+                (rrep.first_error.empty() ? ""
+                                          : " (" + rrep.first_error + ")"));
+        break;
+      }
+      result.rejoins++;
+      result.ha_resync_entries += rrep.resync_entries;
+      result.ha_resync_bytes += rrep.resync_bytes;
+      result.ha_write_path_bytes += rrep.write_path_bytes;
+      result.ha_wal_replay_bytes += rrep.wal_replay_bytes;
+      result.ha_quarantined_keys += rrep.quarantined_keys;
+      trace << "rejoin cycle=" << cycle << " mode="
+            << (delta ? "delta" : "wal") << " entries=" << rrep.resync_entries
+            << " bytes=" << rrep.resync_bytes
+            << " write_path=" << rrep.write_path_bytes
+            << " wal_replay=" << rrep.wal_replay_bytes
+            << " quarantined=" << rrep.quarantined_keys << "\n";
+      if (delta && rrep.write_path_bytes != 0) {
+        diverge("cycle " + U64(cycle) +
+                " delta resync pushed bytes through the write path");
+        break;
+      }
+      if (delta && rrep.resync_entries > 0 &&
+          rrep.write_path_bytes >= rrep.wal_replay_bytes) {
+        diverge("cycle " + U64(cycle) +
+                " delta resync moved no fewer write-path bytes than replay");
+        break;
+      }
+      if (!delta && rrep.write_path_bytes != rrep.wal_replay_bytes) {
+        diverge("cycle " + U64(cycle) +
+                " wal-replay byte accounting diverged");
+        break;
+      }
+
+      // Re-pair with roles swapped: the promoted node is the new primary,
+      // the reconciled node its backup. Open adopts the bumped epoch from
+      // the durable FENCE files.
+      (void)promoted->Close();
+      promoted.reset();
+      pri = 1 - pri;
+      s = core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, repl_opts,
+                                          repl_node(pri), repl_node(1 - pri),
+                                          &env, &pair);
+      if (!s.ok()) {
+        diverge("cycle " + U64(cycle) +
+                " re-pair open failed: " + s.ToString());
+        break;
+      }
+      if (pair->epoch() != next_epoch) {
+        diverge("cycle " + U64(cycle) + " re-paired at epoch " +
+                U64(pair->epoch()) + ", want " + U64(next_epoch));
+        break;
+      }
+
+      // Both nodes to the oracle: the serving primary through the pair, the
+      // reconciled backup directly.
+      sweep_and_walk(pair_target(), cycle, "pair");
+      if (!result.ok) break;
+      {
+        core::KvaccelDB* backup = pair->backup();
+        OpsTarget bt = db_target(backup);
+        for (uint64_t k = 0; k < opt.key_space && result.ok; k++) {
+          std::string key = NemKey(k);
+          Value got, want;
+          bool want_present = model.Get(key, &want);
+          Status gs = bt.get(key, &got);
+          if (!gs.ok() && !gs.IsNotFound()) {
+            diverge("cycle " + U64(cycle) + " backup get " + key +
+                    " failed: " + gs.ToString());
+            break;
+          }
+          if (gs.ok() != want_present ||
+              (want_present && gs.ok() && got != want)) {
+            diverge("cycle " + U64(cycle) + " rejoined backup diverges at " +
+                    key);
+            break;
+          }
+        }
+      }
+      if (!result.ok) break;
+      trace << "recover cycle=" << cycle << " live=" << model.size() << "\n";
+      result.cycles_run++;
+    }
+    if (promoted != nullptr) (void)promoted->Close();
+    if (pair != nullptr) (void)pair->Close();
+  });
+  env.Run();
+
+  result.trace = trace.str();
+  if (!result.ok && !opt.trace_dump_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.trace_dump_dir, ec);
+    std::string path =
+        opt.trace_dump_dir + "/nemesis-" + U64(opt.seed) + ".trace";
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      out << result.trace;
+      out.close();
+      result.trace_path = path;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 NemesisResult RunNemesis(const NemesisOptions& opt) {
+  if (opt.net_partition) return RunNemesisHaPartition(opt);
   if (opt.ha) return RunNemesisHa(opt);
   NemesisResult result;
   std::ostringstream trace;
@@ -1197,6 +1980,10 @@ Status ParseNemesisTrace(const std::string& path, NemesisOptions* out) {
       out->ha = value != 0;
     } else if (name == "repl_ack") {
       out->repl_ack = static_cast<int>(value);
+    } else if (name == "net_partition") {
+      out->net_partition = value != 0;
+    } else if (name == "resync_mode") {
+      out->resync_mode = static_cast<int>(value);
     }  // unknown keys: forward compatibility, ignore
   }
   return Status::OK();

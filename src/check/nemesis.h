@@ -45,6 +45,21 @@ struct NemesisOptions {
   // 0 = sync acks (every acked write must be served by the promoted node),
   // 1 = async acks (a bounded, reported tail may be lost).
   int repl_ack = 0;
+  // Partition nemesis (DESIGN.md §12): instead of crash-site cycles, the HA
+  // schedule rotates partition scenarios — symmetric cut with failover,
+  // asymmetric ack-loss cut with failover, a brief cut healed before the
+  // lease lapses (no promotion), and a flapping-link chaos cycle (delay
+  // spikes, duplicates, transient drops). Full cycles verify the fencing
+  // protocol end to end: the partitioned primary self-fences on lease lapse
+  // (no write acked on both sides of the split), the backup promotes under a
+  // bumped fencing epoch, the healed primary deposes itself on the first
+  // stale-epoch rejection, and check::RejoinNode reconciles it back in as a
+  // byte-identical replica. Forces ha == true and sync acks.
+  bool net_partition = false;
+  // Reconciliation transport for the rejoin step: 0 = WAL replay (every
+  // entry re-runs the write path), 1 = delta resync (flushed state ships
+  // through the WAL-bypassing ingest path; zero write-path bytes).
+  int resync_mode = 1;
   // Device-offloaded compaction (DESIGN.md §13): attach an NdpDevice and
   // force every compaction through the COMPACT path. The crash table gains
   // the offload kill points — the first cycles rotate through every
@@ -73,6 +88,15 @@ struct NemesisResult {
   uint64_t ha_lost_entries = 0;         // async tail entries lost, summed
   uint64_t ha_drained_entries = 0;      // mirror entries re-hosted at promote
   uint64_t ha_backup_dev_fallbacks = 0; // intents degraded to the host path
+  // Partition nemesis only (net_partition).
+  int partitions = 0;                   // partition windows opened
+  int rejoins = 0;                      // deposed primaries reconciled back
+  uint64_t ha_fenced_rejects = 0;       // writes refused by a fenced primary
+  uint64_t ha_resync_entries = 0;       // entries shipped by RejoinNode
+  uint64_t ha_resync_bytes = 0;         // payload charged to the resync link
+  uint64_t ha_write_path_bytes = 0;     // resync bytes through the write path
+  uint64_t ha_wal_replay_bytes = 0;     // what full WAL replay would have moved
+  uint64_t ha_quarantined_keys = 0;     // diverged versions replaced at rejoin
 };
 
 // Builds its own simulation world and runs the whole schedule; returns after

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
+#include "fs/simfs.h"
 #include "sim/backoff.h"
 #include "sim/fault.h"
 
@@ -13,6 +15,10 @@ namespace kvaccel::core {
 namespace {
 bool IsTransient(const Status& s) {
   return s.IsIOError() || s.IsBusy() || s.IsTryAgain();
+}
+bool IsStaleEpoch(const Status& s) {
+  return s.IsAborted() &&
+         s.ToString().find("stale epoch") != std::string::npos;
 }
 // Fixed per-record framing overhead charged to the link (type, seq range,
 // counts, checksum).
@@ -23,6 +29,33 @@ constexpr uint64_t kIntentEntryBytes = 24;
 // primary's (same spirit as the sharded router's per-shard offsets).
 constexpr uint64_t kBackupSeedOffset = 0x51DEC0DE;
 }  // namespace
+
+// ---------------- Durable fencing epoch ----------------
+
+uint64_t ReadFenceEpoch(fs::SimFs* fs) {
+  if (fs == nullptr || !fs->FileExists("FENCE")) return 0;
+  uint64_t size = 0;
+  if (!fs->GetFileSize("FENCE", &size).ok() || size == 0 || size > 32) {
+    return 0;
+  }
+  std::unique_ptr<fs::RandomAccessFile> file;
+  if (!fs->NewRandomAccessFile("FENCE", &file).ok()) return 0;
+  std::string buf;
+  if (!file->Read(0, size, &buf).ok()) return 0;
+  return strtoull(buf.c_str(), nullptr, 10);
+}
+
+Status WriteFenceEpoch(fs::SimFs* fs, uint64_t epoch) {
+  if (fs == nullptr) return Status::InvalidArgument("fence: null fs");
+  std::unique_ptr<fs::WritableFile> file;
+  Status s = fs->NewWritableFile("FENCE.tmp", &file);
+  if (!s.ok()) return s;
+  s = file->Append(std::to_string(epoch));
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) return s;
+  return fs->RenameFile("FENCE.tmp", "FENCE");
+}
 
 ReplicatedKvaccelDB::ReplicatedKvaccelDB(const ReplOptions& options,
                                          const ReplNode& backup_node,
@@ -50,6 +83,20 @@ Status ReplicatedKvaccelDB::Open(const lsm::DbOptions& main_options,
   impl->link_ = std::make_unique<sim::NetLink>(
       env, "netlink", repl_options.net_bytes_per_sec,
       repl_options.net_latency);
+
+  // Adopt the durable fencing epoch: the max of the configured epoch and the
+  // FENCE files on either node (a rejoined ex-primary carries the bumped
+  // epoch of the promotion that deposed it), persisted back to both nodes so
+  // a later split finds it even on a wiped peer.
+  impl->epoch_ = std::max(repl_options.epoch,
+                          std::max(ReadFenceEpoch(primary.fs),
+                                   ReadFenceEpoch(backup.fs)));
+  Status s = WriteFenceEpoch(primary.fs, impl->epoch_);
+  if (s.ok()) s = WriteFenceEpoch(backup.fs, impl->epoch_);
+  if (!s.ok()) {
+    impl->Close();
+    return s;
+  }
 
   // Backup first, so the primary's very first shipped record has a home.
   // The standby runs passive: no redirection (its Dev-LSM is a mirror fed by
@@ -79,8 +126,11 @@ Status ReplicatedKvaccelDB::Open(const lsm::DbOptions& main_options,
   benv.fs = backup.fs;
   benv.host_cpu = backup.host_cpu;
   impl->dev_retry_opts_ = bkv;
-  Status s = KvaccelDB::Open(bopts, bkv, benv, &impl->backup_);
-  if (!s.ok()) return s;
+  s = KvaccelDB::Open(bopts, bkv, benv, &impl->backup_);
+  if (!s.ok()) {
+    impl->Close();
+    return s;
+  }
 
   if (repl_options.ack == ReplAck::kAsync) {
     ReplicatedKvaccelDB* self = impl.get();
@@ -124,24 +174,110 @@ Status ReplicatedKvaccelDB::Open(const lsm::DbOptions& main_options,
     impl->Close();
     return s;
   }
+  // After bootstrap the backup holds everything up to the primary's current
+  // sequence clock: that is the initial applied watermark and the WAL
+  // high-water mark late/duplicate records are compared against.
+  impl->applied_seq_ = impl->primary_->main()->LastSequence();
+  impl->backup_wal_seq_ = impl->backup_->main()->LastSequence();
+
+  // Lease starts fresh; the heartbeat actor keeps it renewed while idle.
+  impl->lease_expiry_ = env->Now() + repl_options.lease_duration;
+  impl->backup_last_applied_ns_ = env->Now();
+  if (repl_options.heartbeat_period > 0) {
+    impl->heartbeat_ =
+        env->Spawn("repl-heartbeat", [self] { self->HeartbeatLoop(); });
+  }
   *db = std::move(impl);
   return Status::OK();
+}
+
+// ---------------- Fencing ----------------
+
+void ReplicatedKvaccelDB::NoteLeaseState() {
+  if (env_->Now() >= lease_expiry_ && !lease_lapsed_noted_) {
+    lease_lapsed_noted_ = true;
+    stats_.lease_expirations++;
+  }
+}
+
+void ReplicatedKvaccelDB::RenewLease() {
+  if (deposed_) return;
+  Nanos fresh = env_->Now() + options_.lease_duration;
+  if (fresh > lease_expiry_) lease_expiry_ = fresh;
+  lease_lapsed_noted_ = false;
+}
+
+Status ReplicatedKvaccelDB::CheckFence() {
+  NoteLeaseState();
+  if (!fenced()) return Status::OK();
+  stats_.fenced_write_rejects++;
+  return Status::Busy(deposed_
+                          ? "repl: primary deposed (stale fencing epoch)"
+                          : "repl: primary fenced (lease expired)");
+}
+
+void ReplicatedKvaccelDB::HeartbeatLoop() {
+  for (;;) {
+    {
+      sim::SimLockGuard l(hb_mu_);
+      if (hb_stop_) break;
+      hb_cv_.WaitFor(hb_mu_, options_.heartbeat_period);
+      if (hb_stop_) break;
+    }
+    NoteLeaseState();
+    if (sim::SimCrashed(env_) || deposed_) continue;
+    Record rec;
+    rec.type = Record::Type::kHeartbeat;
+    rec.bytes = kRecordHeaderBytes;
+    rec.epoch = epoch_;
+    sim::SimLockGuard l(ship_mu_);
+    // SendAndApply renews the lease on success; a partition leaves the lease
+    // to lapse and a stale-epoch rejection deposes the primary.
+    (void)SendAndApply(&rec, /*forever=*/false);
+  }
+}
+
+Status ReplicatedKvaccelDB::DetachBackup(bool force) {
+  if (backup_ == nullptr) return Status::OK();
+  if (!force && env_->Now() < backup_promote_safe_at()) {
+    return Status::Busy(
+        "repl: primary lease may still be live; detaching now could ack a "
+        "write on both sides of the split");
+  }
+  detach_requested_ = true;
+  if (shipper_ != nullptr) {
+    // Park the shipper between records; a record stuck in transient retries
+    // bails out on detach_requested_ and is counted as lost tail.
+    sim::SimLockGuard l(q_mu_);
+    q_cv_.NotifyAll();
+    while (shipper_busy_) q_cv_.Wait(q_mu_);
+  }
+  sim::SimLockGuard l(ship_mu_);  // serialize with sync ships and heartbeats
+  Status s = backup_->Close();
+  backup_.reset();
+  return s;
 }
 
 // ---------------- Foreground forwarding ----------------
 
 Status ReplicatedKvaccelDB::Write(const lsm::WriteOptions& wopts,
                                   lsm::WriteBatch* batch) {
+  Status s = CheckFence();
+  if (!s.ok()) return s;
   return primary_->Write(wopts, batch);
 }
 
 Status ReplicatedKvaccelDB::Put(const lsm::WriteOptions& wopts,
                                 const Slice& key, const Value& value) {
+  Status s = CheckFence();
+  if (!s.ok()) return s;
   return primary_->Put(wopts, key, value);
 }
 
 Status ReplicatedKvaccelDB::Delete(const lsm::WriteOptions& wopts,
                                    const Slice& key) {
+  Status s = CheckFence();
+  if (!s.ok()) return s;
   return primary_->Delete(wopts, key);
 }
 
@@ -161,11 +297,24 @@ Status ReplicatedKvaccelDB::WaitForCompactionIdle() {
   return primary_->WaitForCompactionIdle();
 }
 
-Status ReplicatedKvaccelDB::RollbackNow() { return primary_->RollbackNow(); }
+Status ReplicatedKvaccelDB::RollbackNow() {
+  Status s = CheckFence();
+  if (!s.ok()) return s;
+  return primary_->RollbackNow();
+}
 
 Status ReplicatedKvaccelDB::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
+  if (heartbeat_ != nullptr) {
+    {
+      sim::SimLockGuard l(hb_mu_);
+      hb_stop_ = true;
+      hb_cv_.NotifyAll();
+    }
+    env_->Join(heartbeat_);
+    heartbeat_ = nullptr;
+  }
   if (shipper_ != nullptr) {
     {
       sim::SimLockGuard l(q_mu_);
@@ -197,11 +346,11 @@ Status ReplicatedKvaccelDB::ShipWalBatch(const lsm::WriteBatch& group,
   rec.batch.SetSequence(first_seq);
   rec.first_seq = first_seq;
   rec.count = group.Count();
+  rec.last_seq = first_seq + rec.count - 1;
   rec.bytes = group.Contents().size() + kRecordHeaderBytes;
   stats_.wal_records++;
   stats_.wal_entries += rec.count;
-  last_assigned_seq_ =
-      std::max(last_assigned_seq_, first_seq + rec.count - 1);
+  last_assigned_seq_ = std::max(last_assigned_seq_, rec.last_seq);
   return Ship(std::move(rec));
 }
 
@@ -213,14 +362,14 @@ Status ReplicatedKvaccelDB::ShipRedirectIntent(
   rec.entries = entries;
   rec.first_seq = entries.front().host_seq;
   rec.count = static_cast<uint32_t>(entries.size());
+  rec.last_seq = entries.back().host_seq;
   rec.bytes = kRecordHeaderBytes;
   for (const auto& e : entries) {
     rec.bytes += e.key.size() + e.value.logical_size() + kIntentEntryBytes;
   }
   stats_.intent_records++;
   stats_.intent_entries += rec.count;
-  last_assigned_seq_ =
-      std::max(last_assigned_seq_, entries.back().host_seq);
+  last_assigned_seq_ = std::max(last_assigned_seq_, rec.last_seq);
   return Ship(std::move(rec));
 }
 
@@ -241,6 +390,7 @@ void ReplicatedKvaccelDB::ShipManifestEdit(const std::string& edit,
   Record rec;
   rec.type = Record::Type::kManifestEdit;
   rec.bytes = edit.size() + kRecordHeaderBytes;
+  rec.epoch = epoch_;
   stats_.manifest_records++;
   if (options_.ack == ReplAck::kSync) {
     // Advisory: charge the wire inline but never fail the version install.
@@ -254,19 +404,24 @@ void ReplicatedKvaccelDB::ShipManifestEdit(const std::string& edit,
   }
   // Async: never block a version install on queue pressure — drop instead.
   sim::SimLockGuard l(q_mu_);
-  if (stopping_ || queue_.size() >= options_.async_queue_cap) {
+  if (stopping_ || queue_.size() >= options_.async_queue_cap ||
+      queue_bytes_ >= options_.async_queue_max_bytes) {
     stats_.manifest_drops++;
     return;
   }
+  queue_bytes_ += rec.bytes;
   queue_.push_back(std::move(rec));
   stats_.async_queue_peak =
       std::max(stats_.async_queue_peak, static_cast<uint64_t>(queue_.size()));
+  stats_.async_queue_bytes_peak =
+      std::max(stats_.async_queue_bytes_peak, queue_bytes_);
   q_cv_.NotifyAll();
 }
 
 // ---------------- Shipping machinery ----------------
 
 Status ReplicatedKvaccelDB::Ship(Record rec) {
+  rec.epoch = epoch_;
   if (options_.ack == ReplAck::kSync) {
     Nanos t0 = env_->Now();
     sim::SimLockGuard l(ship_mu_);  // FIFO: one record on the wire at a time
@@ -276,7 +431,9 @@ Status ReplicatedKvaccelDB::Ship(Record rec) {
     return s;
   }
   sim::SimLockGuard l(q_mu_);
-  while (queue_.size() >= options_.async_queue_cap && !stopping_) {
+  while ((queue_.size() >= options_.async_queue_cap ||
+          queue_bytes_ >= options_.async_queue_max_bytes) &&
+         !stopping_) {
     if (sim::SimCrashed(env_)) {
       return Status::IOError("repl: pair down");
     }
@@ -284,9 +441,12 @@ Status ReplicatedKvaccelDB::Ship(Record rec) {
     q_cv_.WaitFor(q_mu_, FromMicros(200));
   }
   if (stopping_) return Status::IOError("repl: shutting down");
+  queue_bytes_ += rec.bytes;
   queue_.push_back(std::move(rec));
   stats_.async_queue_peak =
       std::max(stats_.async_queue_peak, static_cast<uint64_t>(queue_.size()));
+  stats_.async_queue_bytes_peak =
+      std::max(stats_.async_queue_bytes_peak, queue_bytes_);
   q_cv_.NotifyAll();
   return Status::OK();
 }
@@ -303,15 +463,33 @@ void ReplicatedKvaccelDB::ShipperLoop() {
     }
     Record rec = std::move(queue_.front());
     queue_.pop_front();
+    queue_bytes_ -= rec.bytes;
+    // net.reorder: a later queued record overtakes this one on the wire.
+    bool swapped = false;
+    Record held;
+    if (!queue_.empty() && sim::FaultAt(env_, "net.reorder")) {
+      stats_.reorder_swaps++;
+      swapped = true;
+      held = std::move(rec);
+      rec = std::move(queue_.front());
+      queue_.pop_front();
+      queue_bytes_ -= rec.bytes;
+    }
     shipper_busy_ = true;
     q_cv_.NotifyAll();  // backpressured producers may refill the freed slot
     q_mu_.Unlock();
     Status s = SendAndApply(&rec, /*forever=*/true);
+    Status hs = Status::OK();
+    if (swapped) hs = SendAndApply(&held, /*forever=*/true);
     q_mu_.Lock();
     shipper_busy_ = false;
     if (!s.ok()) {
       stats_.ship_failures++;
       RecordLoss(rec);
+    }
+    if (swapped && !hs.ok()) {
+      stats_.ship_failures++;
+      RecordLoss(held);
     }
     q_cv_.NotifyAll();
   }
@@ -319,7 +497,8 @@ void ReplicatedKvaccelDB::ShipperLoop() {
 
 void ReplicatedKvaccelDB::RecordLoss(const Record& rec) {
   if (rec.type == Record::Type::kManifestEdit ||
-      rec.type == Record::Type::kRollback) {
+      rec.type == Record::Type::kRollback ||
+      rec.type == Record::Type::kHeartbeat) {
     if (rec.type == Record::Type::kManifestEdit) stats_.manifest_drops++;
     return;
   }
@@ -335,10 +514,43 @@ Status ReplicatedKvaccelDB::SendAndApply(Record* rec, bool forever) {
     Status s = SendOverLink(rec->bytes);
     if (s.ok()) s = ApplyOnBackup(rec);
     if (s.ok()) {
-      stats_.records_applied++;
+      // The record is on the peer even if the ack below is lost: the applied
+      // watermark and the promote-safety clock advance before the ack draw.
+      if (rec->last_seq > 0) {
+        applied_seq_ = std::max(applied_seq_, rec->last_seq);
+      }
+      backup_last_applied_ns_ = env_->Now();
+      if (sim::FaultAt(env_, "net.partition.ack")) {
+        stats_.ack_losses++;
+        s = Status::IOError("repl: ack lost (partitioned)");
+      }
+    }
+    if (s.ok()) {
+      if (sim::FaultAt(env_, "net.dup")) {
+        // Duplicate delivery: the record charges the wire and applies a
+        // second time; exact-sequence application makes the copy a no-op.
+        stats_.dup_records++;
+        if (SendOverLink(rec->bytes).ok()) (void)ApplyOnBackup(rec);
+      }
+      if (rec->type == Record::Type::kHeartbeat) {
+        stats_.heartbeat_records++;
+      } else {
+        stats_.records_applied++;
+      }
+      RenewLease();
+      return Status::OK();
+    }
+    if (IsStaleEpoch(s)) {
+      // The peer (or its durable FENCE file) is at a newer fencing epoch:
+      // this primary was deposed while partitioned. Permanent, by design.
+      stats_.fenced_records++;
+      deposed_ = true;
       return s;
     }
-    if (!forever || sim::SimCrashed(env_) || !IsTransient(s)) return s;
+    if (!forever || sim::SimCrashed(env_) || !IsTransient(s) ||
+        detach_requested_) {
+      return s;
+    }
     // Async keeps cycling until the pair crashes: a transient must not
     // punch a hole in the applied prefix.
     backoff = sim::NextDecorrelatedDelay(&net_rng_, options_.net_retry_backoff,
@@ -366,12 +578,46 @@ Status ReplicatedKvaccelDB::SendOverLink(uint64_t bytes) {
 }
 
 Status ReplicatedKvaccelDB::ApplyOnBackup(Record* rec) {
+  if (backup_ == nullptr) {
+    // The backup node was detached for promotion. Its durable FENCE epoch is
+    // the fencing authority: once promotion bumped it, any record from this
+    // (now stale) primary is rejected and the sender deposes itself.
+    if (rec->epoch < ReadFenceEpoch(backup_node_.fs)) {
+      return Status::Aborted("repl: fenced: stale epoch");
+    }
+    return Status::Aborted("repl: backup detached");
+  }
+  if (rec->epoch < epoch_) {
+    return Status::Aborted("repl: fenced: stale epoch");
+  }
   switch (rec->type) {
     case Record::Type::kWalBatch: {
+      if (rec->first_seq <= backup_wal_seq_) {
+        // Duplicate or reordered delivery: the backup WAL must stay
+        // sequence-ascending, so a late record takes the WAL-bypassing
+        // exact-sequence ingest path instead (idempotent — newer versions
+        // of the same key already applied keep winning by sequence).
+        std::vector<lsm::IngestEntry> ing;
+        ing.reserve(rec->count);
+        uint64_t seq = rec->first_seq;
+        Status ps = rec->batch.ForEach(
+            [&](lsm::ValueType type, const Slice& key, const Value& value) {
+              lsm::IngestEntry e;
+              e.key = key.ToString();
+              e.value = value;
+              e.tombstone = type != lsm::ValueType::kValue;
+              e.seq = seq++;
+              ing.push_back(std::move(e));
+            });
+        if (!ps.ok()) return ps;
+        return IngestOnBackup(std::move(ing));
+      }
       lsm::WriteOptions wo;
       wo.sync = true;
       wo.replicated_seq = rec->first_seq;
-      return backup_->main()->Write(wo, &rec->batch);
+      Status s = backup_->main()->Write(wo, &rec->batch);
+      if (s.ok()) backup_wal_seq_ = std::max(backup_wal_seq_, rec->last_seq);
+      return s;
     }
     case Record::Type::kRedirectIntent:
       return ApplyIntentOnBackup(rec);
@@ -381,6 +627,8 @@ Status ReplicatedKvaccelDB::ApplyOnBackup(Record* rec) {
       return backup_->CrashMetadataAndRecover(nullptr);
     case Record::Type::kManifestEdit:
       return Status::OK();  // advisory; bytes were the payload
+    case Record::Type::kHeartbeat:
+      return Status::OK();  // the round trip is the payload
   }
   return Status::OK();
 }
@@ -429,6 +677,12 @@ Status ReplicatedKvaccelDB::ApplyIntentOnBackup(Record* rec) {
     ie.seq = e.host_seq;
     ing.push_back(std::move(ie));
   }
+  Status s = IngestOnBackup(std::move(ing));
+  if (s.ok()) stats_.backup_dev_fallbacks++;
+  return s;
+}
+
+Status ReplicatedKvaccelDB::IngestOnBackup(std::vector<lsm::IngestEntry> ing) {
   // Ingest wants strictly ascending keys; within-batch duplicates keep the
   // newest version (the older one was invisible anyway).
   std::stable_sort(ing.begin(), ing.end(),
@@ -444,9 +698,7 @@ Status ReplicatedKvaccelDB::ApplyIntentOnBackup(Record* rec) {
       dedup.push_back(std::move(e));
     }
   }
-  Status s = backup_->main()->IngestSortedBatch(dedup);
-  if (s.ok()) stats_.backup_dev_fallbacks++;
-  return s;
+  return backup_->main()->IngestSortedBatch(dedup);
 }
 
 // ---------------- Test hooks ----------------

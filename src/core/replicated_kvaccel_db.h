@@ -5,7 +5,7 @@
 // sequence numbers, so a failover promotes a byte-consistent replica instead
 // of replaying from scratch.
 //
-// Four record types ride the link, in ship order:
+// Five record types ride the link, in ship order:
 //
 //   kWalBatch       every group-commit WAL batch, shipped by the leader after
 //                   local WAL sync and applied on the backup as a
@@ -26,15 +26,30 @@
 //                   the backup drains its mirror the same way.
 //   kManifestEdit   advisory VersionEdit stream (bytes charged to the link;
 //                   the backup builds its own versions from applied writes).
+//   kHeartbeat      an empty lease-renewal record from a background beater;
+//                   its round trip is what keeps the primary's lease fresh
+//                   when no client writes flow.
 //
 // Ack modes (--repl_ack):
 //   sync    a write is acknowledged only after its record is applied on the
 //           backup; every acked write survives failover.
-//   async   records queue (bounded) and ship from a background actor; acks
-//           don't wait. On a crash the un-applied tail — bounded by the
-//           queue capacity — is lost, and reported via ReplStats.
+//   async   records queue (bounded by entries AND bytes) and ship from a
+//           background actor; acks don't wait. On a crash the un-applied
+//           tail — bounded by the queue capacity — is lost, and reported via
+//           ReplStats.
 //
-// Failover itself lives in check::PromoteNode (src/check/failover.h): core
+// Partitions, leases and fencing epochs (DESIGN.md §12): every record carries
+// the pair's fencing epoch. The primary holds a virtual-time lease renewed by
+// each successful record round trip (heartbeats keep it fresh when idle);
+// when a partition cuts the link the lease lapses and the primary self-fences
+// into read-only — client writes fail with Busy, so no write is ever acked on
+// both sides of a split. The backup may be detached for promotion only after
+// the lease plus a safety margin has verifiably lapsed (DetachBackup refuses
+// earlier). Promotion bumps the durable fencing epoch (a synced FENCE file on
+// the node's file system); when the partition heals, the deposed primary's
+// next record is rejected with a stale-epoch error and it deposes itself
+// permanently. Reconciliation (quarantine the diverged tail, delta resync,
+// rejoin as backup) lives in check::RejoinNode beside PromoteNode: core
 // cannot depend on the checker layer.
 #pragma once
 
@@ -45,6 +60,10 @@
 #include "common/random.h"
 #include "core/kvaccel_db.h"
 #include "sim/net_link.h"
+
+namespace kvaccel::fs {
+class SimFs;
+}
 
 namespace kvaccel::core {
 
@@ -70,14 +89,27 @@ struct ReplOptions {
   double net_bytes_per_sec = 1.25e9;
   Nanos net_latency = FromMicros(30);
   // Async mode: records queued ahead of the shipper; producers block when
-  // full (backpressure is what bounds the loss tail).
+  // full — by entry count or by bytes (backpressure is what bounds the loss
+  // tail in both dimensions).
   size_t async_queue_cap = 64;
+  uint64_t async_queue_max_bytes = 4ull << 20;
   // Transient send retries (net.send.transient) before a record fails (sync)
   // or keeps cycling (async retries until the pair crashes).
   int net_retry_limit = 3;
   Nanos net_retry_backoff = FromMicros(100);
   Nanos net_retry_backoff_cap = FromMillis(10);
   uint64_t net_jitter_seed = 0x4E7B0FF;
+  // Virtual-time lease + fencing (DESIGN.md §12). Every successful record
+  // round trip (heartbeats included) extends the primary's write lease by
+  // lease_duration; a primary whose lease has lapsed rejects client writes.
+  // The backup may only be detached for promotion once the primary's lease
+  // has verifiably lapsed: last applied record + lease + safety margin.
+  Nanos lease_duration = FromMillis(50);
+  Nanos heartbeat_period = FromMillis(10);
+  Nanos promote_safety_margin = FromMillis(10);
+  // Fencing epoch the pair starts at. Open adopts the max of this and the
+  // durable FENCE epochs found on either node, and persists it to both.
+  uint64_t epoch = 1;
 };
 
 struct ReplStats {
@@ -96,8 +128,23 @@ struct ReplStats {
   uint64_t lost_seq_min = 0;    // first seq of the earliest dropped record
   uint64_t backup_dev_fallbacks = 0;  // intents degraded to the host path
   uint64_t async_queue_peak = 0;
+  uint64_t async_queue_bytes_peak = 0;
   Nanos sync_ship_ns = 0;       // foreground time spent shipping (sync mode)
+  // Partition/fencing surface.
+  uint64_t heartbeat_records = 0;     // lease renewals applied on the backup
+  uint64_t fenced_write_rejects = 0;  // client writes refused while fenced
+  uint64_t lease_expirations = 0;     // fresh -> lapsed transitions
+  uint64_t fenced_records = 0;        // records rejected: stale epoch
+  uint64_t ack_losses = 0;            // net.partition.ack fires (applied,
+                                      // ack lost, write NOT acked)
+  uint64_t dup_records = 0;           // net.dup fires (record applied twice)
+  uint64_t reorder_swaps = 0;         // net.reorder fires (async swap)
 };
+
+// Durable fencing epoch: a small synced "FENCE" file on the node's file
+// system, written via the tmp-then-rename idiom. 0 = no fence recorded.
+uint64_t ReadFenceEpoch(fs::SimFs* fs);
+Status WriteFenceEpoch(fs::SimFs* fs, uint64_t epoch);
 
 class ReplicatedKvaccelDB {
  public:
@@ -108,7 +155,9 @@ class ReplicatedKvaccelDB {
                      std::unique_ptr<ReplicatedKvaccelDB>* db);
   ~ReplicatedKvaccelDB();
 
-  // Foreground interface: everything serves from the primary.
+  // Foreground interface: everything serves from the primary. Writes are
+  // rejected with Busy while the primary is fenced (lease lapsed or deposed);
+  // reads keep serving — fencing makes the node read-only, not dead.
   Status Write(const lsm::WriteOptions& wopts, lsm::WriteBatch* batch);
   Status Put(const lsm::WriteOptions& wopts, const Slice& key,
              const Value& value);
@@ -122,6 +171,16 @@ class ReplicatedKvaccelDB {
   // stops the shipper, closes primary then backup. Errors are collected but
   // both nodes always end closed.
   Status Close();
+
+  // Split-brain prevention, promotion side: releases the backup node so the
+  // caller can PromoteNode it under a bumped epoch. Refuses with Busy until
+  // backup_promote_safe_at() — the instant the primary's lease (granted at
+  // the last record the backup applied) has certainly lapsed, plus the
+  // safety margin — unless forced. After detach the pair keeps serving reads
+  // (and rejects writes once its own lease lapses); a healed ship attempt
+  // reads the backup node's durable FENCE epoch and deposes the primary.
+  Status DetachBackup(bool force = false);
+  bool backup_detached() const { return backup_ == nullptr; }
 
   // ---- Introspection ----
   KvaccelDB* primary() { return primary_.get(); }
@@ -138,6 +197,21 @@ class ReplicatedKvaccelDB {
     return stats_.lost_seq_min == 0 ? last_assigned_seq_
                                     : stats_.lost_seq_min - 1;
   }
+  // True applied watermark: the highest sequence actually applied on the
+  // backup (ack-lost records count — they ARE on the backup). This is the
+  // divergence frontier RejoinNode quarantines the deposed tail against.
+  uint64_t applied_seq() const { return applied_seq_; }
+  // Fencing surface.
+  uint64_t epoch() const { return epoch_; }
+  bool deposed() const { return deposed_; }
+  bool fenced() const { return deposed_ || env_->Now() >= lease_expiry_; }
+  Nanos lease_expiry() const { return lease_expiry_; }
+  Nanos backup_promote_safe_at() const {
+    return backup_last_applied_ns_ + options_.lease_duration +
+           options_.promote_safety_margin;
+  }
+  // Async queue occupancy in bytes (the ha.repl.queue_bytes gauge).
+  uint64_t queue_bytes() const { return queue_bytes_; }
 
   // ---- Test hooks (async mode) ----
   // Holds the shipper so a test can build a known queue backlog.
@@ -147,13 +221,21 @@ class ReplicatedKvaccelDB {
 
  private:
   struct Record {
-    enum class Type { kWalBatch, kRedirectIntent, kRollback, kManifestEdit };
+    enum class Type {
+      kWalBatch,
+      kRedirectIntent,
+      kRollback,
+      kManifestEdit,
+      kHeartbeat
+    };
     Type type = Type::kWalBatch;
     lsm::WriteBatch batch;  // kWalBatch payload
     std::vector<devlsm::DevLsm::BatchPut> entries;  // kRedirectIntent payload
     uint64_t first_seq = 0;
-    uint32_t count = 0;  // entries carried (0 for rollback/manifest)
+    uint64_t last_seq = 0;  // highest sequence carried (0 when none)
+    uint32_t count = 0;  // entries carried (0 for rollback/manifest/heartbeat)
     uint64_t bytes = 0;  // serialized size charged to the link
+    uint64_t epoch = 0;  // fencing epoch stamped at ship time
   };
 
   ReplicatedKvaccelDB(const ReplOptions& options, const ReplNode& backup_node,
@@ -167,13 +249,23 @@ class ReplicatedKvaccelDB {
   void ShipManifestEdit(const std::string& edit, uint64_t last_seq);
 
   // One record end to end: link transfer (+bounded transient retries), then
-  // apply on the backup. `forever` (async) keeps cycling on transient
-  // failures until the pair crashes; a drop is recorded as lost tail.
+  // apply on the backup, then the protocol-level net.* adversaries (ack
+  // loss, duplication). `forever` (async) keeps cycling on transient
+  // failures until the pair crashes; a drop is recorded as lost tail. A
+  // stale-epoch rejection deposes the primary permanently (non-transient).
   Status SendAndApply(Record* rec, bool forever);
   Status SendOverLink(uint64_t bytes);
   Status ApplyOnBackup(Record* rec);
   Status ApplyIntentOnBackup(Record* rec);
+  // WAL-bypassing exact-sequence ingest on the backup (sorts + dedups).
+  Status IngestOnBackup(std::vector<lsm::IngestEntry> ing);
   void RecordLoss(const Record& rec);
+
+  // Fencing internals.
+  Status CheckFence();   // Busy while fenced; counts the reject
+  void RenewLease();     // on any successful round trip
+  void NoteLeaseState(); // counts fresh -> lapsed transitions
+  void HeartbeatLoop();
 
   // Sync: applies inline under ship_mu_ (FIFO). Async: enqueues with
   // backpressure; fails only if the pair crashes while waiting.
@@ -202,10 +294,28 @@ class ReplicatedKvaccelDB {
   sim::SimMutex q_mu_;
   sim::SimCondVar q_cv_;
   std::deque<Record> queue_;
+  uint64_t queue_bytes_ = 0;
   bool shipper_busy_ = false;
   bool paused_ = false;
   bool stopping_ = false;
   sim::SimEnv::Thread* shipper_ = nullptr;
+
+  // Heartbeat actor (its own mutex so lease renewals never contend with the
+  // queue protocol; the ship itself serializes under ship_mu_).
+  sim::SimMutex hb_mu_;
+  sim::SimCondVar hb_cv_;
+  bool hb_stop_ = false;
+  sim::SimEnv::Thread* heartbeat_ = nullptr;
+
+  // Fencing state. Cooperative scheduler: mutated only between yield points.
+  uint64_t epoch_ = 1;
+  Nanos lease_expiry_ = 0;
+  bool lease_lapsed_noted_ = false;
+  bool deposed_ = false;
+  bool detach_requested_ = false;  // bails a shipper stuck in retries
+  Nanos backup_last_applied_ns_ = 0;
+  uint64_t applied_seq_ = 0;
+  uint64_t backup_wal_seq_ = 0;  // highest seq applied via the backup's WAL
 
   ReplStats stats_;
   uint64_t last_assigned_seq_ = 0;

@@ -33,6 +33,10 @@ void Scrubber::Loop() {
 }
 
 Status Scrubber::StepOnce() {
+  if (resync_deferred_) {
+    stats_.deferred_for_resync++;
+    return Status::OK();
+  }
   if (detector_ != nullptr && detector_->stall_detected()) {
     stats_.skipped_busy++;
     return Status::OK();

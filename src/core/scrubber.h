@@ -32,6 +32,7 @@ struct ScrubStats {
   uint64_t corruptions = 0;     // failed verifications (incl. repeats)
   uint64_t escalations = 0;     // circuit-breaker reports to the Detector
   uint64_t skipped_busy = 0;    // wake-ups skipped under stall pressure
+  uint64_t deferred_for_resync = 0;  // wake-ups skipped during resync
 };
 
 class Scrubber {
@@ -50,6 +51,13 @@ class Scrubber {
 
   const ScrubStats& stats() const { return stats_; }
 
+  // Reconciliation catch-up (DESIGN.md §12): while a deposed peer is being
+  // resynced from this node, scrub wake-ups are deferred so the resync reads
+  // don't compete with serving traffic for device bandwidth. Cooperative
+  // scheduler: a plain flag flipped between yield points is safe.
+  void SetResyncDeferred(bool deferred) { resync_deferred_ = deferred; }
+  bool resync_deferred() const { return resync_deferred_; }
+
  private:
   void Loop();
 
@@ -61,6 +69,7 @@ class Scrubber {
   sim::SimMutex mu_;
   sim::SimCondVar cv_;
   bool stop_ = false;
+  bool resync_deferred_ = false;
   sim::SimEnv::Thread* thread_ = nullptr;
 
   // Round-robin position: smallest live file number > cursor_ goes next.

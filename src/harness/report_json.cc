@@ -109,13 +109,33 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
     w->Field("backup_dev_fallbacks", r.ha_backup_dev_fallbacks);
     w->Field("async_queue_peak", r.ha_async_queue_peak);
     w->Field("sync_ship_ms", r.ha_sync_ship_ms);
+    w->Field("net_partition", r.ha_net_partition);
+    w->Field("heartbeats", r.ha_heartbeats);
+    w->Field("fenced_write_rejects", r.ha_fenced_rejects);
+    w->Field("lease_expirations", r.ha_lease_expirations);
     w->Key("failover");
     w->BeginObject();
     w->Field("promote_ms", r.ha_failover_ms);
     w->Field("drained_entries", r.ha_failover_drained);
     w->Field("checker_errors", r.ha_failover_checker_errors);
     w->Field("checker_warnings", r.ha_failover_checker_warnings);
+    w->Field("fence_epoch", r.ha_fence_epoch);
     w->EndObject();
+    // Partition drill: the post-run RejoinNode reconciliation measurement.
+    if (r.ha_resync_mode >= 0) {
+      w->Key("rejoin");
+      w->BeginObject();
+      w->Field("resync_mode", r.ha_resync_mode == 1 ? "delta" : "wal");
+      w->Field("rejoin_ms", r.ha_rejoin_ms);
+      w->Field("resync_entries", r.ha_resync_entries);
+      w->Field("resync_bytes", r.ha_resync_bytes);
+      w->Field("write_path_bytes", r.ha_write_path_bytes);
+      w->Field("wal_replay_bytes", r.ha_wal_replay_bytes);
+      w->Field("quarantined_keys", r.ha_quarantined_keys);
+      w->Field("scrub_deferred", r.ha_scrub_deferred);
+      w->Field("checker_errors", r.ha_rejoin_checker_errors);
+      w->EndObject();
+    }
     w->EndObject();
   }
 
@@ -220,6 +240,9 @@ std::string JsonReportString(const BenchConfig& config,
   w.Field("repl_ack", config.sut.repl_ack_async ? "async" : "sync");
   w.Field("net_mbps", config.sut.net_mbps);
   w.Field("net_latency_us", config.sut.net_latency_us);
+  w.Field("net_partition_start_s", config.sut.net_partition_start_s);
+  w.Field("net_partition_dur_s", config.sut.net_partition_dur_s);
+  w.Field("resync_mode", config.sut.resync_mode == 1 ? "delta" : "wal");
   w.Field("fault_profile", config.fault_profile);
   w.Field("fault_seed", config.fault_seed);
   w.Field("nemesis_seed", config.nemesis_seed);

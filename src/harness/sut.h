@@ -59,8 +59,29 @@ struct SutConfig {
   bool repl_ack_async = false;  // false = sync acks, true = async
   double net_mbps = 1250;       // interconnect bandwidth (10 GbE-class)
   double net_latency_us = 30;
+  // Lease fencing knobs (0 = ReplOptions defaults: 50 ms lease renewed by
+  // 10 ms heartbeats). The primary self-fences when the lease lapses; the
+  // backup may only be promoted once the lease has verifiably lapsed.
+  double lease_ms = 0;
+  double heartbeat_ms = 0;
+  // Fencing epoch the pair starts at (0 = default 1; Open adopts the max of
+  // this and the durable FENCE epochs found on either node).
+  uint64_t fence_epoch = 0;
   core::ReplNode ha_primary;
   core::ReplNode ha_backup;
+  // Partition window (HA only): net_partition_start_s seconds into the
+  // measurement window the interconnect takes a symmetric cut for
+  // net_partition_dur_s seconds. The primary self-fences when its lease
+  // lapses (writers ride out the Busy window and resume on heal), and the
+  // post-run failover becomes a full partition drill: promote under a bumped
+  // epoch, then reconcile the deposed node back with check::RejoinNode.
+  // 0 duration = no partition.
+  double net_partition_start_s = 0;
+  double net_partition_dur_s = 0;
+  // Reconciliation transport for the post-run rejoin measurement:
+  // 1 = delta resync (flushed state via the ingest path, zero write-path
+  // bytes), 0 = WAL replay (every entry re-runs the write path).
+  int resync_mode = 1;
   // Ablation hook: adjust the DbOptions after the preset is built.
   std::function<void(lsm::DbOptions&)> db_tweak;
 };
@@ -131,6 +152,15 @@ class SystemUnderTest {
           if (config.net_latency_us > 0) {
             ro.net_latency = FromMicros(static_cast<Nanos>(config.net_latency_us));
           }
+          if (config.lease_ms > 0) {
+            ro.lease_duration = FromMicros(
+                static_cast<Nanos>(config.lease_ms * 1000));
+          }
+          if (config.heartbeat_ms > 0) {
+            ro.heartbeat_period = FromMicros(
+                static_cast<Nanos>(config.heartbeat_ms * 1000));
+          }
+          if (config.fence_epoch > 0) ro.epoch = config.fence_epoch;
           st = core::ReplicatedKvaccelDB::Open(db_opts, kv_opts, ro,
                                                config.ha_primary,
                                                config.ha_backup, env.env,

@@ -69,6 +69,12 @@ struct Shared {
   std::vector<Histogram> tenant_latency;
   std::vector<uint64_t> tenant_ops;
   bool stop = false;
+  // Partition runs: a fenced primary refuses writes (Busy) until the link
+  // heals and the lease renews; writers back off and retry instead of
+  // treating the window as end-of-run. Non-recoverable errors still end
+  // the writer.
+  bool ride_out_write_errors = false;
+  uint64_t write_errors_ridden = 0;
 };
 
 void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
@@ -95,7 +101,15 @@ void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
     }
     Nanos op_start = sh->env->Now();
     Status s = sh->sut->Write(&batch);
-    if (!s.ok()) break;  // e.g. file system full: end of useful run
+    if (!s.ok()) {
+      if (sh->ride_out_write_errors &&
+          (s.IsBusy() || s.IsIOError() || s.IsTryAgain())) {
+        sh->write_errors_ridden++;
+        sh->env->SleepFor(FromMillis(1));
+        continue;
+      }
+      break;  // e.g. file system full: end of useful run
+    }
     sh->tenant_ops[static_cast<size_t>(tenant)] +=
         static_cast<uint64_t>(batch_size);
     sh->tenant_latency[static_cast<size_t>(tenant)].Add(
@@ -249,6 +263,7 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
         snap->SetCounter("scrub.corruptions", sc.corruptions);
         snap->SetCounter("scrub.escalations", sc.escalations);
         snap->SetCounter("scrub.skipped_busy", sc.skipped_busy);
+        snap->SetCounter("scrub.deferred_for_resync", sc.deferred_for_resync);
       }
       devlsm::DevLsmStats ds = sut->devlsm_stats();
       snap->SetCounter("devlsm.puts", ds.puts);
@@ -324,9 +339,25 @@ void RegisterWorldMetrics(obs::MetricsRegistry* registry,
       snap->SetCounter("repl.ship_failures", rs.ship_failures);
       snap->SetCounter("repl.backup_dev_fallbacks", rs.backup_dev_fallbacks);
       snap->SetCounter("repl.async_queue_peak", rs.async_queue_peak);
+      snap->SetCounter("repl.async_queue_bytes_peak",
+                       rs.async_queue_bytes_peak);
       snap->SetCounter("repl.sync_ship_ns", rs.sync_ship_ns);
+      snap->SetCounter("repl.heartbeats", rs.heartbeat_records);
+      snap->SetCounter("repl.fenced_write_rejects", rs.fenced_write_rejects);
+      snap->SetCounter("repl.lease_expirations", rs.lease_expirations);
+      snap->SetCounter("repl.stale_epoch_rejects", rs.fenced_records);
+      snap->SetCounter("repl.ack_losses", rs.ack_losses);
+      snap->SetCounter("repl.dup_records", rs.dup_records);
+      snap->SetCounter("repl.reorder_swaps", rs.reorder_swaps);
       snap->SetCounter("repl.net.messages", pair->link()->messages());
       snap->SetCounter("repl.net.drops", pair->link()->drops());
+      snap->SetCounter("repl.net.partition_drops",
+                       pair->link()->partition_drops());
+      snap->SetCounter("repl.net.delay_spikes", pair->link()->delay_spikes());
+      snap->SetGauge("ha.repl.queue_bytes",
+                     static_cast<double>(pair->queue_bytes()));
+      snap->SetGauge("ha.epoch", static_cast<double>(pair->epoch()));
+      snap->SetGauge("ha.fenced", pair->fenced() ? 1.0 : 0.0);
     });
   }
 
@@ -451,6 +482,10 @@ RunResult RunBenchmark(const BenchConfig& config) {
       exit(2);
     }
   }
+  // Partition window (DESIGN.md §12): the injector must be live even without
+  // a canned fault profile so the net-nemesis thread can cut the link.
+  const bool partition_run = ha && sut_cfg.net_partition_dur_s > 0;
+  if (partition_run) env.set_fault_injector(&injector);
 
   RunResult result;
   Shared sh;
@@ -495,6 +530,24 @@ RunResult RunBenchmark(const BenchConfig& config) {
     sh.window_start = env.Now();
     sh.window_end = sh.window_start + wl.duration;
 
+    // Net nemesis: cut the interconnect symmetrically for the configured
+    // window. The primary's lease lapses, writes bounce off the fence
+    // (writers back off), and after the heal the heartbeat renews the lease
+    // and traffic resumes — the post-run block then measures the full
+    // promote + rejoin drill.
+    std::vector<sim::SimEnv::Thread*> workers;
+    if (partition_run) {
+      sh.ride_out_write_errors = true;
+      workers.push_back(env.Spawn("net-nemesis", [&] {
+        env.SleepFor(static_cast<Nanos>(sut_cfg.net_partition_start_s * 1e9));
+        sim::FaultRule cut;
+        cut.probability = 1.0;
+        injector.Arm("net.partition.sym", cut);
+        env.SleepFor(static_cast<Nanos>(sut_cfg.net_partition_dur_s * 1e9));
+        injector.Disarm("net.partition.sym");
+      }));
+    }
+
     // Writer t=0 keeps the historical seed (wl.seed + 1) so a
     // --writer_threads=1 run is bit-identical to the single-writer driver;
     // extra writers get well-separated streams clear of the reader seeds.
@@ -512,7 +565,6 @@ RunResult RunBenchmark(const BenchConfig& config) {
       }
     };
 
-    std::vector<sim::SimEnv::Thread*> workers;
     switch (wl.type) {
       case WorkloadConfig::Type::kFillRandom:
         spawn_writers(&workers);
@@ -747,25 +799,73 @@ RunResult RunBenchmark(const BenchConfig& config) {
       result.ha_backup_dev_fallbacks = rs.backup_dev_fallbacks;
       result.ha_async_queue_peak = rs.async_queue_peak;
       result.ha_sync_ship_ms = static_cast<double>(rs.sync_ship_ns) / 1e6;
+      result.ha_heartbeats = rs.heartbeat_records;
+      result.ha_fenced_rejects = rs.fenced_write_rejects;
+      result.ha_lease_expirations = rs.lease_expirations;
+      result.ha_net_partition = partition_run ? 1 : 0;
+      // Divergence frontier and epoch for the partition drill below, read
+      // before the node images change hands.
+      const uint64_t frontier = sut->pair()->applied_seq();
+      const uint64_t next_epoch = sut->pair()->epoch() + 1;
 
-      if (fs != nullptr) fs->DropAllDirty();
-      fs_b->DropAllDirty();
+      // Crash failover drops both nodes' unsynced pages (the measurement is
+      // "promote after losing the primary"). A partition drill crashes
+      // nobody — both nodes survive the split with their caches intact, so
+      // the rejoin below measures the true divergence delta, not a
+      // full bootstrap.
+      if (!partition_run) {
+        if (fs != nullptr) fs->DropAllDirty();
+        fs_b->DropAllDirty();
+      }
       check::FailoverReport frep;
       std::unique_ptr<core::KvaccelDB> promoted;
+      // A partition drill promotes under a bumped durable epoch so the
+      // deposed primary is fenced out; the plain failover measurement keeps
+      // its historical timing (no FENCE write).
       Status fo = check::PromoteNode(SystemUnderTest::BuildDbOptions(sut_cfg),
                                      SystemUnderTest::BuildKvOptions(sut_cfg),
-                                     sut_cfg.ha_backup, &env, &frep,
-                                     &promoted);
+                                     sut_cfg.ha_backup, &env, &frep, &promoted,
+                                     partition_run ? next_epoch : 0);
       result.ha_failover_ms = static_cast<double>(frep.promote_ns) / 1e6;
       result.ha_failover_drained = frep.drained_entries;
       result.ha_failover_checker_errors = frep.checker_errors;
       result.ha_failover_checker_warnings = frep.checker_warnings;
+      result.ha_fence_epoch = frep.fence_epoch;
       if (!fo.ok()) {
         fprintf(stderr, "ha failover: %s\n", fo.ToString().c_str());
         if (result.ha_failover_checker_errors == 0) {
           result.ha_failover_checker_errors = 1;
         }
       } else {
+        // Partition drill, second half: reconcile the deposed primary
+        // against the promoted node and report the resync economics.
+        if (partition_run) {
+          check::RejoinOptions rj;
+          rj.mode = sut_cfg.resync_mode != 0 ? check::ResyncMode::kDelta
+                                             : check::ResyncMode::kWalReplay;
+          rj.frontier = frontier;
+          rj.new_epoch = next_epoch;
+          check::RejoinReport rrep;
+          Status rj_s = check::RejoinNode(
+              SystemUnderTest::BuildDbOptions(sut_cfg),
+              SystemUnderTest::BuildKvOptions(sut_cfg), sut_cfg.ha_primary,
+              promoted.get(), rj, &env, &rrep);
+          result.ha_resync_mode = sut_cfg.resync_mode != 0 ? 1 : 0;
+          result.ha_rejoin_ms = static_cast<double>(rrep.rejoin_ns) / 1e6;
+          result.ha_resync_entries = rrep.resync_entries;
+          result.ha_resync_bytes = rrep.resync_bytes;
+          result.ha_write_path_bytes = rrep.write_path_bytes;
+          result.ha_wal_replay_bytes = rrep.wal_replay_bytes;
+          result.ha_quarantined_keys = rrep.quarantined_keys;
+          result.ha_scrub_deferred = rrep.scrub_deferred;
+          result.ha_rejoin_checker_errors = rrep.checker_errors;
+          if (!rj_s.ok()) {
+            fprintf(stderr, "ha rejoin: %s\n", rj_s.ToString().c_str());
+            if (result.ha_rejoin_checker_errors == 0) {
+              result.ha_rejoin_checker_errors = 1;
+            }
+          }
+        }
         (void)promoted->Close();
       }
     }

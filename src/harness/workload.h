@@ -177,6 +177,21 @@ struct RunResult {
   uint64_t ha_failover_drained = 0;   // mirror entries re-hosted at promote
   int ha_failover_checker_errors = 0;
   int ha_failover_checker_warnings = 0;
+  // Partition/fencing/reconciliation (runs with a partition window).
+  int ha_net_partition = 0;           // 1 = a partition window was injected
+  uint64_t ha_heartbeats = 0;         // lease renewals applied on the backup
+  uint64_t ha_fenced_rejects = 0;     // writes refused by the fenced primary
+  uint64_t ha_lease_expirations = 0;
+  uint64_t ha_fence_epoch = 0;        // epoch the promoted node serves under
+  int ha_resync_mode = -1;            // -1 = no rejoin measured, 0 wal, 1 delta
+  double ha_rejoin_ms = 0;            // RejoinNode wall time
+  uint64_t ha_resync_entries = 0;     // entries shipped by the rejoin
+  uint64_t ha_resync_bytes = 0;       // payload charged to the resync link
+  uint64_t ha_write_path_bytes = 0;   // resync bytes through the write path
+  uint64_t ha_wal_replay_bytes = 0;   // what full WAL replay would have moved
+  uint64_t ha_quarantined_keys = 0;   // diverged versions replaced at rejoin
+  uint64_t ha_scrub_deferred = 0;     // serving scrub wake-ups deferred
+  int ha_rejoin_checker_errors = 0;
 
   // Device-offloaded compaction (DESIGN.md §13). ndp_mode is the gate:
   // -1 = no NDP engine attached, 0 = auto placement, 1 = force.

@@ -112,6 +112,10 @@ class DB {
   // space and returns the first; used to version writes that bypass the
   // normal write path (KVACCEL redirection).
   virtual SequenceNumber AllocateSequence(uint32_t count) = 0;
+  // The highest sequence number this DB has assigned or applied — the
+  // replication/reconciliation frontier probe (reads the clock without
+  // advancing it the way AllocateSequence would).
+  virtual SequenceNumber LastSequence() = 0;
   // Forward iterator over live user keys (tombstones/old versions hidden).
   virtual std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) = 0;
 

@@ -629,6 +629,11 @@ SequenceNumber DbImpl::AllocateSequence(uint32_t count) {
   return AllocateSequenceLocked(count);
 }
 
+SequenceNumber DbImpl::LastSequence() {
+  SimLockGuard l(mu_);
+  return versions_->last_sequence();
+}
+
 SequenceNumber DbImpl::AllocateSequenceLocked(uint32_t count) {
   SequenceNumber first = versions_->last_sequence() + 1;
   versions_->SetLastSequence(first + count - 1);

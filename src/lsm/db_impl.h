@@ -38,6 +38,7 @@ class DbImpl : public DB {
   Status GetWithSequence(const ReadOptions& ropts, const Slice& key,
                          Value* value, SequenceNumber* seq) override;
   SequenceNumber AllocateSequence(uint32_t count) override;
+  SequenceNumber LastSequence() override;
   std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) override;
 
   Status IngestSortedBatch(const std::vector<IngestEntry>& entries) override;

@@ -71,6 +71,15 @@ const std::vector<FaultSiteInfo>& KnownFaultSites() {
       {"simfs.powercut.torn",
        "DropAllDirty tears a suffix of unflushed bytes"},
       {"net.send.transient", "NetLink::Send drops the message"},
+      {"net.partition.sym",
+       "symmetric partition: the wire is cut in both directions"},
+      {"net.partition.tx",
+       "asymmetric partition: outbound messages are eaten on the wire"},
+      {"net.partition.ack",
+       "asymmetric partition: record applied on the peer, ack lost"},
+      {"net.delay", "a seeded 100us-1ms delay spike rides on this message"},
+      {"net.dup", "the record is delivered (and applied) twice"},
+      {"net.reorder", "two queued async records swap places on the wire"},
       {"ndp.compact.transient",
        "device rejects a COMPACT command; job falls back to host"},
       {"crash.wal.post_append", "after WAL append, before sync"},

@@ -27,6 +27,19 @@
 //                                         device, metadata records not yet
 //                                         flipped
 //   net       net.send.transient          NetLink::Send drops the message
+//             net.partition.sym           symmetric partition: the wire is cut
+//                                         in both directions
+//             net.partition.tx            asymmetric partition: outbound
+//                                         messages are eaten on the wire
+//             net.partition.ack           asymmetric partition: the record is
+//                                         applied on the peer but the ack is
+//                                         lost on the way back
+//             net.delay                   a seeded 100µs–1ms delay spike rides
+//                                         on this message
+//             net.dup                     the record is delivered (and
+//                                         applied) twice
+//             net.reorder                 two queued async records swap places
+//                                         on the wire
 //             crash.net.send.mid          pair-wide power loss while a
 //                                         replication record is in flight
 //                                         (sent, never applied)

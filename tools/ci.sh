@@ -42,9 +42,12 @@ run_pass() {
   # fairness, sharded report determinism and the sharded nemesis smoke.
   echo "==== ${name}: ctest -L shard ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L shard
-  # HA suite, explicitly: NetLink wire/latency accounting, replicated-sequence
-  # application, sync failover serving every acked write, async backlog drain,
-  # backup-side circuit-breaker recovery, and the two-node nemesis tests.
+  # HA suite, explicitly: NetLink wire/latency accounting (incl. partition
+  # and delay fault sites), replicated-sequence application, sync failover
+  # serving every acked write, async backlog drain with the byte-bounded
+  # queue, lease fencing / split-brain prevention / stale-epoch depose,
+  # delta-vs-WAL-replay rejoin convergence, backup-side circuit-breaker
+  # recovery, and the two-node crash + partition nemesis tests.
   echo "==== ${name}: ctest -L ha ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L ha
   # NDP suite, explicitly: COMPACT command lifecycle, planner host-vs-device
@@ -76,6 +79,20 @@ run_pass() {
     --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
   "${dir}/tools/kvaccel_nemesis" --ha --repl_ack=async --cycles=6 \
     --nemesis_seed=99 \
+    --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
+  # Partition nemesis smokes on pinned seeds: cycles rotate network-fault
+  # kinds (symmetric cut and ack-loss cut with verified failover + rejoin,
+  # transient blip, flapping link). The harness holds both nodes to the
+  # model oracle and asserts no sync-acked write is lost, no write is acked
+  # by a fenced primary, and reconciliation converges byte-identically —
+  # in delta mode with zero write-path bytes, in wal mode through the full
+  # write path.
+  echo "==== ${name}: HA partition nemesis smokes (delta + wal resync) ===="
+  "${dir}/tools/kvaccel_nemesis" --ha --net_partition --cycles=8 \
+    --nemesis_seed=24301 \
+    --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
+  "${dir}/tools/kvaccel_nemesis" --ha --net_partition --resync_mode=wal \
+    --cycles=4 --nemesis_seed=777 \
     --trace_dump_dir="${dir}/obs-artifacts" > /dev/null 2>&1
   # Run-artifact smoke: a traced KVACCEL run must produce a parseable Chrome
   # trace containing flush, compaction and stall events, plus a parseable
@@ -213,6 +230,41 @@ print(f"HA sync A/B: {k_one:.1f} -> {k_ha:.1f} kops "
       f"failover {fo['promote_ms']:.1f} ms, "
       f"{fo['drained_entries']} mirror entries drained")
 EOF
+  # HA partition drill: the same HA pair with a 2 s symmetric partition
+  # injected mid-window (partition -> lease lapse -> fenced primary ->
+  # promote under a bumped epoch -> heal -> delta reconciliation). Hard
+  # gates: the fenced primary rejected writes, nothing acked was lost, the
+  # promoted node passes the checker at epoch >= 2, and the rejoin converges
+  # with zero write-path bytes while full WAL replay would have moved more.
+  echo "==== bench smoke: HA partition drill (partition -> heal -> reconcile) ===="
+  "${dir}/tools/kvaccel_dbbench" --system=kvaccel --workload=fillrandom \
+    --seconds=10 --scale=0.0625 --ha --repl_ack=sync \
+    --net_partition=4:2 --resync_mode=delta \
+    --json_out="${out_dir}/smoke_ha_partition.json" > /dev/null
+  python3 - "${out_dir}/smoke_ha_partition.json" <<'EOF'
+import json, sys
+run = json.load(open(sys.argv[1]))["runs"][0]
+ha = run["ha"]
+assert ha["net_partition"] == 1, "drill ran without a partition window"
+assert ha["fenced_write_rejects"] > 0, "fenced primary never rejected a write"
+assert ha["lease_expirations"] >= 1, "the primary's lease never lapsed"
+assert ha["lost_entries"] == 0, "sync acks lost acked entries"
+fo = ha["failover"]
+assert fo["checker_errors"] == 0, "promoted backup failed the checker"
+assert fo["fence_epoch"] >= 2, "promotion did not bump the fencing epoch"
+rj = ha["rejoin"]
+assert rj["resync_mode"] == "delta", "drill must measure the delta resync"
+assert rj["checker_errors"] == 0, "rejoined node failed convergence"
+assert rj["write_path_bytes"] == 0, "delta resync touched the write path"
+if rj["resync_entries"] > 0:
+    assert rj["wal_replay_bytes"] > rj["write_path_bytes"], (
+        "delta resync not strictly cheaper than WAL replay")
+print(f"HA partition drill: {ha['fenced_write_rejects']} fenced rejects, "
+      f"epoch {fo['fence_epoch']}, delta resync {rj['resync_entries']} "
+      f"entries in {rj['rejoin_ms']:.1f} ms "
+      f"({rj['write_path_bytes']} write-path vs {rj['wal_replay_bytes']} "
+      f"wal-replay bytes)")
+EOF
   # NDP A/B: --ndp=off vs --ndp=auto on the same seed/scale, 20 s so several
   # compaction waves land inside the window. Deterministic hard gates: the
   # planner must actually offload, host CPU% must be strictly lower, and
@@ -261,6 +313,7 @@ EOF
     "kvaccel-shards1=${out_dir}/smoke_shards1.json" \
     "kvaccel-shards4=${out_dir}/smoke_shards4.json" \
     "kvaccel-ha-sync=${out_dir}/smoke_ha_sync.json" \
+    "kvaccel-ha-partition=${out_dir}/smoke_ha_partition.json" \
     "kvaccel-ndp=${out_dir}/smoke_ndp_auto.json"
 }
 

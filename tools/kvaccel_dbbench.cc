@@ -65,6 +65,24 @@
 //                      may be lost at cutover (default sync)
 //   --net_mbps=F       HA interconnect bandwidth in MB/s (default 1250)
 //   --net_latency_us=F HA interconnect one-way latency (default 30)
+//   --lease_ms=F       HA lease duration; a partitioned primary self-fences
+//                      once it goes this long without a backup round trip
+//                      (default 50)
+//   --heartbeat_ms=F   HA heartbeat/lease-renewal period (default 10)
+//   --fence_epoch=N    fencing epoch the pair starts at; Open adopts the
+//                      max of this and any durable FENCE epochs on either
+//                      node (default 1)
+//   --net_partition=START:DUR  HA only: cut the interconnect symmetrically
+//                      START seconds into the window for DUR seconds. The
+//                      primary self-fences on lease lapse (writers back off
+//                      through the Busy window), and the post-run failover
+//                      becomes a full partition drill: promote under a
+//                      bumped fencing epoch, then reconcile the deposed
+//                      node back with the rejoin measurement in the
+//                      report's ha.rejoin block
+//   --resync_mode=MODE delta (default: rejoin ships flushed state through
+//                      the WAL-bypassing ingest path) or wal (full replay
+//                      through the write path)
 //   --list_fault_sites print every registered fault/crash site and exit
 #include <cstdio>
 #include <cstdlib>
@@ -114,7 +132,9 @@ void Usage() {
           "  [--redirect_policy=global|per_shard] [--arbiter_share=F]\n"
           "  [--ndp=off|auto|force] [--ndp_cores=N]\n"
           "  [--ha] [--repl_ack=sync|async] [--net_mbps=F]\n"
-          "  [--net_latency_us=F] [--list_fault_sites]\n");
+          "  [--net_latency_us=F] [--net_partition=START:DUR]\n"
+          "  [--lease_ms=F] [--heartbeat_ms=F] [--fence_epoch=N]\n"
+          "  [--resync_mode=delta|wal] [--list_fault_sites]\n");
 }
 
 }  // namespace
@@ -275,6 +295,33 @@ int main(int argc, char** argv) {
       config.sut.net_mbps = ParseFlagDouble(v, "--net_mbps");
     } else if (FlagEq(argv[i], "--net_latency_us", &v)) {
       config.sut.net_latency_us = ParseFlagDouble(v, "--net_latency_us");
+    } else if (FlagEq(argv[i], "--lease_ms", &v)) {
+      config.sut.lease_ms = ParseFlagDouble(v, "--lease_ms");
+    } else if (FlagEq(argv[i], "--heartbeat_ms", &v)) {
+      config.sut.heartbeat_ms = ParseFlagDouble(v, "--heartbeat_ms");
+    } else if (FlagEq(argv[i], "--fence_epoch", &v)) {
+      config.sut.fence_epoch = ParseFlagUint64(v, "--fence_epoch");
+    } else if (FlagEq(argv[i], "--net_partition", &v)) {
+      const char* colon = strchr(v, ':');
+      if (colon == nullptr) {
+        fprintf(stderr, "--net_partition must be START:DUR seconds, got %s\n",
+                v);
+        return 2;
+      }
+      config.sut.net_partition_start_s =
+          ParseFlagDouble(std::string(v, colon - v).c_str(),
+                          "--net_partition start");
+      config.sut.net_partition_dur_s =
+          ParseFlagDouble(colon + 1, "--net_partition duration");
+    } else if (FlagEq(argv[i], "--resync_mode", &v)) {
+      if (strcmp(v, "delta") == 0) {
+        config.sut.resync_mode = 1;
+      } else if (strcmp(v, "wal") == 0) {
+        config.sut.resync_mode = 0;
+      } else {
+        fprintf(stderr, "--resync_mode must be delta or wal, got %s\n", v);
+        return 2;
+      }
     } else if (strcmp(argv[i], "--list_fault_sites") == 0) {
       for (const auto& site : sim::KnownFaultSites()) {
         printf("%-28s %s\n", site.site, site.what);
@@ -380,6 +427,26 @@ int main(int argc, char** argv) {
            r.ha_failover_ms,
            static_cast<unsigned long long>(r.ha_failover_drained),
            r.ha_failover_checker_errors, r.ha_failover_checker_warnings);
+    if (r.ha_net_partition != 0) {
+      printf("ha partition      : %llu fenced write rejects, %llu lease "
+             "expirations, %llu heartbeats, promoted at epoch %llu\n",
+             static_cast<unsigned long long>(r.ha_fenced_rejects),
+             static_cast<unsigned long long>(r.ha_lease_expirations),
+             static_cast<unsigned long long>(r.ha_heartbeats),
+             static_cast<unsigned long long>(r.ha_fence_epoch));
+    }
+    if (r.ha_resync_mode >= 0) {
+      printf("ha rejoin         : %s resync in %.2f ms, %llu entries "
+             "(%llu quarantined), %llu write-path bytes vs %llu wal-replay "
+             "bytes, %llu scrubs deferred, %d checker errors\n",
+             r.ha_resync_mode == 1 ? "delta" : "wal", r.ha_rejoin_ms,
+             static_cast<unsigned long long>(r.ha_resync_entries),
+             static_cast<unsigned long long>(r.ha_quarantined_keys),
+             static_cast<unsigned long long>(r.ha_write_path_bytes),
+             static_cast<unsigned long long>(r.ha_wal_replay_bytes),
+             static_cast<unsigned long long>(r.ha_scrub_deferred),
+             r.ha_rejoin_checker_errors);
+    }
   }
   if (!r.shards.empty()) {
     for (const ShardSummary& s : r.shards) {

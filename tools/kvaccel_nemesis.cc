@@ -24,6 +24,14 @@
 //                       the oracle, wipes the dead node and swaps roles
 //   --repl_ack=MODE     sync (default: every acked write must survive
 //                       failover) or async (bounded, reported loss tail)
+//   --net_partition     partition nemesis (implies --ha, sync acks): rotate
+//                       symmetric cuts, asymmetric ack-loss cuts, brief
+//                       healed blips and flapping links; verify fencing
+//                       (no write acked on both sides of a split), epoch
+//                       bumps, stale-epoch depose and delta-resync rejoin
+//   --resync_mode=MODE  reconciliation transport for the rejoin step:
+//                       delta (default: flushed state via the ingest path,
+//                       zero write-path bytes) or wal (full replay)
 //   --ndp               force every compaction through the device COMPACT
 //                       path and arm the crash.ndp.* kill points (the first
 //                       cycles rotate through all of them) plus transient
@@ -53,7 +61,8 @@ void Usage() {
   fprintf(stderr,
           "usage: kvaccel_nemesis [--nemesis_seed=N] [--cycles=N]\n"
           "  [--ops_per_cycle=N] [--key_space=N] [--value_size=N]\n"
-          "  [--shards=N] [--ha] [--repl_ack=sync|async] [--ndp]\n"
+          "  [--shards=N] [--ha] [--repl_ack=sync|async]\n"
+          "  [--net_partition] [--resync_mode=delta|wal] [--ndp]\n"
           "  [--list_fault_sites] [--trace_dump_dir=DIR]\n"
           "  [--replay=TRACE_FILE]\n");
 }
@@ -96,6 +105,19 @@ int main(int argc, char** argv) {
         fprintf(stderr, "--repl_ack must be sync or async, got %s\n", mode);
         return 2;
       }
+    } else if (strcmp(arg, "--net_partition") == 0) {
+      opts.net_partition = true;
+      opts.ha = true;
+    } else if (strncmp(arg, "--resync_mode=", 14) == 0) {
+      const char* mode = arg + 14;
+      if (strcmp(mode, "delta") == 0) {
+        opts.resync_mode = 1;
+      } else if (strcmp(mode, "wal") == 0) {
+        opts.resync_mode = 0;
+      } else {
+        fprintf(stderr, "--resync_mode must be delta or wal, got %s\n", mode);
+        return 2;
+      }
     } else if (strcmp(arg, "--list_fault_sites") == 0) {
       for (const auto& site : sim::KnownFaultSites()) {
         printf("%-28s %s\n", site.site, site.what);
@@ -126,11 +148,13 @@ int main(int argc, char** argv) {
   opts.trace_dump_dir = trace_dump_dir;
 
   printf("nemesis: seed=%llu cycles=%d ops_per_cycle=%d key_space=%llu "
-         "value_size=%u shards=%d ha=%d repl_ack=%s ndp=%d\n",
+         "value_size=%u shards=%d ha=%d repl_ack=%s net_partition=%d "
+         "resync_mode=%s ndp=%d\n",
          static_cast<unsigned long long>(opts.seed), opts.cycles,
          opts.ops_per_cycle, static_cast<unsigned long long>(opts.key_space),
          opts.value_size, opts.shards, opts.ha ? 1 : 0,
-         opts.repl_ack == 1 ? "async" : "sync", opts.ndp ? 1 : 0);
+         opts.repl_ack == 1 ? "async" : "sync", opts.net_partition ? 1 : 0,
+         opts.resync_mode != 0 ? "delta" : "wal", opts.ndp ? 1 : 0);
 
   check::NemesisResult r = check::RunNemesis(opts);
   printf("cycles=%d crashes=%d ops=%llu\n", r.cycles_run, r.crashes,
@@ -140,6 +164,19 @@ int main(int argc, char** argv) {
            r.failovers, static_cast<unsigned long long>(r.ha_lost_entries),
            static_cast<unsigned long long>(r.ha_drained_entries),
            static_cast<unsigned long long>(r.ha_backup_dev_fallbacks));
+  }
+  if (opts.net_partition) {
+    printf("partitions=%d rejoins=%d fenced_rejects=%llu "
+           "quarantined_keys=%llu\n",
+           r.partitions, r.rejoins,
+           static_cast<unsigned long long>(r.ha_fenced_rejects),
+           static_cast<unsigned long long>(r.ha_quarantined_keys));
+    printf("resync: entries=%llu bytes=%llu write_path_bytes=%llu "
+           "wal_replay_bytes=%llu\n",
+           static_cast<unsigned long long>(r.ha_resync_entries),
+           static_cast<unsigned long long>(r.ha_resync_bytes),
+           static_cast<unsigned long long>(r.ha_write_path_bytes),
+           static_cast<unsigned long long>(r.ha_wal_replay_bytes));
   }
   if (r.ok) {
     printf("every recovery matched the model oracle\n");

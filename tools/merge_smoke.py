@@ -78,6 +78,16 @@ def main():
                     "sync_ship_ms": ha["sync_ship_ms"],
                     "failover": ha["failover"],
                 }
+                # Partition drills additionally carry the fencing counters
+                # and the post-heal reconciliation measurement (.get: absent
+                # on reports from before partition tolerance).
+                if ha.get("net_partition"):
+                    entry["ha"]["net_partition"] = ha["net_partition"]
+                    entry["ha"]["fenced_write_rejects"] = (
+                        ha["fenced_write_rejects"])
+                    entry["ha"]["lease_expirations"] = ha["lease_expirations"]
+                if ha.get("rejoin"):
+                    entry["ha"]["rejoin"] = ha["rejoin"]
             # NDP runs carry the offloaded-compaction + planner signals
             # (absent when no NDP engine was attached).
             if run.get("ndp"):
