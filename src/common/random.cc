@@ -1,27 +1,74 @@
 #include "common/random.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
 
 namespace kvaccel {
+
+namespace {
+
+// Exact-sum horizon for zeta. Beyond this the integral tail takes over; the
+// cache below makes the exact region cheap to share, so it can be generous.
+constexpr uint64_t kZetaExactLimit = uint64_t{1} << 20;
+
+// Per-theta checkpoints of exact prefix sums: theta (bit pattern) -> map of
+// n -> sum(i=1..n) i^-theta. A lookup extends the largest checkpoint <= n
+// incrementally, so M generators over the same keyspace pay the O(n) sum
+// once, and a grown keyspace pays only the delta. Extending left-to-right
+// from a checkpoint adds terms in the same order as a fresh sum, so cached
+// and uncached results are bit-identical.
+std::mutex g_zeta_mu;
+std::map<uint64_t, std::map<uint64_t, double>>& ZetaCheckpoints() {
+  static auto* m = new std::map<uint64_t, std::map<uint64_t, double>>();
+  return *m;
+}
+std::atomic<uint64_t> g_zeta_terms{0};
+
+}  // namespace
+
+uint64_t ZipfianGenerator::ZetaTermsComputed() {
+  return g_zeta_terms.load(std::memory_order_relaxed);
+}
 
 double ZipfianGenerator::Pow(double a, double b) { return std::pow(a, b); }
 
 double ZipfianGenerator::Zeta(uint64_t n, double theta) {
-  // Exact sum is O(n); for large n use the standard truncation + integral
-  // approximation, accurate enough for workload shaping.
-  const uint64_t kExact = 10000;
+  const uint64_t exact_n = n < kZetaExactLimit ? n : kZetaExactLimit;
+  uint64_t theta_key = 0;
+  static_assert(sizeof(theta_key) == sizeof(theta), "double must be 64-bit");
+  std::memcpy(&theta_key, &theta, sizeof(theta_key));
+
   double sum = 0;
-  uint64_t limit = n < kExact ? n : kExact;
-  for (uint64_t i = 1; i <= limit; i++) {
-    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  uint64_t from = 1;
+  {
+    std::lock_guard<std::mutex> lock(g_zeta_mu);
+    auto& checkpoints = ZetaCheckpoints()[theta_key];
+    auto it = checkpoints.upper_bound(exact_n);
+    if (it != checkpoints.begin()) {
+      --it;
+      sum = it->second;
+      from = it->first + 1;
+    }
+    for (uint64_t i = from; i <= exact_n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (exact_n >= from) {
+      g_zeta_terms.fetch_add(exact_n - from + 1, std::memory_order_relaxed);
+      checkpoints[exact_n] = sum;
+    }
   }
-  if (n > kExact) {
-    // integral of x^-theta from kExact to n
+
+  if (n > kZetaExactLimit) {
+    // integral of x^-theta from the exact horizon to n
     if (theta == 1.0) {
-      sum += std::log(static_cast<double>(n) / static_cast<double>(kExact));
+      sum += std::log(static_cast<double>(n) /
+                      static_cast<double>(kZetaExactLimit));
     } else {
       sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
-              std::pow(static_cast<double>(kExact), 1.0 - theta)) /
+              std::pow(static_cast<double>(kZetaExactLimit), 1.0 - theta)) /
              (1.0 - theta);
     }
   }

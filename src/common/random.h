@@ -57,11 +57,12 @@ class Random64 {
 };
 
 // Zipfian key-popularity generator (Gray et al. quick method) for skewed
-// read workloads beyond the paper's uniform db_bench defaults.
+// workloads beyond the paper's uniform db_bench defaults. theta must be in
+// (0, 1); 0.99 is the YCSB default.
 class ZipfianGenerator {
  public:
   ZipfianGenerator(uint64_t num_items, double theta, uint64_t seed)
-      : items_(num_items), theta_(theta), rng_(seed) {
+      : items_(num_items < 1 ? 1 : num_items), theta_(theta), rng_(seed) {
     zetan_ = Zeta(items_, theta_);
     zeta2_ = Zeta(2, theta_);
     alpha_ = 1.0 / (1.0 - theta_);
@@ -69,14 +70,32 @@ class ZipfianGenerator {
            (1.0 - zeta2_ / zetan_);
   }
 
-  uint64_t Next() {
-    double u = rng_.NextDouble();
+  uint64_t Next() { return FromUniform(rng_.NextDouble()); }
+
+  // Maps a uniform draw u in [0, 1] to a rank in [0, items). Public so tests
+  // can hammer the u -> 1.0 boundary without fishing for an RNG state.
+  uint64_t FromUniform(double u) const {
     double uz = u * zetan_;
-    if (uz < 1.0) return 0;
-    if (uz < 1.0 + Pow(0.5, theta_)) return 1;
-    return static_cast<uint64_t>(static_cast<double>(items_) *
-                                 Pow(eta_ * u - eta_ + 1.0, alpha_));
+    uint64_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + Pow(0.5, theta_)) {
+      rank = 1;  // also out of range when items_ == 1; clamped below
+    } else {
+      rank = static_cast<uint64_t>(static_cast<double>(items_) *
+                                   Pow(eta_ * u - eta_ + 1.0, alpha_));
+    }
+    // The power term reaches 1.0 as u -> 1.0 (and can exceed it once eta*u
+    // rounds up), which lands the cast exactly on items_ — one past the last
+    // valid rank. Clamp every branch to the tail rank.
+    return rank >= items_ ? items_ - 1 : rank;
   }
+
+  uint64_t items() const { return items_; }
+
+  // Total exact zeta terms summed process-wide; a cache hit adds none. Test
+  // hook for the constructor-cost regression (see workload_test.cc).
+  static uint64_t ZetaTermsComputed();
 
  private:
   static double Pow(double a, double b);
@@ -86,6 +105,39 @@ class ZipfianGenerator {
   double theta_;
   Random64 rng_;
   double zetan_, zeta2_, alpha_, eta_;
+};
+
+// Hotspot key popularity: a contiguous hot front of the keyspace receives a
+// fixed share of draws (default: 90% of ops hit the first 10% of keys).
+// Unlike the scrambled Zipfian, the hot set is a contiguous range, which is
+// what exercises range-based machinery (the KVACCEL Detector, scans).
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t num_items, double hot_frac, double hot_op_frac,
+                   uint64_t seed)
+      : items_(num_items < 1 ? 1 : num_items),
+        hot_op_frac_(hot_op_frac),
+        rng_(seed) {
+    hot_items_ = static_cast<uint64_t>(static_cast<double>(items_) * hot_frac);
+    if (hot_items_ < 1) hot_items_ = 1;
+    if (hot_items_ > items_) hot_items_ = items_;
+  }
+
+  uint64_t Next() {
+    uint64_t cold = items_ - hot_items_;
+    if (cold == 0 || rng_.NextDouble() < hot_op_frac_) {
+      return rng_.Uniform(hot_items_);
+    }
+    return hot_items_ + rng_.Uniform(cold);
+  }
+
+  uint64_t hot_items() const { return hot_items_; }
+
+ private:
+  uint64_t items_;
+  uint64_t hot_items_;
+  double hot_op_frac_;
+  Random64 rng_;
 };
 
 }  // namespace kvaccel

@@ -43,6 +43,23 @@
 //                        force  every picked job is granted to the device
 //   --ndp_cores=N      dedicated NDP cores on the device (0 = share the
 //                      single Dev-LSM firmware core; default 2)
+//   --workload_mix=SPEC  mixed-matrix op streams (DESIGN.md §14):
+//                      ';'-separated per-tenant segments, each a preset
+//                      (write-heavy, balanced, churn, analytics) or k=v
+//                      fields (put=,get=,del=,scan=,scanlen=,dist=,theta=,
+//                      hot_frac=,hot_ops=)
+//   --arrival=MODE     closed | poisson | diurnal | spike — open-loop modes
+//                      schedule arrivals in virtual time and also measure
+//                      latency from the scheduled tick (no coordinated
+//                      omission)
+//   --arrival_rate=F   total scheduled ops/s across tenants (default 20000)
+//   --zipf_theta=F     Zipfian key popularity with this theta in (0, 1)
+//   --hotspot=FRAC:OPFRAC  hotspot key popularity — the first FRAC of each
+//                      tenant slice receives OPFRAC of the draws
+//   --ttl_frac=F       fraction of mixed-matrix puts tagged with a TTL and
+//                      deleted after --ttl_s virtual seconds
+//   --deadline_us=F    arrival-deadline for per-tenant deadline-miss
+//                      counters (default 1000)
 //
 // Values are validated: a non-numeric, negative, or trailing-garbage value
 // aborts with a clear message instead of silently parsing to 0.
@@ -135,6 +152,15 @@ struct BenchFlags {
   double arbiter_share = 1.0;     // fraction of NAND bandwidth; 0 = off
   std::string ndp = "off";        // off | auto | force
   int ndp_cores = 2;              // 0 = share the firmware core
+  // Mixed workload matrix (DESIGN.md §14).
+  std::string workload_mix;       // empty = default pure-put profile
+  std::string arrival = "closed"; // closed | poisson | diurnal | spike
+  double arrival_rate = 20000;    // scheduled ops/s across tenants
+  double zipf_theta = 0;          // 0 = uniform; else Zipfian theta in (0,1)
+  std::string hotspot;            // "FRAC:OPFRAC"; empty = off
+  double ttl_frac = 0;            // fraction of puts tagged with a TTL
+  double ttl_s = 2;               // TTL in virtual seconds
+  double deadline_us = 1000;      // arrival-deadline for miss counters
 
   static BenchFlags Parse(int argc, char** argv, double default_seconds) {
     BenchFlags f;
@@ -225,6 +251,45 @@ struct BenchFlags {
       } else if (strncmp(arg, "--ndp_cores=", 12) == 0) {
         f.ndp_cores =
             static_cast<int>(ParseFlagInt(arg + 12, "--ndp_cores"));
+      } else if (strncmp(arg, "--workload_mix=", 15) == 0) {
+        f.workload_mix = arg + 15;
+      } else if (strncmp(arg, "--arrival=", 10) == 0) {
+        f.arrival = arg + 10;
+        if (f.arrival != "closed" && f.arrival != "poisson" &&
+            f.arrival != "diurnal" && f.arrival != "spike") {
+          fprintf(stderr,
+                  "invalid value for --arrival: '%s' "
+                  "(expected closed, poisson, diurnal or spike)\n",
+                  arg + 10);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--arrival_rate=", 15) == 0) {
+        f.arrival_rate =
+            ParseFlagDouble(arg + 15, "--arrival_rate", /*min_value=*/1);
+      } else if (strncmp(arg, "--zipf_theta=", 13) == 0) {
+        f.zipf_theta = ParseFlagDouble(arg + 13, "--zipf_theta");
+        if (f.zipf_theta <= 0 || f.zipf_theta >= 1) {
+          fprintf(stderr,
+                  "invalid value for --zipf_theta: %s "
+                  "(must be in (0, 1))\n",
+                  arg + 13);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--hotspot=", 10) == 0) {
+        f.hotspot = arg + 10;
+      } else if (strncmp(arg, "--ttl_frac=", 11) == 0) {
+        f.ttl_frac = ParseFlagDouble(arg + 11, "--ttl_frac");
+        if (f.ttl_frac > 1.0) {
+          fprintf(stderr,
+                  "invalid value for --ttl_frac: %s "
+                  "(must be a fraction in [0, 1])\n",
+                  arg + 11);
+          exit(2);
+        }
+      } else if (strncmp(arg, "--ttl_s=", 8) == 0) {
+        f.ttl_s = ParseFlagDouble(arg + 8, "--ttl_s");
+      } else if (strncmp(arg, "--deadline_us=", 14) == 0) {
+        f.deadline_us = ParseFlagDouble(arg + 14, "--deadline_us");
       } else if (strcmp(arg, "--paper") == 0) {
         f.scale = 1.0;
         f.seconds = 600;

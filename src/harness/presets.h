@@ -9,6 +9,8 @@
 // result. scale=1.0 reproduces paper-scale parameters.
 #pragma once
 
+#include <string>
+
 #include "adoc/adoc_tuner.h"
 #include "core/config.h"
 #include "lsm/options.h"
@@ -73,6 +75,37 @@ inline core::KvaccelOptions PaperKvaccelOptions(
   o.dev.dma_chunk = 512 << 10;  // §V-E
   o.dev.compaction_enabled = true;
   return o;
+}
+
+// Operation mix for the --workload=mixed matrix (DESIGN.md §14).
+// Percentages are out of 100; scan_len is Nexts issued after each Seek.
+struct OpMix {
+  double put_pct = 100;
+  double get_pct = 0;
+  double delete_pct = 0;
+  double scan_pct = 0;
+  int scan_len = 64;
+};
+
+// Canned mixes for --workload_mix; a spec segment may also spell the
+// percentages out (`put=70,get=20,del=5,scan=5`). Catalogue:
+//   write-heavy — YCSB-A-ish update-dominant stream
+//   balanced    — mixed point ops with a little churn and scanning
+//   churn       — delete/TTL-heavy ingest (tombstone pressure)
+//   analytics   — long scans over a read-mostly stream
+inline bool LookupMixPreset(const std::string& name, OpMix* out) {
+  if (name == "write-heavy") {
+    *out = OpMix{90, 10, 0, 0, 64};
+  } else if (name == "balanced") {
+    *out = OpMix{50, 40, 5, 5, 64};
+  } else if (name == "churn") {
+    *out = OpMix{45, 25, 30, 0, 64};
+  } else if (name == "analytics") {
+    *out = OpMix{10, 40, 0, 50, 512};
+  } else {
+    return false;
+  }
+  return true;
 }
 
 inline adoc::AdocOptions PaperAdocOptions(int max_threads,

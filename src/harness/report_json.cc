@@ -17,6 +17,34 @@ const char* WorkloadName(WorkloadConfig::Type type) {
       return "readwhilewriting";
     case WorkloadConfig::Type::kSeekRandom:
       return "seekrandom";
+    case WorkloadConfig::Type::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+const char* ArrivalName(Arrival a) {
+  switch (a) {
+    case Arrival::kClosed:
+      return "closed";
+    case Arrival::kPoisson:
+      return "poisson";
+    case Arrival::kDiurnal:
+      return "diurnal";
+    case Arrival::kSpike:
+      return "spike";
+  }
+  return "?";
+}
+
+const char* KeyDistName(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform:
+      return "uniform";
+    case KeyDist::kZipfian:
+      return "zipfian";
+    case KeyDist::kHotspot:
+      return "hotspot";
   }
   return "?";
 }
@@ -162,6 +190,33 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
     w->EndArray();
   }
 
+  // Mixed workload matrix (DESIGN.md §14): arrival accounting measured from
+  // each op's scheduled tick, alongside the classic service-time view.
+  if (r.mixed_run == 1) {
+    w->Key("open_loop");
+    w->BeginObject();
+    w->Field("arrival", r.arrival_mode == 1   ? "poisson"
+                        : r.arrival_mode == 2 ? "diurnal"
+                        : r.arrival_mode == 3 ? "spike"
+                                              : "closed");
+    w->Field("scheduled_ops", r.scheduled_ops);
+    w->Field("completed_ops", r.completed_ops);
+    w->Field("abandoned_ops", r.abandoned_ops);
+    w->Field("deadline_misses", r.deadline_misses);
+    w->Field("ttl_deletes", r.ttl_deletes);
+    w->Field("puts", r.mixed_puts);
+    w->Field("gets", r.mixed_gets);
+    w->Field("deletes", r.mixed_deletes);
+    w->Field("scans", r.mixed_scans);
+    w->Field("service_p50_us", r.service_p50_us);
+    w->Field("service_p99_us", r.service_p99_us);
+    w->Field("service_p999_us", r.service_p999_us);
+    w->Field("arrival_p50_us", r.arrival_p50_us);
+    w->Field("arrival_p99_us", r.arrival_p99_us);
+    w->Field("arrival_p999_us", r.arrival_p999_us);
+    w->EndObject();
+  }
+
   if (!r.tenants.empty()) {
     w->Key("tenants");
     w->BeginArray();
@@ -171,6 +226,18 @@ void WriteRun(obs::JsonWriter* w, const RunResult& r) {
       w->Field("ops", t.ops);
       w->Field("put_p50_us", t.put_p50_us);
       w->Field("put_p99_us", t.put_p99_us);
+      w->Field("put_p999_us", t.put_p999_us);
+      w->Field("puts", t.puts);
+      w->Field("gets", t.gets);
+      w->Field("deletes", t.deletes);
+      w->Field("scans", t.scans);
+      w->Field("ttl_deletes", t.ttl_deletes);
+      w->Field("scheduled_ops", t.scheduled_ops);
+      w->Field("deadline_misses", t.deadline_misses);
+      w->Field("abandoned_ops", t.abandoned_ops);
+      w->Field("arrival_p50_us", t.arrival_p50_us);
+      w->Field("arrival_p99_us", t.arrival_p99_us);
+      w->Field("arrival_p999_us", t.arrival_p999_us);
       w->EndObject();
     }
     w->EndArray();
@@ -219,6 +286,16 @@ std::string JsonReportString(const BenchConfig& config,
   w.Field("writer_threads", config.workload.writer_threads);
   w.Field("batch_size", config.workload.batch_size);
   w.Field("seed", config.workload.seed);
+  w.Field("workload_mix", config.workload.mix_spec);
+  w.Field("arrival", ArrivalName(config.workload.arrival));
+  w.Field("arrival_rate", config.workload.arrival_rate);
+  w.Field("key_dist", KeyDistName(config.workload.default_profile.dist));
+  w.Field("zipf_theta", config.workload.default_profile.zipf_theta);
+  w.Field("hotspot_frac", config.workload.default_profile.hotspot_frac);
+  w.Field("hotspot_opfrac", config.workload.default_profile.hotspot_opfrac);
+  w.Field("ttl_frac", config.workload.ttl_frac);
+  w.Field("ttl_s", config.workload.ttl_s);
+  w.Field("deadline_us", config.workload.deadline_us);
   w.Field("max_subcompactions", config.sut.max_subcompactions);
   w.Field("compaction_rate_limit", config.sut.compaction_rate_limit);
   w.Field("shards", config.sut.shards);

@@ -1,6 +1,9 @@
 #include "harness/workload.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <memory>
 
 #include "check/failover.h"
@@ -22,6 +25,128 @@ std::string MakeKey(uint64_t v, size_t key_size) {
     key[key_size - 1 - i] = static_cast<char>((v >> (8 * i)) & 0xff);
   }
   return key;
+}
+
+namespace {
+
+bool ParseMixField(const std::string& field, TenantProfile* prof,
+                   std::string* err) {
+  const size_t eq = field.find('=');
+  if (eq == std::string::npos) {
+    if (err != nullptr) *err = "expected k=v, got '" + field + "'";
+    return false;
+  }
+  const std::string k = field.substr(0, eq);
+  const std::string v = field.substr(eq + 1);
+  char* end = nullptr;
+  const double num = strtod(v.c_str(), &end);
+  const bool numeric = end != v.c_str() && *end == '\0';
+  if (k == "dist") {
+    if (v == "uniform") {
+      prof->dist = KeyDist::kUniform;
+    } else if (v == "zipfian") {
+      prof->dist = KeyDist::kZipfian;
+    } else if (v == "hotspot") {
+      prof->dist = KeyDist::kHotspot;
+    } else {
+      if (err != nullptr) *err = "unknown dist '" + v + "'";
+      return false;
+    }
+    return true;
+  }
+  if (!numeric || num < 0) {
+    if (err != nullptr) *err = "bad value for '" + k + "': '" + v + "'";
+    return false;
+  }
+  if (k == "put") {
+    prof->mix.put_pct = num;
+  } else if (k == "get") {
+    prof->mix.get_pct = num;
+  } else if (k == "del") {
+    prof->mix.delete_pct = num;
+  } else if (k == "scan") {
+    prof->mix.scan_pct = num;
+  } else if (k == "scanlen") {
+    prof->mix.scan_len = static_cast<int>(num);
+  } else if (k == "theta") {
+    if (num <= 0 || num >= 1) {
+      if (err != nullptr) *err = "theta must be in (0, 1)";
+      return false;
+    }
+    prof->zipf_theta = num;
+    prof->dist = KeyDist::kZipfian;
+  } else if (k == "hot_frac") {
+    prof->hotspot_frac = num;
+    prof->dist = KeyDist::kHotspot;
+  } else if (k == "hot_ops") {
+    prof->hotspot_opfrac = num;
+    prof->dist = KeyDist::kHotspot;
+  } else {
+    if (err != nullptr) *err = "unknown mix field '" + k + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseWorkloadMix(const std::string& spec,
+                      std::vector<TenantProfile>* profiles, std::string* err) {
+  profiles->clear();
+  size_t seg_start = 0;
+  while (seg_start <= spec.size()) {
+    size_t seg_end = spec.find(';', seg_start);
+    if (seg_end == std::string::npos) seg_end = spec.size();
+    const std::string seg = spec.substr(seg_start, seg_end - seg_start);
+    if (seg.empty()) {
+      if (err != nullptr) *err = "empty mix segment";
+      return false;
+    }
+    TenantProfile prof;
+    bool preset_seeded = false;
+    bool pcts_zeroed = false;
+    size_t f_start = 0;
+    bool first = true;
+    bool ok = true;
+    while (f_start <= seg.size() && ok) {
+      size_t f_end = seg.find(',', f_start);
+      if (f_end == std::string::npos) f_end = seg.size();
+      const std::string field = seg.substr(f_start, f_end - f_start);
+      // A leading preset name seeds the profile; k=v fields override it.
+      if (first && field.find('=') == std::string::npos) {
+        if (LookupMixPreset(field, &prof.mix)) {
+          preset_seeded = true;
+        } else {
+          if (err != nullptr) *err = "unknown mix preset '" + field + "'";
+          ok = false;
+        }
+      } else {
+        // The first explicit percentage replaces the default pure-put mix
+        // wholesale (so "get=100" means reads only, not 100+100).
+        const std::string k = field.substr(0, field.find('='));
+        if (!preset_seeded && !pcts_zeroed &&
+            (k == "put" || k == "get" || k == "del" || k == "scan")) {
+          prof.mix = OpMix{0, 0, 0, 0, prof.mix.scan_len};
+          pcts_zeroed = true;
+        }
+        ok = ParseMixField(field, &prof, err);
+      }
+      first = false;
+      f_start = f_end + 1;
+    }
+    if (!ok) return false;
+    const double total = prof.mix.put_pct + prof.mix.get_pct +
+                         prof.mix.delete_pct + prof.mix.scan_pct;
+    if (total <= 0 || total > 100.0001) {
+      if (err != nullptr) {
+        *err = "mix percentages must sum to (0, 100]";
+      }
+      return false;
+    }
+    profiles->push_back(prof);
+    seg_start = seg_end + 1;
+  }
+  return true;
 }
 
 namespace {
@@ -56,6 +181,23 @@ class KeyReservoir {
   std::vector<uint64_t> keys_;
 };
 
+// Per-tenant foreground accounting. `service` measures issue -> completion;
+// `arrival` measures scheduled-arrival -> completion (open-loop modes), the
+// coordinated-omission-free number (DESIGN.md §14).
+struct TenantState {
+  Histogram service;
+  Histogram arrival;
+  uint64_t ops = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t ttl_deletes = 0;
+  uint64_t scheduled = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t abandoned = 0;
+};
+
 struct Shared {
   SystemUnderTest* sut = nullptr;
   sim::SimEnv* env = nullptr;
@@ -66,8 +208,7 @@ struct Shared {
   uint64_t scan_ops_done = 0;
   KeyReservoir reservoir{1 << 16};
   // Per-tenant foreground accounting (index = tenant id; size >= 1).
-  std::vector<Histogram> tenant_latency;
-  std::vector<uint64_t> tenant_ops;
+  std::vector<TenantState> tenants;
   bool stop = false;
   // Partition runs: a fenced primary refuses writes (Busy) until the link
   // heals and the lease renews; writers back off and retry instead of
@@ -77,6 +218,102 @@ struct Shared {
   uint64_t write_errors_ridden = 0;
 };
 
+// Tenant key span: slice width (tenants carve key_space into equal
+// contiguous slices; one tenant owns the whole space).
+uint64_t TenantSpan(const WorkloadConfig& wl) {
+  return std::max<uint64_t>(1, wl.key_space / std::max(1, wl.tenants));
+}
+
+// Draws key offsets in [0, span) shaped by a tenant profile. The uniform
+// path draws from the caller's RNG with the exact historical sequence, so
+// default-profile runs stay byte-identical to the pre-matrix harness.
+class KeyChooser {
+ public:
+  KeyChooser(const TenantProfile& prof, uint64_t span, uint64_t seed)
+      : span_(span) {
+    if (prof.dist == KeyDist::kZipfian) {
+      zipf_ = std::make_unique<ZipfianGenerator>(span, prof.zipf_theta, seed);
+    } else if (prof.dist == KeyDist::kHotspot) {
+      hot_ = std::make_unique<HotspotGenerator>(span, prof.hotspot_frac,
+                                                prof.hotspot_opfrac, seed);
+    }
+  }
+
+  uint64_t Next(Random64* rng) {
+    if (zipf_ != nullptr) {
+      // Scramble the rank so the hot set spreads across the whole slice
+      // (YCSB's scrambled Zipfian) instead of piling onto its front — the
+      // contiguous-hot-range case is what kHotspot is for.
+      return Mix(zipf_->Next()) % span_;
+    }
+    if (hot_ != nullptr) return hot_->Next();
+    return rng->Uniform(span_);
+  }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t span_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::unique_ptr<HotspotGenerator> hot_;
+};
+
+// Lazily generates absolute arrival ticks for one actor: a Poisson process
+// (exponential gaps) whose instantaneous rate follows the configured curve.
+// Virtual-time-driven and per-actor-seeded, so schedules are deterministic.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(const WorkloadConfig& wl, Nanos start, double rate_ops,
+                  uint64_t seed)
+      : wl_(wl),
+        start_(start),
+        rate_(std::max(rate_ops, 1e-3)),
+        rng_(seed),
+        next_(start) {}
+
+  Nanos Next() {
+    const double r = RateAt(next_);
+    // Exponential gap with mean 1/r; log1p(-u) keeps precision near u=0.
+    const double gap_s = -std::log1p(-rng_.NextDouble()) / r;
+    next_ += std::max<Nanos>(1, FromSecs(gap_s));
+    return next_;
+  }
+
+ private:
+  double RateAt(Nanos t) const {
+    constexpr double kPi = 3.14159265358979323846;
+    const double s = ToSecs(t - start_);
+    switch (wl_.arrival) {
+      case Arrival::kDiurnal: {
+        // One "day" per period: trough (min_frac * rate) at t=0, peak (rate)
+        // mid-period.
+        const double phase = 2.0 * kPi * s / wl_.diurnal_period_s;
+        const double f =
+            wl_.diurnal_min_frac +
+            (1.0 - wl_.diurnal_min_frac) * 0.5 * (1.0 - std::cos(phase));
+        return rate_ * f;
+      }
+      case Arrival::kSpike:
+        return std::fmod(s, wl_.spike_every_s) < wl_.spike_dur_s
+                   ? rate_ * wl_.spike_mult
+                   : rate_;
+      default:
+        return rate_;
+    }
+  }
+
+  const WorkloadConfig& wl_;
+  Nanos start_;
+  double rate_;
+  Random64 rng_;
+  Nanos next_;
+};
+
 void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
                 int tenant) {
   Random64 rng(thread_seed);
@@ -84,9 +321,12 @@ void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
   const int batch_size = std::max(1, wl.batch_size);
   // Tenant t draws from its contiguous key-space slice; with one tenant the
   // slice is the whole space and the draw sequence is unchanged.
-  const uint64_t span =
-      std::max<uint64_t>(1, wl.key_space / std::max(1, wl.tenants));
+  const uint64_t span = TenantSpan(wl);
   const uint64_t base = static_cast<uint64_t>(tenant) * span;
+  // Skewed popularity applies to the classic workloads too; the default
+  // uniform profile reproduces the historical draw sequence exactly.
+  KeyChooser chooser(wl.ProfileFor(tenant), span, thread_seed + 104729);
+  TenantState& ts = sh->tenants[static_cast<size_t>(tenant)];
   lsm::WriteBatch batch;
   std::vector<uint64_t> drawn;
   drawn.reserve(batch_size);
@@ -94,7 +334,7 @@ void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
     batch.Clear();
     drawn.clear();
     for (int i = 0; i < batch_size; i++) {
-      uint64_t k = base + rng.Uniform(span);
+      uint64_t k = base + chooser.Next(&rng);
       batch.Put(MakeKey(k, wl.key_size),
                 Value::Synthetic(value_seed++, wl.value_size));
       drawn.push_back(k);
@@ -110,12 +350,126 @@ void WriterLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
       }
       break;  // e.g. file system full: end of useful run
     }
-    sh->tenant_ops[static_cast<size_t>(tenant)] +=
-        static_cast<uint64_t>(batch_size);
-    sh->tenant_latency[static_cast<size_t>(tenant)].Add(
-        static_cast<uint64_t>(sh->env->Now() - op_start));
+    ts.ops += static_cast<uint64_t>(batch_size);
+    ts.puts += static_cast<uint64_t>(batch_size);
+    ts.service.Add(static_cast<uint64_t>(sh->env->Now() - op_start));
     sh->writes_done += static_cast<uint64_t>(batch_size);
     for (uint64_t k : drawn) sh->reservoir.Offer(k, &rng);
+  }
+}
+
+// One actor of the mixed workload matrix (DESIGN.md §14): an open-loop (or
+// closed, with arrival == kClosed) stream of put/get/delete/scan ops over the
+// actor's tenant slice, with optional TTL churn. Open-loop, the actor is a
+// single server draining its own arrival schedule: it sleeps until the next
+// scheduled tick when idle and issues immediately (late) when backlogged, so
+// queueing delay behind a stall lands in the arrival-latency histogram
+// instead of silently stretching the schedule (coordinated omission).
+void MixedLoop(const WorkloadConfig& wl, Shared* sh, uint64_t thread_seed,
+               int tenant, double rate_ops) {
+  Random64 rng(thread_seed);
+  uint64_t value_seed = thread_seed << 32;
+  const TenantProfile& prof = wl.ProfileFor(tenant);
+  const uint64_t span = TenantSpan(wl);
+  const uint64_t base = static_cast<uint64_t>(tenant) * span;
+  KeyChooser chooser(prof, span, thread_seed + 104729);
+  const bool open_loop = wl.arrival != Arrival::kClosed;
+  ArrivalSchedule sched(wl, sh->window_start, rate_ops,
+                        thread_seed + 15485863);
+  const Nanos deadline = FromMicros(wl.deadline_us);
+  TenantState& ts = sh->tenants[static_cast<size_t>(tenant)];
+  // Keys this actor wrote with a TTL, with their expiry ticks. TTLs are
+  // constant, so the front is always the earliest expiry.
+  std::deque<std::pair<Nanos, uint64_t>> ttl_due;
+  lsm::ReadOptions scan_ropts;
+  scan_ropts.readahead_blocks = 16;
+
+  while (!sh->stop) {
+    Nanos sched_at = 0;
+    if (open_loop) {
+      sched_at = sched.Next();
+      if (sched_at >= sh->window_end) break;
+      ts.scheduled++;
+      if (sh->env->Now() >= sh->window_end) {
+        // The window closed with this arrival still queued behind the
+        // backlog: a latency casualty, not an omission. Keep draining the
+        // schedule so every missed in-window arrival is counted.
+        ts.abandoned++;
+        ts.deadline_misses++;
+        continue;
+      }
+      if (sh->env->Now() < sched_at) sh->env->SleepUntil(sched_at);
+    } else if (sh->env->Now() >= sh->window_end) {
+      break;
+    }
+
+    // TTL churn: delete entries whose TTL lapsed by now.
+    while (!ttl_due.empty() && ttl_due.front().first <= sh->env->Now()) {
+      const uint64_t k = ttl_due.front().second;
+      ttl_due.pop_front();
+      if (sh->sut->Delete(MakeKey(k, wl.key_size)).ok()) {
+        ts.ttl_deletes++;
+        sh->writes_done++;
+      }
+    }
+
+    const Nanos issue = sh->env->Now();
+    if (!open_loop) sched_at = issue;
+    const double pick = rng.NextDouble() * 100.0;
+    Status s;
+    if (pick < prof.mix.put_pct) {
+      const uint64_t k = base + chooser.Next(&rng);
+      s = sh->sut->Put(MakeKey(k, wl.key_size),
+                       Value::Synthetic(value_seed++, wl.value_size));
+      if (s.ok()) {
+        ts.puts++;
+        sh->writes_done++;
+        sh->reservoir.Offer(k, &rng);
+        if (wl.ttl_frac > 0 && rng.NextDouble() < wl.ttl_frac) {
+          ttl_due.emplace_back(issue + FromSecs(wl.ttl_s), k);
+        }
+      }
+    } else if (pick < prof.mix.put_pct + prof.mix.get_pct) {
+      const uint64_t k = base + chooser.Next(&rng);
+      Value v;
+      (void)sh->sut->Get(MakeKey(k, wl.key_size), &v);
+      ts.gets++;
+      sh->reads_done++;
+    } else if (pick <
+               prof.mix.put_pct + prof.mix.get_pct + prof.mix.delete_pct) {
+      // Churn: deletes follow the same popularity shape as writes, so hot
+      // data is also what gets tombstoned.
+      const uint64_t k = base + chooser.Next(&rng);
+      s = sh->sut->Delete(MakeKey(k, wl.key_size));
+      if (s.ok()) {
+        ts.deletes++;
+        sh->writes_done++;
+      }
+    } else {
+      const uint64_t k = base + chooser.Next(&rng);
+      auto it = sh->sut->NewIterator(scan_ropts);
+      it->Seek(MakeKey(k, wl.key_size));
+      sh->scan_ops_done++;  // the Seek
+      for (int n = 0; n < prof.mix.scan_len && it->Valid(); n++) {
+        it->Next();
+        sh->scan_ops_done++;
+      }
+      ts.scans++;
+    }
+    if (!s.ok()) {
+      if (sh->ride_out_write_errors &&
+          (s.IsBusy() || s.IsIOError() || s.IsTryAgain())) {
+        sh->write_errors_ridden++;
+        sh->env->SleepFor(FromMillis(1));
+        continue;
+      }
+      break;  // e.g. file system full: end of useful run
+    }
+    const Nanos done = sh->env->Now();
+    ts.ops++;
+    ts.service.Add(static_cast<uint64_t>(done - issue));
+    ts.arrival.Add(static_cast<uint64_t>(done - sched_at));
+    if (done > sched_at + deadline) ts.deadline_misses++;
   }
 }
 
@@ -490,10 +844,7 @@ RunResult RunBenchmark(const BenchConfig& config) {
   RunResult result;
   Shared sh;
   sh.env = &env;
-  sh.tenant_latency.resize(
-      static_cast<size_t>(std::max(1, config.workload.tenants)));
-  sh.tenant_ops.resize(
-      static_cast<size_t>(std::max(1, config.workload.tenants)), 0);
+  sh.tenants.resize(static_cast<size_t>(std::max(1, config.workload.tenants)));
 
   env.Spawn("bench-main", [&] {
     std::unique_ptr<SystemUnderTest> sut;
@@ -582,6 +933,28 @@ RunResult RunBenchmark(const BenchConfig& config) {
         workers.push_back(env.Spawn(
             "seeker", [&] { SeekLoop(wl, &sh, wl.seed + 1); }));
         break;
+      case WorkloadConfig::Type::kMixed: {
+        // Actors mirror the writer topology (>= 1 per tenant); the open-loop
+        // rate splits evenly across tenants, then across a tenant's actors.
+        const int actors = std::max({1, wl.writer_threads, wl.tenants});
+        std::vector<int> per_tenant(
+            static_cast<size_t>(std::max(1, wl.tenants)), 0);
+        for (int t = 0; t < actors; t++) {
+          per_tenant[static_cast<size_t>(wl.tenants > 1 ? t % wl.tenants
+                                                        : 0)]++;
+        }
+        const double tenant_rate = wl.arrival_rate / std::max(1, wl.tenants);
+        for (int t = 0; t < actors; t++) {
+          const int tenant = wl.tenants > 1 ? t % wl.tenants : 0;
+          const double rate =
+              tenant_rate / per_tenant[static_cast<size_t>(tenant)];
+          workers.push_back(env.Spawn(
+              "mixed" + std::to_string(t), [&, t, tenant, rate] {
+                MixedLoop(wl, &sh, writer_seed(t), tenant, rate);
+              }));
+        }
+        break;
+      }
     }
     for (auto* w : workers) env.Join(w);
     Nanos window_end = std::min(env.Now(), sh.window_end);
@@ -760,18 +1133,56 @@ RunResult RunBenchmark(const BenchConfig& config) {
       }
     }
 
-    // Per-tenant breakdown.
-    if (wl.tenants > 1) {
-      for (int t = 0; t < wl.tenants; t++) {
+    // Per-tenant breakdown (multi-tenant runs; the mixed matrix always
+    // reports its tenants, even with one).
+    const bool mixed = wl.type == WorkloadConfig::Type::kMixed;
+    if (mixed || wl.tenants > 1) {
+      for (int t = 0; t < std::max(1, wl.tenants); t++) {
+        const TenantState& st = sh.tenants[static_cast<size_t>(t)];
         TenantSummary ts;
         ts.tenant = t;
-        ts.ops = sh.tenant_ops[static_cast<size_t>(t)];
-        ts.put_p50_us =
-            sh.tenant_latency[static_cast<size_t>(t)].Percentile(50) / 1e3;
-        ts.put_p99_us =
-            sh.tenant_latency[static_cast<size_t>(t)].Percentile(99) / 1e3;
+        ts.ops = st.ops;
+        ts.put_p50_us = st.service.Percentile(50) / 1e3;
+        ts.put_p99_us = st.service.Percentile(99) / 1e3;
+        ts.put_p999_us = st.service.Percentile(99.9) / 1e3;
+        ts.puts = st.puts;
+        ts.gets = st.gets;
+        ts.deletes = st.deletes;
+        ts.scans = st.scans;
+        ts.ttl_deletes = st.ttl_deletes;
+        ts.scheduled_ops = st.scheduled;
+        ts.deadline_misses = st.deadline_misses;
+        ts.abandoned_ops = st.abandoned;
+        ts.arrival_p50_us = st.arrival.Percentile(50) / 1e3;
+        ts.arrival_p99_us = st.arrival.Percentile(99) / 1e3;
+        ts.arrival_p999_us = st.arrival.Percentile(99.9) / 1e3;
         result.tenants.push_back(ts);
       }
+    }
+    // Mixed matrix rollup (the report's open_loop block).
+    if (mixed) {
+      result.mixed_run = 1;
+      result.arrival_mode = static_cast<int>(wl.arrival);
+      Histogram all_service, all_arrival;
+      for (const TenantState& st : sh.tenants) {
+        all_service.Merge(st.service);
+        all_arrival.Merge(st.arrival);
+        result.scheduled_ops += st.scheduled;
+        result.completed_ops += st.ops;
+        result.abandoned_ops += st.abandoned;
+        result.deadline_misses += st.deadline_misses;
+        result.ttl_deletes += st.ttl_deletes;
+        result.mixed_puts += st.puts;
+        result.mixed_gets += st.gets;
+        result.mixed_deletes += st.deletes;
+        result.mixed_scans += st.scans;
+      }
+      result.service_p50_us = all_service.Percentile(50) / 1e3;
+      result.service_p99_us = all_service.Percentile(99) / 1e3;
+      result.service_p999_us = all_service.Percentile(99.9) / 1e3;
+      result.arrival_p50_us = all_arrival.Percentile(50) / 1e3;
+      result.arrival_p99_us = all_arrival.Percentile(99) / 1e3;
+      result.arrival_p999_us = all_arrival.Percentile(99.9) / 1e3;
     }
 
     lsm::BlockCacheStats cache = sut->cache_stats();

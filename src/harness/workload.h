@@ -4,6 +4,12 @@
 //   C: readwhilewriting    — 8:2
 //   D: seekrandom          — Seek + 1024 Next after an initial bulk fill
 //
+// Beyond the paper's closed-loop Table IV gauntlet, the `mixed` workload
+// matrix (DESIGN.md §14) drives skewed (Zipfian/hotspot), time-varying
+// (Poisson/diurnal/spike) open-loop op streams with TTL churn, scans and
+// per-tenant profiles, measuring latency from each op's *scheduled* arrival
+// so stall queueing is not hidden by coordinated omission.
+//
 // RunBenchmark assembles a fresh simulation world (SSD, file system, 8-core
 // host) per configuration, drives the workload for a virtual-time window and
 // extracts every signal the paper's figures need.
@@ -13,13 +19,36 @@
 #include <vector>
 
 #include "common/units.h"
+#include "harness/presets.h"
 #include "harness/sut.h"
 #include "obs/metrics.h"
 
 namespace kvaccel::harness {
 
+// Key-popularity shape for key draws within a tenant's key-space slice.
+enum class KeyDist {
+  kUniform,
+  kZipfian,  // scrambled Zipfian ranks (YCSB-style), hot keys spread out
+  kHotspot,  // contiguous hot range at the front of the slice
+};
+
+// Arrival process for the mixed workload. kClosed issues the next op as soon
+// as the previous completes (classic db_bench); the rest schedule arrivals in
+// virtual time as a Poisson process whose instantaneous rate follows the
+// named curve, and latency is additionally measured from the scheduled tick.
+enum class Arrival { kClosed, kPoisson, kDiurnal, kSpike };
+
+// Op mix + key-popularity shape for one tenant's stream.
+struct TenantProfile {
+  OpMix mix;
+  KeyDist dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;    // dist == kZipfian; must be in (0, 1)
+  double hotspot_frac = 0.1;   // dist == kHotspot: hot fraction of the slice
+  double hotspot_opfrac = 0.9; // ... receiving this fraction of draws
+};
+
 struct WorkloadConfig {
-  enum class Type { kFillRandom, kReadWhileWriting, kSeekRandom };
+  enum class Type { kFillRandom, kReadWhileWriting, kSeekRandom, kMixed };
 
   Type type = Type::kFillRandom;
   Nanos duration = FromSecs(60);
@@ -44,7 +73,50 @@ struct WorkloadConfig {
   uint64_t seek_ops = 60000;
   int nexts_per_seek = 1024;
   uint64_t seed = 42;
+
+  // ---- Mixed workload matrix (Type::kMixed; DESIGN.md §14) ----
+  // Default stream profile, used by every tenant without an explicit entry
+  // in `profiles`. Tenant t uses profiles[t % profiles.size()].
+  TenantProfile default_profile;
+  std::vector<TenantProfile> profiles;
+  std::string mix_spec;  // raw --workload_mix text, echoed into the report
+  Arrival arrival = Arrival::kClosed;
+  // Total scheduled ops/s across all tenants (open-loop modes). The rate is
+  // split evenly across tenants, then across each tenant's actors.
+  double arrival_rate = 20000;
+  // Diurnal curve: rate swings sinusoidally between min_frac*rate (trough,
+  // at t=0) and rate (peak) with this period.
+  double diurnal_period_s = 20;
+  double diurnal_min_frac = 0.25;
+  // Spike curve: rate*spike_mult for spike_dur_s at the top of every
+  // spike_every_s window, base rate otherwise.
+  double spike_every_s = 10;
+  double spike_dur_s = 1;
+  double spike_mult = 8;
+  // TTL churn: this fraction of puts is tagged with a TTL; the writing actor
+  // deletes the key once ttl_s of virtual time elapse.
+  double ttl_frac = 0;
+  double ttl_s = 2;
+  // An op completing more than this after its scheduled arrival counts as a
+  // deadline miss (closed mode: measured from issue).
+  double deadline_us = 1000;
+
+  // Profile for tenant t (see `profiles`).
+  const TenantProfile& ProfileFor(int t) const {
+    if (profiles.empty()) return default_profile;
+    return profiles[static_cast<size_t>(t) % profiles.size()];
+  }
 };
+
+// Parses a --workload_mix spec into per-tenant profiles: ';'-separated
+// segments, one per tenant (tenant t gets segment t % count). Each segment
+// is a preset name (LookupMixPreset) or a comma list of k=v fields:
+//   put=70,get=20,del=5,scan=5[,scanlen=N][,dist=uniform|zipfian|hotspot]
+//   [,theta=F][,hot_frac=F][,hot_ops=F]
+// A preset name may be followed by k=v overrides ("churn,dist=zipfian").
+// Returns false and sets *err on a malformed spec.
+bool ParseWorkloadMix(const std::string& spec,
+                      std::vector<TenantProfile>* profiles, std::string* err);
 
 struct BenchConfig {
   SutConfig sut;
@@ -89,12 +161,29 @@ struct ShardSummary {
   double arbiter_throttle_seconds = 0;
 };
 
-// Per-tenant slice of a multi-tenant run.
+// Per-tenant slice of a multi-tenant run. Service percentiles measure from
+// op issue; arrival percentiles measure from the scheduled arrival tick
+// (open-loop modes), so queueing behind a stall is included — the
+// coordinated-omission-free view (DESIGN.md §14).
 struct TenantSummary {
   int tenant = 0;
   uint64_t ops = 0;
-  double put_p50_us = 0;
+  double put_p50_us = 0;   // service-time percentiles, all op kinds
   double put_p99_us = 0;
+  double put_p999_us = 0;
+  // Mixed-matrix op counts (zero outside Type::kMixed).
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t ttl_deletes = 0;
+  // Open-loop arrival accounting.
+  uint64_t scheduled_ops = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t abandoned_ops = 0;  // scheduled inside the window, never issued
+  double arrival_p50_us = 0;
+  double arrival_p99_us = 0;
+  double arrival_p999_us = 0;
 };
 
 struct RunResult {
@@ -212,8 +301,30 @@ struct RunResult {
   // shard saw no writes; 1.0 = perfectly even).
   std::vector<ShardSummary> shards;
   double shard_fairness_ratio = 0;
-  // Multi-tenant runs: one entry per tenant (empty when tenants <= 1).
+  // Multi-tenant runs: one entry per tenant (empty when tenants <= 1 and the
+  // workload is not the mixed matrix, which always reports its tenants).
   std::vector<TenantSummary> tenants;
+
+  // Mixed workload matrix rollup (DESIGN.md §14). mixed_run gates the
+  // report's open_loop block; arrival_mode mirrors Arrival (0 closed,
+  // 1 poisson, 2 diurnal, 3 spike).
+  int mixed_run = 0;
+  int arrival_mode = 0;
+  uint64_t scheduled_ops = 0;    // arrivals the rate curve produced in-window
+  uint64_t completed_ops = 0;
+  uint64_t abandoned_ops = 0;    // scheduled, never issued (backlog at end)
+  uint64_t deadline_misses = 0;  // completed late + abandoned
+  uint64_t ttl_deletes = 0;
+  uint64_t mixed_puts = 0;
+  uint64_t mixed_gets = 0;
+  uint64_t mixed_deletes = 0;
+  uint64_t mixed_scans = 0;
+  double service_p50_us = 0;   // issue -> completion
+  double service_p99_us = 0;
+  double service_p999_us = 0;
+  double arrival_p50_us = 0;   // scheduled arrival -> completion
+  double arrival_p99_us = 0;
+  double arrival_p999_us = 0;
 
   // Full registry snapshot harvested at window end (obs/metrics.h); the
   // machine-readable superset of the scalar fields above.

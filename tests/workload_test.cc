@@ -1,0 +1,384 @@
+// Workload-matrix tests (DESIGN.md §14): Zipfian/hotspot generator shape and
+// boundary behaviour, zeta-cache construction cost, mix-spec parsing, and the
+// open-loop arrival engine's coordinated-omission-free accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "harness/presets.h"
+#include "harness/report_json.h"
+#include "harness/workload.h"
+
+namespace kvaccel::harness {
+namespace {
+
+// ---- Satellite: Next() must never reach items_ (Gray-method rounding) ----
+
+TEST(ZipfianBoundaryTest, UniformBoundaryNeverReachesItems) {
+  for (double theta : {0.2, 0.5, 0.8, 0.99}) {
+    for (uint64_t items : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 20}) {
+      ZipfianGenerator z(items, theta, 1);
+      EXPECT_EQ(z.FromUniform(0.0), 0u);
+      // Hammer u -> 1.0: the power term approaches 1.0 and the unclamped
+      // cast lands exactly on items_ (one past the last rank).
+      double u = 1.0;
+      for (int i = 0; i < 300; i++) {
+        EXPECT_LT(z.FromUniform(u), items)
+            << "items=" << items << " theta=" << theta << " u=" << u;
+        u = std::nextafter(u, 0.0);
+      }
+    }
+  }
+}
+
+TEST(ZipfianBoundaryTest, SeededDrawsStayInRange) {
+  ZipfianGenerator z(10, 0.99, 20260809);
+  for (int i = 0; i < 1000000; i++) {
+    ASSERT_LT(z.Next(), 10u) << "draw " << i;
+  }
+}
+
+// ---- Satellite: zeta is cached/extended, not recomputed per constructor ----
+
+TEST(ZetaCacheTest, RepeatConstructionAddsNoTerms) {
+  const double theta = 0.7654321;  // unique to this test: cold cache
+  const uint64_t n = 300000;
+  const uint64_t before = ZipfianGenerator::ZetaTermsComputed();
+  { ZipfianGenerator first(n, theta, 1); }
+  const uint64_t after_first = ZipfianGenerator::ZetaTermsComputed();
+  // First construction pays the exact sum once (n terms + the zeta(2) pair).
+  EXPECT_GE(after_first - before, n);
+  EXPECT_LE(after_first - before, n + 2);
+  // A multi-tenant fleet over the same keyspace must be free.
+  for (uint64_t s = 0; s < 64; s++) ZipfianGenerator g(n, theta, s);
+  EXPECT_EQ(ZipfianGenerator::ZetaTermsComputed(), after_first);
+}
+
+TEST(ZetaCacheTest, GrownKeyspaceExtendsIncrementally) {
+  const double theta = 0.8123457;  // unique to this test: cold cache
+  { ZipfianGenerator small(200000, theta, 1); }
+  const uint64_t after_small = ZipfianGenerator::ZetaTermsComputed();
+  { ZipfianGenerator big(250000, theta, 1); }
+  const uint64_t after_big = ZipfianGenerator::ZetaTermsComputed();
+  // Growing 200k -> 250k costs only the 50k delta, not a fresh 250k sum.
+  EXPECT_EQ(after_big - after_small, 50000u);
+}
+
+TEST(ZetaCacheTest, CachedSumsMatchFreshSums) {
+  // Same theta constructed at increasing sizes (cache extensions) must
+  // produce the same draw sequence as a cold generator of the final size.
+  const double theta = 0.6543219;  // unique to this test
+  { ZipfianGenerator warm1(1000, theta, 1); }
+  { ZipfianGenerator warm2(50000, theta, 1); }
+  ZipfianGenerator via_cache(100000, theta, 99);
+  const double theta2 = theta;
+  ZipfianGenerator direct(100000, theta2, 99);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(via_cache.Next(), direct.Next());
+}
+
+// ---- Satellite: distribution-shape tests, deterministic per seed ----
+
+TEST(ZipfianShapeTest, TopRankMassMatchesAnalytic) {
+  const uint64_t n = 1000;
+  const double theta = 0.99;
+  double zeta = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    zeta += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  const int draws = 200000;
+  std::vector<uint32_t> counts(n, 0);
+  ZipfianGenerator z(n, theta, 777);
+  for (int i = 0; i < draws; i++) {
+    uint64_t v = z.Next();
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  // Rank-0 mass: 1/zeta ≈ 0.133 for (1000, 0.99).
+  const double top1 = static_cast<double>(counts[0]) / draws;
+  EXPECT_NEAR(top1, 1.0 / zeta, 0.02);
+  // Top-10 mass vs the analytic partial sum.
+  double analytic10 = 0;
+  for (uint64_t i = 1; i <= 10; i++) {
+    analytic10 += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  analytic10 /= zeta;
+  double top10 = 0;
+  for (int i = 0; i < 10; i++) top10 += counts[i];
+  EXPECT_NEAR(top10 / draws, analytic10, 0.02);
+}
+
+TEST(ZipfianShapeTest, DeterministicPerSeed) {
+  ZipfianGenerator a(4096, 0.99, 31337);
+  ZipfianGenerator b(4096, 0.99, 31337);
+  ZipfianGenerator c(4096, 0.99, 31338);
+  bool diverged = false;
+  for (int i = 0; i < 4096; i++) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // a different seed is a different stream
+}
+
+TEST(HotspotShapeTest, HotRangeReceivesOpFraction) {
+  HotspotGenerator h(10000, 0.1, 0.9, 42);
+  EXPECT_EQ(h.hot_items(), 1000u);
+  const int draws = 100000;
+  int hot = 0;
+  for (int i = 0; i < draws; i++) {
+    uint64_t v = h.Next();
+    ASSERT_LT(v, 10000u);
+    if (v < 1000) hot++;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / draws, 0.9, 0.01);
+}
+
+TEST(HotspotShapeTest, DeterministicPerSeedAndDegenerateRange) {
+  HotspotGenerator a(512, 0.25, 0.8, 7);
+  HotspotGenerator b(512, 0.25, 0.8, 7);
+  for (int i = 0; i < 2048; i++) EXPECT_EQ(a.Next(), b.Next());
+  // hot_frac=1: everything is hot; draws must stay in range.
+  HotspotGenerator all_hot(16, 1.0, 0.5, 9);
+  for (int i = 0; i < 256; i++) EXPECT_LT(all_hot.Next(), 16u);
+}
+
+// ---- Mix-spec parsing ----
+
+TEST(ParseWorkloadMixTest, PresetsAndOverrides) {
+  std::vector<TenantProfile> profs;
+  std::string err;
+  ASSERT_TRUE(ParseWorkloadMix("write-heavy", &profs, &err)) << err;
+  ASSERT_EQ(profs.size(), 1u);
+  EXPECT_DOUBLE_EQ(profs[0].mix.put_pct, 90);
+  EXPECT_DOUBLE_EQ(profs[0].mix.get_pct, 10);
+  EXPECT_EQ(profs[0].dist, KeyDist::kUniform);
+
+  ASSERT_TRUE(ParseWorkloadMix("churn,dist=zipfian,theta=0.9", &profs, &err))
+      << err;
+  EXPECT_DOUBLE_EQ(profs[0].mix.delete_pct, 30);
+  EXPECT_EQ(profs[0].dist, KeyDist::kZipfian);
+  EXPECT_DOUBLE_EQ(profs[0].zipf_theta, 0.9);
+}
+
+TEST(ParseWorkloadMixTest, ExplicitPercentagesReplaceDefault) {
+  std::vector<TenantProfile> profs;
+  std::string err;
+  ASSERT_TRUE(ParseWorkloadMix("get=60,scan=40,scanlen=128", &profs, &err))
+      << err;
+  EXPECT_DOUBLE_EQ(profs[0].mix.put_pct, 0);  // not the default 100
+  EXPECT_DOUBLE_EQ(profs[0].mix.get_pct, 60);
+  EXPECT_DOUBLE_EQ(profs[0].mix.scan_pct, 40);
+  EXPECT_EQ(profs[0].mix.scan_len, 128);
+}
+
+TEST(ParseWorkloadMixTest, PerTenantSegments) {
+  std::vector<TenantProfile> profs;
+  std::string err;
+  ASSERT_TRUE(ParseWorkloadMix(
+      "write-heavy;analytics,dist=hotspot,hot_frac=0.2,hot_ops=0.8", &profs,
+      &err))
+      << err;
+  ASSERT_EQ(profs.size(), 2u);
+  EXPECT_DOUBLE_EQ(profs[0].mix.put_pct, 90);
+  EXPECT_DOUBLE_EQ(profs[1].mix.scan_pct, 50);
+  EXPECT_EQ(profs[1].dist, KeyDist::kHotspot);
+  EXPECT_DOUBLE_EQ(profs[1].hotspot_frac, 0.2);
+}
+
+TEST(ParseWorkloadMixTest, RejectsMalformedSpecs) {
+  std::vector<TenantProfile> profs;
+  std::string err;
+  EXPECT_FALSE(ParseWorkloadMix("no-such-preset", &profs, &err));
+  EXPECT_FALSE(ParseWorkloadMix("put=abc", &profs, &err));
+  EXPECT_FALSE(ParseWorkloadMix("put=50,theta=1.5", &profs, &err));
+  EXPECT_FALSE(ParseWorkloadMix("put=90,get=90", &profs, &err));  // > 100
+  EXPECT_FALSE(ParseWorkloadMix("", &profs, &err));
+  EXPECT_FALSE(ParseWorkloadMix("write-heavy;;churn", &profs, &err));
+}
+
+// ---- Open-loop engine ----
+
+// Satellite: deadline-miss counters go nonzero when stalls overlap a spike.
+// Tiny-scale RocksDB stalls under sustained 4 KB ingest; the spike drives
+// arrivals far past what the stalled writer can drain, so the backlog shows
+// up as arrival-deadline misses (and the arrival view dominates the
+// service-time view, which coordinated omission used to hide).
+TEST(OpenLoopTest, SpikeOverStallCountsDeadlineMisses) {
+  BenchConfig c;
+  c.scale = 0.03125;
+  c.sut.kind = SystemKind::kRocksDB;
+  c.sut.compaction_threads = 1;
+  c.workload.type = WorkloadConfig::Type::kMixed;
+  c.workload.duration = FromSecs(10);
+  c.workload.arrival = Arrival::kSpike;
+  c.workload.arrival_rate = 4000;  // 16 MB/s base of 4 KB values
+  c.workload.spike_every_s = 5;
+  c.workload.spike_dur_s = 2;
+  c.workload.spike_mult = 10;  // 160 MB/s spikes: far past the tiny LSM
+  RunResult r = RunBenchmark(c);
+  EXPECT_EQ(r.mixed_run, 1);
+  EXPECT_GT(r.scheduled_ops, 0u);
+  EXPECT_GT(r.completed_ops, 0u);
+  EXPECT_GT(r.deadline_misses, 0u);
+  EXPECT_GT(r.stall_events + r.slowdown_events, 0u);
+  // Arrival-based latency includes queueing delay, so it can only dominate.
+  EXPECT_GE(r.arrival_p99_us, r.service_p99_us);
+  EXPECT_GE(r.arrival_p999_us, r.service_p999_us);
+  // Every scheduled arrival is accounted: completed or abandoned.
+  EXPECT_EQ(r.scheduled_ops, r.completed_ops + r.abandoned_ops);
+}
+
+TEST(OpenLoopTest, ClosedModeArrivalEqualsService) {
+  BenchConfig c;
+  c.scale = 0.03125;
+  c.sut.kind = SystemKind::kRocksDB;
+  c.workload.type = WorkloadConfig::Type::kMixed;
+  c.workload.duration = FromSecs(3);
+  c.workload.arrival = Arrival::kClosed;
+  RunResult r = RunBenchmark(c);
+  EXPECT_EQ(r.mixed_run, 1);
+  EXPECT_EQ(r.scheduled_ops, 0u);  // no schedule exists closed-loop
+  EXPECT_GT(r.completed_ops, 0u);
+  // With no arrival schedule both views measure the same op spans.
+  EXPECT_DOUBLE_EQ(r.arrival_p50_us, r.service_p50_us);
+  EXPECT_DOUBLE_EQ(r.arrival_p99_us, r.service_p99_us);
+}
+
+TEST(OpenLoopTest, TtlChurnIssuesDeletes) {
+  BenchConfig c;
+  c.scale = 0.03125;
+  c.sut.kind = SystemKind::kRocksDB;
+  c.workload.type = WorkloadConfig::Type::kMixed;
+  c.workload.duration = FromSecs(5);
+  c.workload.arrival = Arrival::kPoisson;
+  c.workload.arrival_rate = 2000;
+  c.workload.ttl_frac = 0.5;
+  c.workload.ttl_s = 0.5;
+  RunResult r = RunBenchmark(c);
+  EXPECT_GT(r.ttl_deletes, 0u);
+  EXPECT_GT(r.mixed_puts, 0u);
+}
+
+TEST(OpenLoopTest, DiurnalTroughIsQuieterThanPeak) {
+  // One full diurnal period; the first quarter (trough) must schedule fewer
+  // arrivals than the middle half (peak) — the curve actually varies.
+  BenchConfig c;
+  c.scale = 0.03125;
+  c.sut.kind = SystemKind::kRocksDB;
+  c.workload.type = WorkloadConfig::Type::kMixed;
+  c.workload.duration = FromSecs(12);
+  c.workload.arrival = Arrival::kDiurnal;
+  c.workload.arrival_rate = 2000;
+  c.workload.diurnal_period_s = 12;
+  c.workload.diurnal_min_frac = 0.1;
+  RunResult r = RunBenchmark(c);
+  ASSERT_GT(r.per_sec_write_kops.size(), 8u);
+  double early = 0, mid = 0;
+  for (int i = 0; i < 3; i++) early += r.per_sec_write_kops[i];
+  for (int i = 4; i < 7; i++) mid += r.per_sec_write_kops[i];
+  EXPECT_LT(early, mid);
+}
+
+TEST(MultiTenantMixedTest, DistinctProfilesPerTenant) {
+  BenchConfig c;
+  c.scale = 0.03125;
+  c.sut.kind = SystemKind::kRocksDB;
+  c.workload.type = WorkloadConfig::Type::kMixed;
+  c.workload.duration = FromSecs(4);
+  c.workload.tenants = 2;
+  c.workload.arrival = Arrival::kPoisson;
+  c.workload.arrival_rate = 4000;
+  std::string err;
+  ASSERT_TRUE(ParseWorkloadMix("write-heavy,dist=zipfian,theta=0.99;"
+                               "get=50,scan=50,scanlen=32,dist=hotspot",
+                               &c.workload.profiles, &err))
+      << err;
+  c.workload.mix_spec = "t0=write-heavy-zipf;t1=scan-hotspot";
+  RunResult r = RunBenchmark(c);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  // Tenant 0 writes, tenant 1 only reads/scans.
+  EXPECT_GT(r.tenants[0].puts, 0u);
+  EXPECT_GT(r.tenants[0].gets, 0u);
+  EXPECT_EQ(r.tenants[1].puts, 0u);
+  EXPECT_GT(r.tenants[1].scans, 0u);
+  EXPECT_GT(r.tenants[0].scheduled_ops, 0u);
+  EXPECT_GT(r.tenants[1].scheduled_ops, 0u);
+}
+
+// Acceptance: a pinned-seed open-loop Zipfian run reports per-tenant
+// p50/p99/p999 measured from scheduled arrival time and is byte-identical
+// across same-seed reruns.
+TEST(OpenLoopTest, SameSeedReportIsByteIdentical) {
+  auto make = [] {
+    BenchConfig c;
+    c.scale = 0.03125;
+    c.sut.kind = SystemKind::kKvaccel;
+    c.sut.compaction_threads = 1;
+    c.workload.type = WorkloadConfig::Type::kMixed;
+    c.workload.duration = FromSecs(5);
+    c.workload.tenants = 2;
+    c.workload.arrival = Arrival::kPoisson;
+    c.workload.arrival_rate = 4000;
+    c.workload.default_profile.dist = KeyDist::kZipfian;
+    c.workload.default_profile.zipf_theta = 0.99;
+    c.workload.ttl_frac = 0.1;
+    c.workload.ttl_s = 1;
+    return c;
+  };
+  RunResult a = RunBenchmark(make());
+  RunResult b = RunBenchmark(make());
+  const std::string ra = JsonReportString(make(), {a});
+  const std::string rb = JsonReportString(make(), {b});
+  EXPECT_EQ(ra, rb);
+  EXPECT_NE(ra.find("\"open_loop\""), std::string::npos);
+  ASSERT_EQ(a.tenants.size(), 2u);
+  for (const TenantSummary& t : a.tenants) {
+    EXPECT_GT(t.scheduled_ops, 0u);
+    EXPECT_GT(t.arrival_p50_us, 0);
+    EXPECT_GT(t.arrival_p99_us, 0);
+    EXPECT_GT(t.arrival_p999_us, 0);
+    EXPECT_GE(t.arrival_p999_us, t.arrival_p50_us);
+  }
+}
+
+// The fixed generator is wired into the classic workloads' key choice too:
+// a skewed fillrandom stays deterministic, and on a read-bearing mix the
+// popularity shape is observable (reads hit different keys -> different
+// world evolution). Pure-put runs are intentionally not compared: the sim's
+// write path costs only sizes, so key choice cannot show up there.
+TEST(SkewedWriterTest, ZipfianKeyChoiceIsDeterministicAndDistinct) {
+  auto fill = [](KeyDist dist) {
+    BenchConfig c;
+    c.scale = 0.03125;
+    c.sut.kind = SystemKind::kRocksDB;
+    c.workload.duration = FromSecs(3);
+    c.workload.default_profile.dist = dist;
+    c.workload.default_profile.zipf_theta = 0.99;
+    return RunBenchmark(c);
+  };
+  RunResult z1 = fill(KeyDist::kZipfian);
+  RunResult z2 = fill(KeyDist::kZipfian);
+  EXPECT_GT(z1.write_kops, 0);
+  EXPECT_DOUBLE_EQ(z1.write_kops, z2.write_kops);
+  EXPECT_EQ(z1.metrics.ToJson(), z2.metrics.ToJson());
+
+  auto mixed = [](KeyDist dist) {
+    BenchConfig c;
+    c.scale = 0.03125;
+    c.sut.kind = SystemKind::kRocksDB;
+    c.workload.type = WorkloadConfig::Type::kMixed;
+    c.workload.duration = FromSecs(3);
+    c.workload.default_profile.mix = OpMix{50, 50, 0, 0, 64};
+    c.workload.default_profile.dist = dist;
+    c.workload.default_profile.zipf_theta = 0.99;
+    return RunBenchmark(c);
+  };
+  RunResult z = mixed(KeyDist::kZipfian);
+  RunResult u = mixed(KeyDist::kUniform);
+  EXPECT_GT(z.mixed_gets, 0u);
+  EXPECT_NE(z.metrics.ToJson(), u.metrics.ToJson());
+}
+
+}  // namespace
+}  // namespace kvaccel::harness

@@ -56,6 +56,12 @@ run_pass() {
   # report byte-identity.
   echo "==== ${name}: ctest -L ndp ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L ndp
+  # Workload-matrix suite, explicitly: Zipfian boundary/shape/zeta-cache
+  # regressions, hotspot shape, mix-spec parsing, open-loop arrival curves
+  # (spike deadline misses, diurnal trough, TTL churn) and same-seed report
+  # byte-identity for the mixed multi-tenant engine.
+  echo "==== ${name}: ctest -L workload ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L workload
   # Nemesis smoke: 30 crash-recovery cycles on a pinned seed, every recovery
   # verified against the model oracle. A failure prints the seed and dumps a
   # trace replayable with --replay.
@@ -305,6 +311,44 @@ print(f"NDP A/B: cpu {s_off['cpu_pct']:.2f}% -> {s_auto['cpu_pct']:.2f}%, "
       f"{ndp['compactions']} device compactions "
       f"({ndp['mb_written']:.1f} MB written device-side)")
 EOF
+  # Open-loop workload-matrix smoke: a pinned-seed skewed (Zipfian 0.99),
+  # spiky, two-tenant mixed run measured from scheduled arrival time. Hard
+  # gates: a same-seed rerun is byte-identical, the spike drives nonzero
+  # deadline misses, every scheduled arrival is accounted (completed or
+  # abandoned), and the arrival-time percentiles dominate the service-time
+  # ones — the queueing delay coordinated omission used to hide.
+  echo "==== bench smoke: open-loop workload matrix (zipfian + spike) ===="
+  local openloop_flags=(--system=kvaccel --workload=mixed
+    --workload_mix="put=70,get=20,del=5,scan=5" --zipf_theta=0.99
+    --arrival=spike --arrival_rate=12000 --tenants=2 --writer_threads=2
+    --ttl_frac=0.05 --seconds=10 --scale=0.0625)
+  "${dir}/tools/kvaccel_dbbench" "${openloop_flags[@]}" \
+    --json_out="${out_dir}/smoke_openloop.json" > /dev/null
+  "${dir}/tools/kvaccel_dbbench" "${openloop_flags[@]}" \
+    --json_out="${out_dir}/smoke_openloop_rerun.json" > /dev/null
+  cmp "${out_dir}/smoke_openloop.json" "${out_dir}/smoke_openloop_rerun.json" \
+    || { echo "open-loop bench is nondeterministic across same-seed runs"; exit 1; }
+  python3 - "${out_dir}/smoke_openloop.json" <<'EOF'
+import json, sys
+run = json.load(open(sys.argv[1]))["runs"][0]
+ol = run["open_loop"]
+assert ol["arrival"] == "spike", "smoke must run the spike arrival curve"
+assert ol["scheduled_ops"] > 0, "open-loop run scheduled no arrivals"
+assert ol["deadline_misses"] > 0, "spike overload produced no deadline misses"
+assert ol["scheduled_ops"] == ol["completed_ops"] + ol["abandoned_ops"], (
+    "scheduled arrivals not fully accounted as completed + abandoned")
+assert ol["arrival_p99_us"] >= ol["service_p99_us"], (
+    "arrival-time P99 below service-time P99 — queueing delay went missing")
+tenants = run["tenants"]
+assert len(tenants) == 2 and all(
+    t["scheduled_ops"] > 0 and t["arrival_p999_us"] >= t["arrival_p50_us"]
+    for t in tenants), "per-tenant arrival percentiles missing or inconsistent"
+print(f"open-loop smoke: {ol['scheduled_ops']} arrivals, "
+      f"{ol['completed_ops']} completed / {ol['abandoned_ops']} abandoned, "
+      f"{ol['deadline_misses']} deadline misses, "
+      f"service p99 {ol['service_p99_us']:.0f} us vs "
+      f"arrival p99 {ol['arrival_p99_us']:.0f} us")
+EOF
   python3 tools/merge_smoke.py BENCH_smoke.json \
     "${out_dir}/smoke_rocksdb.json" "${out_dir}/smoke_adoc.json" \
     "${out_dir}/smoke_kvaccel.json" \
@@ -314,7 +358,8 @@ EOF
     "kvaccel-shards4=${out_dir}/smoke_shards4.json" \
     "kvaccel-ha-sync=${out_dir}/smoke_ha_sync.json" \
     "kvaccel-ha-partition=${out_dir}/smoke_ha_partition.json" \
-    "kvaccel-ndp=${out_dir}/smoke_ndp_auto.json"
+    "kvaccel-ndp=${out_dir}/smoke_ndp_auto.json" \
+    "kvaccel-openloop=${out_dir}/smoke_openloop.json"
 }
 
 mode="${1:-all}"

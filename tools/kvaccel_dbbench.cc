@@ -5,7 +5,9 @@
 //
 // Flags:
 //   --system=rocksdb|adoc|kvaccel     system under test (default rocksdb)
-//   --workload=fillrandom|readwhilewriting|seekrandom   (default fillrandom)
+//   --workload=fillrandom|readwhilewriting|seekrandom|mixed
+//                      (default fillrandom; mixed = the open-loop workload
+//                      matrix, DESIGN.md §14)
 //   --seconds=N        measurement window, virtual seconds (default 60)
 //   --scale=F          size scale; 1.0 = paper scale (default 0.125)
 //   --threads=N        compaction threads (default 1)
@@ -83,6 +85,24 @@
 //   --resync_mode=MODE delta (default: rejoin ships flushed state through
 //                      the WAL-bypassing ingest path) or wal (full replay
 //                      through the write path)
+//   --workload_mix=SPEC  mixed only (implies --workload=mixed): ';'-separated
+//                      per-tenant op streams, each a preset (write-heavy,
+//                      balanced, churn, analytics) or k=v fields (put=, get=,
+//                      del=, scan=, scanlen=, dist=uniform|zipfian|hotspot,
+//                      theta=, hot_frac=, hot_ops=); tenant t gets segment
+//                      t % count
+//   --arrival=MODE     closed | poisson | diurnal | spike (default closed).
+//                      Open-loop modes schedule arrivals in virtual time and
+//                      measure latency from the scheduled tick too, so stall
+//                      queueing is not hidden by coordinated omission
+//   --arrival_rate=F   total scheduled ops/s across tenants (default 20000)
+//   --zipf_theta=F     default-profile Zipfian key popularity, theta in (0,1)
+//   --hotspot=FRAC:OPFRAC  default-profile hotspot popularity: the first
+//                      FRAC of each tenant slice gets OPFRAC of the draws
+//   --ttl_frac=F       fraction of mixed puts tagged with a TTL (default 0)
+//   --ttl_s=F          TTL duration in virtual seconds (default 2)
+//   --deadline_us=F    arrival-deadline for deadline-miss counters
+//                      (default 1000)
 //   --list_fault_sites print every registered fault/crash site and exit
 #include <cstdio>
 #include <cstdlib>
@@ -117,7 +137,10 @@ bool FlagEq(const char* arg, const char* name, const char** value) {
 void Usage() {
   fprintf(stderr,
           "usage: kvaccel_dbbench [--system=rocksdb|adoc|kvaccel]\n"
-          "  [--workload=fillrandom|readwhilewriting|seekrandom]\n"
+          "  [--workload=fillrandom|readwhilewriting|seekrandom|mixed]\n"
+          "  [--workload_mix=SPEC] [--arrival=closed|poisson|diurnal|spike]\n"
+          "  [--arrival_rate=F] [--zipf_theta=F] [--hotspot=FRAC:OPFRAC]\n"
+          "  [--ttl_frac=F] [--ttl_s=F] [--deadline_us=F]\n"
           "  [--seconds=N] [--scale=F] [--threads=N] [--value_size=N]\n"
           "  [--key_space=N] [--read_threads=N] [--writer_threads=N]\n"
           "  [--batch_size=N]\n"
@@ -146,6 +169,7 @@ int main(int argc, char** argv) {
   config.sut.compaction_threads = 1;
   config.workload.duration = FromSecs(60);
   bool print_series = false;
+  bool saw_zipf = false, saw_hotspot = false;
   std::string json_out;
 
   for (int i = 1; i < argc; i++) {
@@ -168,6 +192,8 @@ int main(int argc, char** argv) {
         config.workload.type = WorkloadConfig::Type::kReadWhileWriting;
       } else if (strcmp(v, "seekrandom") == 0) {
         config.workload.type = WorkloadConfig::Type::kSeekRandom;
+      } else if (strcmp(v, "mixed") == 0) {
+        config.workload.type = WorkloadConfig::Type::kMixed;
       } else {
         Usage();
         return 2;
@@ -322,6 +348,68 @@ int main(int argc, char** argv) {
         fprintf(stderr, "--resync_mode must be delta or wal, got %s\n", v);
         return 2;
       }
+    } else if (FlagEq(argv[i], "--workload_mix", &v)) {
+      config.workload.mix_spec = v;
+      config.workload.type = WorkloadConfig::Type::kMixed;
+      std::string err;
+      if (!ParseWorkloadMix(v, &config.workload.profiles, &err)) {
+        fprintf(stderr, "--workload_mix: %s\n", err.c_str());
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--arrival", &v)) {
+      if (strcmp(v, "closed") == 0) {
+        config.workload.arrival = Arrival::kClosed;
+      } else if (strcmp(v, "poisson") == 0) {
+        config.workload.arrival = Arrival::kPoisson;
+      } else if (strcmp(v, "diurnal") == 0) {
+        config.workload.arrival = Arrival::kDiurnal;
+      } else if (strcmp(v, "spike") == 0) {
+        config.workload.arrival = Arrival::kSpike;
+      } else {
+        fprintf(stderr,
+                "--arrival must be closed, poisson, diurnal or spike, "
+                "got %s\n", v);
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--arrival_rate", &v)) {
+      config.workload.arrival_rate =
+          ParseFlagDouble(v, "--arrival_rate", /*min_value=*/1);
+    } else if (FlagEq(argv[i], "--zipf_theta", &v)) {
+      double theta = ParseFlagDouble(v, "--zipf_theta");
+      if (theta <= 0 || theta >= 1) {
+        fprintf(stderr, "--zipf_theta must be in (0, 1), got %s\n", v);
+        return 2;
+      }
+      config.workload.default_profile.dist = KeyDist::kZipfian;
+      config.workload.default_profile.zipf_theta = theta;
+      saw_zipf = true;
+    } else if (FlagEq(argv[i], "--hotspot", &v)) {
+      const char* colon = strchr(v, ':');
+      if (colon == nullptr) {
+        fprintf(stderr, "--hotspot must be FRAC:OPFRAC, got %s\n", v);
+        return 2;
+      }
+      double frac = ParseFlagDouble(std::string(v, colon - v).c_str(),
+                                    "--hotspot fraction");
+      double opfrac = ParseFlagDouble(colon + 1, "--hotspot op fraction");
+      if (frac <= 0 || frac > 1 || opfrac <= 0 || opfrac > 1) {
+        fprintf(stderr, "--hotspot fractions must be in (0, 1], got %s\n", v);
+        return 2;
+      }
+      config.workload.default_profile.dist = KeyDist::kHotspot;
+      config.workload.default_profile.hotspot_frac = frac;
+      config.workload.default_profile.hotspot_opfrac = opfrac;
+      saw_hotspot = true;
+    } else if (FlagEq(argv[i], "--ttl_frac", &v)) {
+      config.workload.ttl_frac = ParseFlagDouble(v, "--ttl_frac");
+      if (config.workload.ttl_frac > 1.0) {
+        fprintf(stderr, "--ttl_frac must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (FlagEq(argv[i], "--ttl_s", &v)) {
+      config.workload.ttl_s = ParseFlagDouble(v, "--ttl_s");
+    } else if (FlagEq(argv[i], "--deadline_us", &v)) {
+      config.workload.deadline_us = ParseFlagDouble(v, "--deadline_us");
     } else if (strcmp(argv[i], "--list_fault_sites") == 0) {
       for (const auto& site : sim::KnownFaultSites()) {
         printf("%-28s %s\n", site.site, site.what);
@@ -354,6 +442,23 @@ int main(int argc, char** argv) {
   if (config.sut.ndp_mode != ndp::OffloadMode::kOff &&
       config.sut.kind != SystemKind::kKvaccel) {
     fprintf(stderr, "--ndp requires --system=kvaccel\n");
+    return 2;
+  }
+  if (saw_zipf && saw_hotspot) {
+    fprintf(stderr, "--zipf_theta and --hotspot are mutually exclusive\n");
+    return 2;
+  }
+  if (config.workload.arrival != Arrival::kClosed &&
+      config.workload.type != WorkloadConfig::Type::kMixed) {
+    fprintf(stderr, "--arrival=%s requires --workload=mixed\n",
+            config.workload.arrival == Arrival::kPoisson   ? "poisson"
+            : config.workload.arrival == Arrival::kDiurnal ? "diurnal"
+                                                           : "spike");
+    return 2;
+  }
+  if (config.workload.ttl_frac > 0 &&
+      config.workload.type != WorkloadConfig::Type::kMixed) {
+    fprintf(stderr, "--ttl_frac requires --workload=mixed\n");
     return 2;
   }
 
@@ -464,10 +569,37 @@ int main(int argc, char** argv) {
     printf("shard fairness    : max/min throughput ratio %.2f\n",
            r.shard_fairness_ratio);
   }
+  if (r.mixed_run == 1) {
+    printf("open loop         : %s arrivals, %llu scheduled, %llu completed, "
+           "%llu abandoned, %llu deadline misses (%llu ttl deletes)\n",
+           r.arrival_mode == 1   ? "poisson"
+           : r.arrival_mode == 2 ? "diurnal"
+           : r.arrival_mode == 3 ? "spike"
+                                 : "closed",
+           static_cast<unsigned long long>(r.scheduled_ops),
+           static_cast<unsigned long long>(r.completed_ops),
+           static_cast<unsigned long long>(r.abandoned_ops),
+           static_cast<unsigned long long>(r.deadline_misses),
+           static_cast<unsigned long long>(r.ttl_deletes));
+    printf("service latency   : p50 %.1f us, p99 %.1f us, p99.9 %.1f us "
+           "(from issue)\n",
+           r.service_p50_us, r.service_p99_us, r.service_p999_us);
+    printf("arrival latency   : p50 %.1f us, p99 %.1f us, p99.9 %.1f us "
+           "(from scheduled arrival)\n",
+           r.arrival_p50_us, r.arrival_p99_us, r.arrival_p999_us);
+  }
   for (const TenantSummary& t : r.tenants) {
-    printf("tenant %-2d         : %llu ops, p50 %.1f us, p99 %.1f us\n",
+    printf("tenant %-2d         : %llu ops, p50 %.1f us, p99 %.1f us, "
+           "p99.9 %.1f us",
            t.tenant, static_cast<unsigned long long>(t.ops), t.put_p50_us,
-           t.put_p99_us);
+           t.put_p99_us, t.put_p999_us);
+    if (t.scheduled_ops > 0) {
+      printf("; arrival p99.9 %.1f us, %llu deadline misses, %llu abandoned",
+             t.arrival_p999_us,
+             static_cast<unsigned long long>(t.deadline_misses),
+             static_cast<unsigned long long>(t.abandoned_ops));
+    }
+    printf("\n");
   }
   if (!config.fault_profile.empty()) {
     printf("faults            : profile %s (seed %llu): %llu injected, "

@@ -88,6 +88,37 @@ def main():
                     entry["ha"]["lease_expirations"] = ha["lease_expirations"]
                 if ha.get("rejoin"):
                     entry["ha"]["rejoin"] = ha["rejoin"]
+            # Open-loop mixed-matrix runs carry the arrival accounting:
+            # latency measured from scheduled arrival time (not issue time),
+            # deadline misses and the per-tenant rollups (absent on
+            # closed-loop and classic-workload reports).
+            if run.get("open_loop"):
+                ol = run["open_loop"]
+                entry["open_loop"] = {
+                    "arrival": ol["arrival"],
+                    "scheduled_ops": ol["scheduled_ops"],
+                    "completed_ops": ol["completed_ops"],
+                    "abandoned_ops": ol["abandoned_ops"],
+                    "deadline_misses": ol["deadline_misses"],
+                    "ttl_deletes": ol["ttl_deletes"],
+                    "service_p99_us": ol["service_p99_us"],
+                    "service_p999_us": ol["service_p999_us"],
+                    "arrival_p99_us": ol["arrival_p99_us"],
+                    "arrival_p999_us": ol["arrival_p999_us"],
+                }
+                if run.get("tenants"):
+                    entry["open_loop"]["tenants"] = [
+                        {
+                            "tenant": t["tenant"],
+                            "ops": t["ops"],
+                            "scheduled_ops": t["scheduled_ops"],
+                            "deadline_misses": t["deadline_misses"],
+                            "arrival_p50_us": t["arrival_p50_us"],
+                            "arrival_p99_us": t["arrival_p99_us"],
+                            "arrival_p999_us": t["arrival_p999_us"],
+                        }
+                        for t in run["tenants"]
+                    ]
             # NDP runs carry the offloaded-compaction + planner signals
             # (absent when no NDP engine was attached).
             if run.get("ndp"):
